@@ -1,0 +1,342 @@
+package memxbar
+
+// This file is the benchmark harness of the reproduction: one bench per
+// table and figure of the paper, plus micro-benches for the hot algorithm
+// kernels. Regenerate everything with
+//
+//	go test -bench=. -benchmem
+//
+// The printed experiment rows themselves come from cmd/experiments; these
+// benches time the same code paths via internal/experiments.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/defect"
+	"repro/internal/experiments"
+	"repro/internal/faultsim"
+	"repro/internal/logic"
+	"repro/internal/mapping"
+	"repro/internal/minimize"
+	"repro/internal/munkres"
+	"repro/internal/randfunc"
+	"repro/internal/suite"
+	"repro/internal/synth"
+	"repro/internal/xbar"
+)
+
+func fig3Bench() *logic.Cover {
+	return logic.MustParseCover(8, 1,
+		"1-------", "-1------", "--1-----", "---1----", "----1111")
+}
+
+// BenchmarkFig3TwoLevelSynthesis times the two-level layout construction of
+// the running example (Fig. 3).
+func BenchmarkFig3TwoLevelSynthesis(b *testing.B) {
+	f := fig3Bench()
+	for i := 0; i < b.N; i++ {
+		if _, err := xbar.NewTwoLevel(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5MultiLevelSynthesis times factoring + NAND mapping + layout
+// of the running example (Fig. 5).
+func BenchmarkFig5MultiLevelSynthesis(b *testing.B) {
+	f := fig3Bench()
+	for i := 0; i < b.N; i++ {
+		nw, err := synth.SynthesizeMultiLevel(f, synth.MultiLevelOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := xbar.NewMultiLevel(nw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3Simulation times one full state-machine evaluation of the
+// two-level fabric.
+func BenchmarkFig3Simulation(b *testing.B) {
+	l, err := xbar.NewTwoLevel(fig3Bench())
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := []bool{true, false, true, false, true, true, true, true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Simulate(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6RandomArea times one Fig. 6 Monte Carlo slice: 50 random
+// 8-input functions through both synthesis styles.
+func BenchmarkFig6RandomArea(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6([]int{8}, 50, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Synthesis times the full Table I regeneration (9
+// benchmarks, both polarities, both design styles).
+func BenchmarkTable1Synthesis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// table2Problem prepares one defect-mapping instance for a named benchmark.
+func table2Problem(b *testing.B, name string, seed int64) *mapping.Problem {
+	b.Helper()
+	c, ok := suite.ByName(name)
+	if !ok {
+		b.Fatalf("unknown circuit %s", name)
+	}
+	cov := c.Build()
+	if c.Kind == suite.Exact {
+		cov = minimize.Minimize(cov, minimize.Options{MaxIterations: 2})
+	}
+	l, err := xbar.NewTwoLevel(cov)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dm, err := defect.Generate(l.Rows, l.Cols, defect.Params{POpen: 0.10}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := mapping.NewProblem(l, dm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// table2BenchSet is a spread of Table II circuits from easiest to hardest.
+var table2BenchSet = []string{"rd53", "misex1", "sqrt8", "sao2", "rd73", "clip", "rd84", "ex1010", "exp5", "alu4"}
+
+// BenchmarkTable2HBA times the hybrid algorithm per benchmark at the
+// paper's 10% stuck-open rate (Table II HBA runtime column).
+func BenchmarkTable2HBA(b *testing.B) {
+	for _, name := range table2BenchSet {
+		b.Run(name, func(b *testing.B) {
+			p := table2Problem(b, name, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mapping.HBA(p)
+			}
+		})
+	}
+}
+
+// BenchmarkTable2EA times the exact algorithm per benchmark (Table II EA
+// runtime column); the HBA/EA ratio is the paper's headline runtime claim.
+func BenchmarkTable2EA(b *testing.B) {
+	for _, name := range table2BenchSet {
+		b.Run(name, func(b *testing.B) {
+			p := table2Problem(b, name, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mapping.Exact(p)
+			}
+		})
+	}
+}
+
+// BenchmarkTable2MonteCarlo times a full small-sample Table II row
+// (defect generation + both algorithms), the per-row cost of the study.
+func BenchmarkTable2MonteCarlo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(experiments.Table2Options{
+			Samples: 10, Seed: int64(i), Only: []string{"rd53"},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8Example times the full Figs. 7/8 walkthrough instance.
+func BenchmarkFig8Example(b *testing.B) {
+	f := logic.MustParseCover(3, 2, "11- 10", "-01 10", "0-0 01", "-11 01")
+	l, err := xbar.NewTwoLevel(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dm := defect.NewMap(6, 10)
+	for r, s := range []string{
+		"1010111101", "1111111111", "0011111111",
+		"1011011111", "1101111111", "1110111011",
+	} {
+		for c, ch := range s {
+			if ch == '0' {
+				dm.Set(r, c, defect.StuckOpen)
+			}
+		}
+	}
+	p, err := mapping.NewProblem(l, dm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !mapping.HBA(p).Valid {
+			b.Fatal("Fig. 8 instance must map")
+		}
+	}
+}
+
+// BenchmarkYieldSweep times one Section VI redundancy/yield point.
+func BenchmarkYieldSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Yield("rd53", []int{2}, []float64{0.10}, 20, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiLevelMapping times the future-work extension: defect
+// mapping of a multi-level layout.
+func BenchmarkMultiLevelMapping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MultiLevelMapping(experiments.MLOptions{
+			Samples: 5, Seed: int64(i), Circuits: []string{"rd53"},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationVariants times one ablation sweep across the HBA
+// design-choice variants.
+func BenchmarkAblationVariants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Ablation("rd53", 10, 0.10, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClosedTolerance times one stuck-closed tolerance point of the
+// column-permutation extension.
+func BenchmarkClosedTolerance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ClosedTolerance("rd53",
+			[]float64{0.005}, []int{2}, []int{2}, 0.05, 10, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFaultCampaign times the exhaustive single-fault injection of the
+// running example's two-level design.
+func BenchmarkFaultCampaign(b *testing.B) {
+	f := fig3Bench()
+	l, err := xbar.NewTwoLevel(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := xbar.AllAssignments(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := faultsim.Run(l, func(x []bool) []bool { return f.Eval(x) },
+			faultsim.Options{Inputs: inputs, InjectOpen: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColumnAware times the joint column+row mapping search on a
+// fabric with spares and mixed defects.
+func BenchmarkColumnAware(b *testing.B) {
+	f := logic.MustParseCover(3, 2, "11- 10", "-01 10", "0-0 01", "-11 01")
+	l, err := xbar.NewTwoLevel(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := mapping.SpecFor(l)
+	spec.InputPairs += 2
+	spec.OutputPairs++
+	rng := rand.New(rand.NewSource(7))
+	dm, err := defect.Generate(l.Rows+1, spec.Cols(), defect.Params{POpen: 0.15, PClosed: 0.01}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapping.ColumnAware(l, dm, spec, mapping.ColumnOptions{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benches for the algorithm kernels.
+
+// BenchmarkMunkres times the assignment kernel at Table II scale (a 300x300
+// binary matching matrix).
+func BenchmarkMunkres(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	n := 300
+	forbidden := make([][]bool, n)
+	for i := range forbidden {
+		forbidden[i] = make([]bool, n)
+		for j := range forbidden[i] {
+			forbidden[i][j] = rng.Float64() < 0.4
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := munkres.SolveBinary(forbidden); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkComplement times unate-recursive complementation on rd73.
+func BenchmarkComplement(b *testing.B) {
+	c, _ := suite.ByName("rd73")
+	cov := c.Build().OutputCover(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cov.Complement()
+	}
+}
+
+// BenchmarkMinimize times the espresso-style loop on sqrt8's minterms.
+func BenchmarkMinimize(b *testing.B) {
+	c, _ := suite.ByName("sqrt8")
+	cov := c.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		minimize.Minimize(cov, minimize.Options{MaxIterations: 2})
+	}
+}
+
+// BenchmarkRandFunc times random function generation (the Fig. 6 workload
+// generator).
+func BenchmarkRandFunc(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < b.N; i++ {
+		if _, err := randfunc.Generate(randfunc.Params{Inputs: 12}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDefectGenerate times defect-map sampling at alu4 scale.
+func BenchmarkDefectGenerate(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < b.N; i++ {
+		if _, err := defect.Generate(583, 44, defect.Params{POpen: 0.10}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Command xbarmap maps a Boolean function onto a defective memristive
+// crossbar with the paper's defect-tolerant algorithms and verifies the
+// mapped fabric by simulation:
+//
+//	xbarmap -bench rd53 -rate 0.10 -algo hba
+//	xbarmap -bench misex1 -rate 0.10 -algo ea -spares 2
+//	xbarmap -pla my.pla -rate 0.05 -seed 7 -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	memxbar "repro"
+)
+
+func main() {
+	bench := flag.String("bench", "", "built-in benchmark name")
+	plaPath := flag.String("pla", "", "path to an espresso .pla file")
+	rate := flag.Float64("rate", 0.10, "stuck-open defect rate")
+	closedRate := flag.Float64("closed", 0, "stuck-closed defect rate")
+	algoName := flag.String("algo", "hba", "mapping algorithm: hba, ea, naive")
+	seed := flag.Int64("seed", 1, "defect map seed")
+	spares := flag.Int("spares", 0, "redundant spare rows beyond the optimum size")
+	verify := flag.Bool("verify", false, "simulate the mapped crossbar on random inputs")
+	flag.Parse()
+
+	f, err := load(*bench, *plaPath)
+	if err != nil {
+		die(err)
+	}
+	design, err := memxbar.SynthesizeTwoLevel(f)
+	if err != nil {
+		die(err)
+	}
+	algo, err := parseAlgo(*algoName)
+	if err != nil {
+		die(err)
+	}
+	dm, err := memxbar.GenerateDefects(design.Rows()+*spares, design.Cols(), *rate, *closedRate, *seed)
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("design: %dx%d area=%d IR=%.0f%%, fabric rows=%d, defects: %.0f%% open %.0f%% closed\n",
+		design.Rows(), design.Cols(), design.Area(), 100*design.InclusionRatio(),
+		design.Rows()+*spares, *rate*100, *closedRate*100)
+
+	m, err := design.MapDefects(dm, algo)
+	if err != nil {
+		die(err)
+	}
+	if !m.Valid {
+		fmt.Printf("%s: NO valid mapping (%s); match checks: %d\n", algo, m.Reason, m.MatchChecks)
+		os.Exit(2)
+	}
+	fmt.Printf("%s: valid mapping found; match checks: %d, backtracks: %d\n",
+		algo, m.MatchChecks, m.Backtracks)
+	fmt.Println("row assignment:", m.Assignment)
+
+	if *verify {
+		rng := rand.New(rand.NewSource(*seed ^ 0x5eed))
+		trials := 1000
+		for t := 0; t < trials; t++ {
+			x := make([]bool, f.Inputs())
+			for i := range x {
+				x[i] = rng.Intn(2) == 1
+			}
+			want := f.Eval(x)
+			got, err := design.SimulateMapped(x, dm, m)
+			if err != nil {
+				die(err)
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					fmt.Printf("VERIFY FAILED at input %v output %d\n", x, j)
+					os.Exit(3)
+				}
+			}
+		}
+		fmt.Printf("verified: mapped crossbar matches the function on %d random inputs\n", trials)
+	}
+}
+
+func parseAlgo(s string) (memxbar.Algorithm, error) {
+	switch s {
+	case "hba":
+		return memxbar.HBA, nil
+	case "ea", "exact":
+		return memxbar.Exact, nil
+	case "naive":
+		return memxbar.Naive, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (want hba, ea, naive)", s)
+}
+
+func load(bench, plaPath string) (*memxbar.Function, error) {
+	switch {
+	case bench != "" && plaPath != "":
+		return nil, fmt.Errorf("use either -bench or -pla, not both")
+	case bench != "":
+		return memxbar.Benchmark(bench)
+	case plaPath != "":
+		file, err := os.Open(plaPath)
+		if err != nil {
+			return nil, err
+		}
+		defer file.Close()
+		return memxbar.ParsePLA(file)
+	default:
+		return nil, fmt.Errorf("specify -bench <name> or -pla <file>")
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command xbarsynth synthesizes a Boolean function for a memristive
+// crossbar and reports the area of every design style:
+//
+//	xbarsynth -bench rd53            # a built-in benchmark circuit
+//	xbarsynth -pla path/to/file.pla  # an espresso PLA file
+//	xbarsynth -bench rd53 -render    # also draw the device placement
+//
+// The output compares the two-level design, its dual (complemented)
+// implementation, and the multi-level NAND-network design.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	memxbar "repro"
+)
+
+func main() {
+	bench := flag.String("bench", "", "built-in benchmark name (see -list)")
+	plaPath := flag.String("pla", "", "path to an espresso .pla file")
+	list := flag.Bool("list", false, "list built-in benchmarks and exit")
+	render := flag.Bool("render", false, "render device placements as ASCII art")
+	minimizeFirst := flag.Bool("minimize", false, "two-level minimize before synthesis")
+	flag.Parse()
+
+	if *list {
+		for _, n := range memxbar.BenchmarkNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+	f, err := load(*bench, *plaPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	if *minimizeFirst {
+		f = f.Minimize()
+	}
+	fmt.Printf("function: I=%d O=%d P=%d\n", f.Inputs(), f.Outputs(), f.Products())
+
+	two, err := memxbar.SynthesizeTwoLevel(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("two-level:   %dx%d area=%d IR=%.0f%%\n", two.Rows(), two.Cols(), two.Area(), 100*two.InclusionRatio())
+
+	dual, usedComplement, err := memxbar.SynthesizeDual(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	which := "f"
+	if usedComplement {
+		which = "f̄ (dual wins)"
+	}
+	fmt.Printf("dual choice: %dx%d area=%d implementing %s\n", dual.Rows(), dual.Cols(), dual.Area(), which)
+
+	multi, err := memxbar.SynthesizeMultiLevel(f, memxbar.MultiLevelOptions{Minimize: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("multi-level: %dx%d area=%d IR=%.0f%%\n", multi.Rows(), multi.Cols(), multi.Area(), 100*multi.InclusionRatio())
+
+	if *render {
+		fmt.Println("\ntwo-level placement:")
+		fmt.Print(two.Render())
+		fmt.Println("\nmulti-level placement:")
+		fmt.Print(multi.Render())
+	}
+}
+
+func load(bench, plaPath string) (*memxbar.Function, error) {
+	switch {
+	case bench != "" && plaPath != "":
+		return nil, fmt.Errorf("use either -bench or -pla, not both")
+	case bench != "":
+		return memxbar.Benchmark(bench)
+	case plaPath != "":
+		file, err := os.Open(plaPath)
+		if err != nil {
+			return nil, err
+		}
+		defer file.Close()
+		return memxbar.ParsePLA(file)
+	default:
+		return nil, fmt.Errorf("specify -bench <name> or -pla <file> (or -list)")
+	}
+}

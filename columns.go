@@ -1,0 +1,82 @@
+package memxbar
+
+import (
+	"repro/internal/mapping"
+)
+
+// Fabric describes the physical column resources of a crossbar chip:
+// interchangeable (x, x̄) input pairs, multi-level wire columns, and
+// (f̄, f) output pairs. A fabric larger than the design's needs carries
+// spare columns the column-aware mapper can route around defects with.
+type Fabric struct {
+	InputPairs  int
+	Wires       int
+	OutputPairs int
+}
+
+// Cols reports the physical column count of the fabric.
+func (f Fabric) Cols() int {
+	return mapping.FabricSpec{InputPairs: f.InputPairs, Wires: f.Wires, OutputPairs: f.OutputPairs}.Cols()
+}
+
+// FabricFor returns the minimum fabric for the design (no spares).
+func FabricFor(d *Design) Fabric {
+	s := mapping.SpecFor(d.layout)
+	return Fabric{InputPairs: s.InputPairs, Wires: s.Wires, OutputPairs: s.OutputPairs}
+}
+
+// WithSpares returns a fabric enlarged by the given spare input and output
+// pairs.
+func (f Fabric) WithSpares(inputPairs, outputPairs int) Fabric {
+	f.InputPairs += inputPairs
+	f.OutputPairs += outputPairs
+	return f
+}
+
+// ColumnMapping is a joint column + row placement of a design on a fabric.
+type ColumnMapping struct {
+	Valid bool
+	// InputPair[i] is the physical column pair carrying logical input i;
+	// Wire and OutputPair follow the same convention.
+	InputPair  []int
+	Wire       []int
+	OutputPair []int
+	// Rows is the row assignment on the projected columns.
+	Rows *Mapping
+	// Projected is the defect map seen by the design after column
+	// selection; use it with SimulateMapped.
+	Projected *DefectMap
+	Reason    string
+}
+
+// MapDefectsColumnAware maps the design onto a fabric whose defect map may
+// contain stuck-closed defects, permuting which physical column pairs carry
+// which logical inputs/outputs (and using any spare pairs) before assigning
+// rows. This is the repository's extension of the paper's Section VI
+// redundancy direction: with spare column pairs, stuck-closed defects
+// become survivable.
+func (d *Design) MapDefectsColumnAware(dm *DefectMap, fabric Fabric, seed int64) (*ColumnMapping, error) {
+	res, err := mapping.ColumnAware(d.layout, dm.m,
+		mapping.FabricSpec{InputPairs: fabric.InputPairs, Wires: fabric.Wires, OutputPairs: fabric.OutputPairs},
+		mapping.ColumnOptions{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	cm := &ColumnMapping{
+		Valid:      res.Valid,
+		InputPair:  res.Columns.InputPair,
+		Wire:       res.Columns.Wire,
+		OutputPair: res.Columns.OutputPair,
+		Reason:     res.Reason,
+	}
+	if res.Valid {
+		cm.Rows = &Mapping{
+			Valid:       true,
+			Assignment:  res.Rows.Assignment,
+			Backtracks:  res.Rows.Stats.Backtracks,
+			MatchChecks: res.Rows.Stats.MatchChecks,
+		}
+		cm.Projected = &DefectMap{m: res.Projected}
+	}
+	return cm, nil
+}

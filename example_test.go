@@ -1,0 +1,91 @@
+package memxbar_test
+
+import (
+	"fmt"
+
+	memxbar "repro"
+)
+
+// ExampleSynthesizeTwoLevel reproduces the Fig. 3 area of the paper's
+// running example.
+func ExampleSynthesizeTwoLevel() {
+	f, _ := memxbar.ParseFunction(8, 1,
+		"1-------", "-1------", "--1-----", "---1----", "----1111")
+	d, _ := memxbar.SynthesizeTwoLevel(f)
+	fmt.Printf("%dx%d area=%d\n", d.Rows(), d.Cols(), d.Area())
+	// Output: 6x18 area=108
+}
+
+// ExampleSynthesizeMultiLevel reproduces the Fig. 5 geometry: the same
+// function needs only 2 NAND gates and one connection column.
+func ExampleSynthesizeMultiLevel() {
+	f, _ := memxbar.ParseFunction(8, 1,
+		"1-------", "-1------", "--1-----", "---1----", "----1111")
+	d, _ := memxbar.SynthesizeMultiLevel(f, memxbar.MultiLevelOptions{})
+	fmt.Printf("%dx%d area=%d\n", d.Rows(), d.Cols(), d.Area())
+	// Output: 3x19 area=57
+}
+
+// ExampleSynthesizeDual shows the dual optimization: f̄ has 4 products
+// against f's 5, so the complement implementation is smaller.
+func ExampleSynthesizeDual() {
+	f, _ := memxbar.ParseFunction(8, 1,
+		"1-------", "-1------", "--1-----", "---1----", "----1111")
+	d, usedComplement, _ := memxbar.SynthesizeDual(f)
+	fmt.Println(d.Area(), usedComplement)
+	// Output: 90 true
+}
+
+// ExampleDesign_MapDefects maps the Fig. 7/8 function around a targeted
+// stuck-open defect that defeats the naive placement.
+func ExampleDesign_MapDefects() {
+	f, _ := memxbar.ParseFunction(3, 2, "11- 10", "-01 10", "0-0 01", "-11 01")
+	d, _ := memxbar.SynthesizeTwoLevel(f)
+	dm := memxbar.NewDefectMap(d.Rows(), d.Cols())
+	dm.SetStuckOpen(0, 0) // product m1 needs this device
+
+	naive, _ := d.MapDefects(dm, memxbar.Naive)
+	hba, _ := d.MapDefects(dm, memxbar.HBA)
+	fmt.Println(naive.Valid, hba.Valid)
+	// Output: false true
+}
+
+// ExampleDesign_Simulate runs the crossbar state machine on one input.
+func ExampleDesign_Simulate() {
+	f, _ := memxbar.ParseFunction(2, 1, "11")
+	d, _ := memxbar.SynthesizeTwoLevel(f)
+	y, _ := d.Simulate([]bool{true, true})
+	n, _ := d.Simulate([]bool{true, false})
+	fmt.Println(y[0], n[0])
+	// Output: true false
+}
+
+// ExampleFunction_Minimize shows the espresso-style minimizer collapsing
+// adjacent products.
+func ExampleFunction_Minimize() {
+	f, _ := memxbar.ParseFunction(2, 1, "11", "10")
+	fmt.Println(f.Minimize().Products())
+	// Output: 1
+}
+
+// ExampleBenchmark loads a built-in circuit of the paper's Table II.
+func ExampleBenchmark() {
+	f, _ := memxbar.Benchmark("rd53")
+	fmt.Println(f.Inputs(), f.Outputs(), f.Products())
+	// Output: 5 3 31
+}
+
+// ExampleDesign_MapDefectsColumnAware survives a stuck-closed defect —
+// fatal under fixed wiring — by renaming input columns onto a spare pair.
+func ExampleDesign_MapDefectsColumnAware() {
+	f, _ := memxbar.ParseFunction(3, 2, "11- 10", "-01 10", "0-0 01", "-11 01")
+	d, _ := memxbar.SynthesizeTwoLevel(f)
+
+	fabric := memxbar.FabricFor(d).WithSpares(1, 0)
+	dm := memxbar.NewDefectMap(d.Rows(), fabric.Cols())
+	dm.SetStuckClosed(3, 0) // poisons the physical x1 column
+
+	cm, _ := d.MapDefectsColumnAware(dm, fabric, 1)
+	fmt.Println(cm.Valid)
+	// Output: true
+}

@@ -1,0 +1,82 @@
+// Multi-level synthesis on a benchmark circuit: factor sqrt8 (floor square
+// root of an 8-bit value) into a NAND network, place it on the multi-level
+// crossbar, compare against the two-level design, and spot-check the
+// sequential gate-by-gate evaluation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	memxbar "repro"
+)
+
+func main() {
+	f, err := memxbar.Benchmark("sqrt8")
+	if err != nil {
+		log.Fatal(err)
+	}
+	f = f.Minimize()
+	fmt.Printf("sqrt8: inputs=%d outputs=%d products(minimized)=%d\n",
+		f.Inputs(), f.Outputs(), f.Products())
+
+	two, err := memxbar.SynthesizeTwoLevel(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	multi, err := memxbar.SynthesizeMultiLevel(f, memxbar.MultiLevelOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("two-level:   %dx%d area=%d\n", two.Rows(), two.Cols(), two.Area())
+	fmt.Printf("multi-level: %dx%d area=%d\n", multi.Rows(), multi.Cols(), multi.Area())
+	fmt.Println("(multi-output circuits usually favour two-level, matching Table I)")
+
+	// A bounded-fanin variant, as if the fabric limited NAND width to 4.
+	narrow, err := memxbar.SynthesizeMultiLevel(f, memxbar.MultiLevelOptions{MaxFanin: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("multi-level (fan-in <= 4): %dx%d area=%d\n", narrow.Rows(), narrow.Cols(), narrow.Area())
+
+	// Verify all three designs compute floor(sqrt(x)) for every byte.
+	for v := 0; v < 256; v++ {
+		x := make([]bool, 8)
+		for i := range x {
+			x[i] = v&(1<<uint(i)) != 0
+		}
+		want := 0
+		for (want+1)*(want+1) <= v {
+			want++
+		}
+		for name, d := range map[string]*memxbar.Design{"two": two, "multi": multi, "narrow": narrow} {
+			y, err := d.Simulate(x)
+			if err != nil {
+				log.Fatal(err)
+			}
+			got := 0
+			for j := 0; j < 4; j++ {
+				if y[j] {
+					got |= 1 << uint(j)
+				}
+			}
+			if got != want {
+				log.Fatalf("%s design: sqrt(%d) = %d, want %d", name, v, got, want)
+			}
+		}
+	}
+	fmt.Println("verified: all three designs compute floor(sqrt(x)) for all 256 bytes")
+
+	// The structural stand-in phenomenon: deep single-output functions are
+	// where multi-level wins big (the t481/cordic rows of Table I).
+	x16, err := memxbar.Benchmark("rd73")
+	if err != nil {
+		log.Fatal(err)
+	}
+	d2, _ := memxbar.SynthesizeTwoLevel(x16)
+	d3, err := memxbar.SynthesizeMultiLevel(x16, memxbar.MultiLevelOptions{Minimize: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrd73 for contrast: two-level area=%d, multi-level area=%d\n", d2.Area(), d3.Area())
+}

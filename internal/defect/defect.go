@@ -1,0 +1,194 @@
+// Package defect models fabrication defects of memristive crossbars in the
+// paper's stuck-at paradigm: stuck-at-open devices are frozen at R_OFF
+// (usable wherever the design wants a disabled device) and stuck-at-closed
+// devices are frozen at R_ON (they force their NAND line to a constant and
+// poison their column, making both lines unusable on an optimum-size array).
+package defect
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Kind is the defect state of one crosspoint.
+type Kind uint8
+
+const (
+	// OK is a functional, programmable device.
+	OK Kind = iota
+	// StuckOpen is frozen at R_OFF (logic 1 in the Snider model).
+	StuckOpen
+	// StuckClosed is frozen at R_ON (logic 0 in the Snider model).
+	StuckClosed
+)
+
+// String names the defect kind.
+func (k Kind) String() string {
+	switch k {
+	case OK:
+		return "ok"
+	case StuckOpen:
+		return "stuck-open"
+	case StuckClosed:
+		return "stuck-closed"
+	}
+	return "unknown"
+}
+
+// Map is the defect map of one fabricated crossbar, the Crossbar Matrix (CM)
+// of the paper's Fig. 8(b).
+type Map struct {
+	Rows, Cols int
+	cells      []Kind
+}
+
+// NewMap returns an all-functional defect map.
+func NewMap(rows, cols int) *Map {
+	if rows < 0 || cols < 0 {
+		panic("defect: negative dimensions")
+	}
+	return &Map{Rows: rows, Cols: cols, cells: make([]Kind, rows*cols)}
+}
+
+// Params controls random defect injection.
+type Params struct {
+	// POpen is the independent per-crosspoint probability of a stuck-at-open
+	// defect (the paper's experiments use 0.10).
+	POpen float64
+	// PClosed is the independent probability of a stuck-at-closed defect.
+	// The paper's Table II experiments set it to zero because closed defects
+	// cannot be tolerated without redundant lines.
+	PClosed float64
+}
+
+// Generate samples a defect map with independent uniform per-crosspoint
+// defect probabilities, the paper's Monte Carlo defect model.
+func Generate(rows, cols int, p Params, rng *rand.Rand) (*Map, error) {
+	if p.POpen < 0 || p.PClosed < 0 || p.POpen+p.PClosed > 1 {
+		return nil, fmt.Errorf("defect: invalid probabilities POpen=%v PClosed=%v", p.POpen, p.PClosed)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("defect: nil random source")
+	}
+	m := NewMap(rows, cols)
+	for i := range m.cells {
+		u := rng.Float64()
+		switch {
+		case u < p.POpen:
+			m.cells[i] = StuckOpen
+		case u < p.POpen+p.PClosed:
+			m.cells[i] = StuckClosed
+		}
+	}
+	return m, nil
+}
+
+// At returns the defect kind at (r, c).
+func (m *Map) At(r, c int) Kind { return m.cells[r*m.Cols+c] }
+
+// Set stores a defect kind at (r, c); used by tests and fault injection.
+func (m *Map) Set(r, c int, k Kind) { m.cells[r*m.Cols+c] = k }
+
+// Functional reports whether the device at (r, c) is programmable.
+func (m *Map) Functional(r, c int) bool { return m.At(r, c) == OK }
+
+// RowHasClosed reports whether row r contains a stuck-at-closed device, in
+// which case the paper's model renders the whole horizontal line unusable
+// (the NAND output is forced to logic 1).
+func (m *Map) RowHasClosed(r int) bool {
+	for c := 0; c < m.Cols; c++ {
+		if m.At(r, c) == StuckClosed {
+			return true
+		}
+	}
+	return false
+}
+
+// ColHasClosed reports whether column c contains a stuck-at-closed device,
+// which renders the vertical line unusable (it cannot be initialized to
+// R_OFF).
+func (m *Map) ColHasClosed(c int) bool {
+	for r := 0; r < m.Rows; r++ {
+		if m.At(r, c) == StuckClosed {
+			return true
+		}
+	}
+	return false
+}
+
+// UsableRow reports whether row r can host any logic line at all.
+func (m *Map) UsableRow(r int) bool { return !m.RowHasClosed(r) }
+
+// Stats summarizes a defect map.
+type Stats struct {
+	Devices     int
+	Open        int
+	Closed      int
+	OpenRate    float64
+	ClosedRate  float64
+	PoisonedRow int // rows containing at least one stuck-closed device
+	PoisonedCol int
+}
+
+// Summarize computes defect statistics.
+func (m *Map) Summarize() Stats {
+	s := Stats{Devices: m.Rows * m.Cols}
+	for _, k := range m.cells {
+		switch k {
+		case StuckOpen:
+			s.Open++
+		case StuckClosed:
+			s.Closed++
+		}
+	}
+	if s.Devices > 0 {
+		s.OpenRate = float64(s.Open) / float64(s.Devices)
+		s.ClosedRate = float64(s.Closed) / float64(s.Devices)
+	}
+	for r := 0; r < m.Rows; r++ {
+		if m.RowHasClosed(r) {
+			s.PoisonedRow++
+		}
+	}
+	for c := 0; c < m.Cols; c++ {
+		if m.ColHasClosed(c) {
+			s.PoisonedCol++
+		}
+	}
+	return s
+}
+
+// CrossbarMatrix renders the CM of the paper's Fig. 8(b): true = functional
+// switch (matches both 1 and 0 of the FM), false = stuck-open (matches only
+// 0). Stuck-closed devices are also false here; callers that tolerate them
+// must additionally exclude poisoned lines.
+func (m *Map) CrossbarMatrix() [][]bool {
+	cm := make([][]bool, m.Rows)
+	for r := range cm {
+		cm[r] = make([]bool, m.Cols)
+		for c := range cm[r] {
+			cm[r][c] = m.Functional(r, c)
+		}
+	}
+	return cm
+}
+
+// String renders the map: '.' functional, 'o' stuck-open, 'x' stuck-closed.
+func (m *Map) String() string {
+	var b strings.Builder
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			switch m.At(r, c) {
+			case OK:
+				b.WriteByte('.')
+			case StuckOpen:
+				b.WriteByte('o')
+			case StuckClosed:
+				b.WriteByte('x')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package defect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	m, err := Generate(200, 200, Params{POpen: 0.10, PClosed: 0.02}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Summarize()
+	if math.Abs(s.OpenRate-0.10) > 0.01 {
+		t.Errorf("open rate = %v, want ~0.10", s.OpenRate)
+	}
+	if math.Abs(s.ClosedRate-0.02) > 0.005 {
+		t.Errorf("closed rate = %v, want ~0.02", s.ClosedRate)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate(2, 2, Params{POpen: -0.1}, rng); err == nil {
+		t.Error("negative probability must fail")
+	}
+	if _, err := Generate(2, 2, Params{POpen: 0.7, PClosed: 0.4}, rng); err == nil {
+		t.Error("probabilities summing above 1 must fail")
+	}
+	if _, err := Generate(2, 2, Params{}, nil); err == nil {
+		t.Error("nil rng must fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(20, 20, Params{POpen: 0.1}, rand.New(rand.NewSource(5)))
+	b, _ := Generate(20, 20, Params{POpen: 0.1}, rand.New(rand.NewSource(5)))
+	if a.String() != b.String() {
+		t.Error("same seed must give the same defect map")
+	}
+}
+
+func TestRowColPoisoning(t *testing.T) {
+	m := NewMap(4, 5)
+	m.Set(2, 3, StuckClosed)
+	if !m.RowHasClosed(2) || m.RowHasClosed(1) {
+		t.Error("RowHasClosed wrong")
+	}
+	if !m.ColHasClosed(3) || m.ColHasClosed(0) {
+		t.Error("ColHasClosed wrong")
+	}
+	if m.UsableRow(2) || !m.UsableRow(0) {
+		t.Error("UsableRow wrong")
+	}
+	s := m.Summarize()
+	if s.PoisonedRow != 1 || s.PoisonedCol != 1 {
+		t.Errorf("poisoned = %d/%d, want 1/1", s.PoisonedRow, s.PoisonedCol)
+	}
+}
+
+func TestCrossbarMatrix(t *testing.T) {
+	m := NewMap(2, 2)
+	m.Set(0, 1, StuckOpen)
+	m.Set(1, 0, StuckClosed)
+	cm := m.CrossbarMatrix()
+	if !cm[0][0] || cm[0][1] || cm[1][0] || !cm[1][1] {
+		t.Errorf("CM = %v", cm)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m := NewMap(1, 3)
+	m.Set(0, 1, StuckOpen)
+	m.Set(0, 2, StuckClosed)
+	if got := m.String(); got != ".ox\n" {
+		t.Errorf("String = %q, want .ox\\n", got)
+	}
+	if StuckOpen.String() != "stuck-open" || StuckClosed.String() != "stuck-closed" || OK.String() != "ok" {
+		t.Error("Kind.String wrong")
+	}
+}
+
+func TestFunctionalAndAt(t *testing.T) {
+	m := NewMap(3, 3)
+	if !m.Functional(1, 1) {
+		t.Error("fresh map must be functional")
+	}
+	m.Set(1, 1, StuckOpen)
+	if m.Functional(1, 1) || m.At(1, 1) != StuckOpen {
+		t.Error("Set/At roundtrip failed")
+	}
+}
+
+func TestZeroDefectGenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, err := Generate(10, 10, Params{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Summarize()
+	if s.Open != 0 || s.Closed != 0 {
+		t.Error("zero-probability map must be clean")
+	}
+}

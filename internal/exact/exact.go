@@ -1,0 +1,252 @@
+// Package exact implements exact two-level minimization for small functions:
+// Quine–McCluskey prime implicant generation followed by an exact (branch
+// and bound) solution of the unate covering problem. It exists as the
+// quality oracle for the heuristic espresso-style minimizer — on functions
+// small enough to solve exactly, the heuristic result can be compared
+// against the true minimum product count.
+package exact
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// MaxInputs bounds the input count accepted by Minimize; Quine–McCluskey is
+// exponential in it.
+const MaxInputs = 12
+
+// implicant is a cube in (value, mask) form: mask bits are don't-cares,
+// value bits are the fixed literal polarities.
+type implicant struct {
+	value uint32
+	mask  uint32
+}
+
+// Minimize returns a minimum-product-count cover of the single-output
+// function, together with the prime implicant count.
+func Minimize(f *logic.Cover) (*logic.Cover, int, error) {
+	if f.NumOut != 1 {
+		return nil, 0, fmt.Errorf("exact: need a single-output cover, got %d outputs", f.NumOut)
+	}
+	n := f.NumIn
+	if n > MaxInputs {
+		return nil, 0, fmt.Errorf("exact: %d inputs exceed the limit %d", n, MaxInputs)
+	}
+	size := 1 << uint(n)
+	on := make([]bool, size)
+	minterms := []uint32{}
+	for i := 0; i < size; i++ {
+		if f.EvalOutput(0, logic.AssignmentFromIndex(uint64(i), n)) {
+			on[i] = true
+			minterms = append(minterms, uint32(i))
+		}
+	}
+	if len(minterms) == 0 {
+		return logic.NewCover(n, 1), 0, nil
+	}
+	if len(minterms) == size {
+		u := logic.NewCover(n, 1)
+		cube := logic.NewCube(n, 1)
+		cube.Out[0] = true
+		u.Cubes = append(u.Cubes, cube)
+		return u, 1, nil
+	}
+
+	primes := primeImplicants(n, minterms)
+	chosen := solveCover(n, minterms, primes)
+	out := logic.NewCover(n, 1)
+	for _, im := range chosen {
+		out.Cubes = append(out.Cubes, im.toCube(n))
+	}
+	return out, len(primes), nil
+}
+
+// primeImplicants runs the Quine–McCluskey merging tableau.
+func primeImplicants(n int, minterms []uint32) []implicant {
+	current := map[implicant]bool{}
+	for _, m := range minterms {
+		current[implicant{value: m}] = true
+	}
+	primeSet := map[implicant]bool{}
+	for len(current) > 0 {
+		merged := map[implicant]bool{}
+		used := map[implicant]bool{}
+		list := make([]implicant, 0, len(current))
+		for im := range current {
+			list = append(list, im)
+		}
+		// Group by population count of the value for the classic pairing.
+		sort.Slice(list, func(a, b int) bool {
+			ca, cb := bits.OnesCount32(list[a].value), bits.OnesCount32(list[b].value)
+			if ca != cb {
+				return ca < cb
+			}
+			if list[a].value != list[b].value {
+				return list[a].value < list[b].value
+			}
+			return list[a].mask < list[b].mask
+		})
+		for i := 0; i < len(list); i++ {
+			for k := i + 1; k < len(list); k++ {
+				a, b := list[i], list[k]
+				if a.mask != b.mask {
+					continue
+				}
+				diff := a.value ^ b.value
+				if bits.OnesCount32(diff) != 1 {
+					continue
+				}
+				m := implicant{value: a.value &^ diff, mask: a.mask | diff}
+				merged[m] = true
+				used[a] = true
+				used[b] = true
+			}
+		}
+		for im := range current {
+			if !used[im] {
+				primeSet[im] = true
+			}
+		}
+		current = merged
+	}
+	primes := make([]implicant, 0, len(primeSet))
+	for im := range primeSet {
+		primes = append(primes, im)
+	}
+	sort.Slice(primes, func(a, b int) bool {
+		if primes[a].mask != primes[b].mask {
+			return primes[a].mask < primes[b].mask
+		}
+		return primes[a].value < primes[b].value
+	})
+	return primes
+}
+
+// solveCover picks a minimum subset of primes covering every minterm:
+// essential primes first, then branch and bound on the residue.
+func solveCover(n int, minterms []uint32, primes []implicant) []implicant {
+	covers := func(im implicant, m uint32) bool {
+		return (m &^ im.mask) == im.value
+	}
+	// coverage lists per minterm.
+	byMinterm := make(map[uint32][]int)
+	for _, m := range minterms {
+		for pi, im := range primes {
+			if covers(im, m) {
+				byMinterm[m] = append(byMinterm[m], pi)
+			}
+		}
+	}
+	var chosen []int
+	covered := map[uint32]bool{}
+	// Essential primes: a minterm covered by exactly one prime forces it.
+	for {
+		progress := false
+		for _, m := range minterms {
+			if covered[m] {
+				continue
+			}
+			if len(byMinterm[m]) == 1 {
+				pi := byMinterm[m][0]
+				if !intsContain(chosen, pi) {
+					chosen = append(chosen, pi)
+					for _, mm := range minterms {
+						if covers(primes[pi], mm) {
+							covered[mm] = true
+						}
+					}
+					progress = true
+				}
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	var residue []uint32
+	for _, m := range minterms {
+		if !covered[m] {
+			residue = append(residue, m)
+		}
+	}
+	if len(residue) == 0 {
+		return pick(primes, chosen)
+	}
+	// Branch and bound over the residue.
+	best := make([]int, 0)
+	bestLen := -1
+	var cur []int
+	var rec func(remaining []uint32)
+	rec = func(remaining []uint32) {
+		if bestLen >= 0 && len(cur) >= bestLen {
+			return
+		}
+		if len(remaining) == 0 {
+			best = append(best[:0], cur...)
+			bestLen = len(cur)
+			return
+		}
+		// Branch on the hardest minterm (fewest covering primes).
+		hard := remaining[0]
+		for _, m := range remaining {
+			if len(byMinterm[m]) < len(byMinterm[hard]) {
+				hard = m
+			}
+		}
+		for _, pi := range byMinterm[hard] {
+			cur = append(cur, pi)
+			var next []uint32
+			for _, m := range remaining {
+				if !covers(primes[pi], m) {
+					next = append(next, m)
+				}
+			}
+			rec(next)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(residue)
+	return pick(primes, append(chosen, best...))
+}
+
+func pick(primes []implicant, idx []int) []implicant {
+	seen := map[int]bool{}
+	var out []implicant
+	for _, i := range idx {
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, primes[i])
+		}
+	}
+	return out
+}
+
+func intsContain(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// toCube converts an implicant to a cover cube.
+func (im implicant) toCube(n int) logic.Cube {
+	cube := logic.NewCube(n, 1)
+	cube.Out[0] = true
+	for i := 0; i < n; i++ {
+		bit := uint32(1) << uint(i)
+		if im.mask&bit != 0 {
+			continue
+		}
+		if im.value&bit != 0 {
+			cube.In[i] = logic.LitPos
+		} else {
+			cube.In[i] = logic.LitNeg
+		}
+	}
+	return cube
+}

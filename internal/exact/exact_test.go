@@ -1,0 +1,220 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/minimize"
+)
+
+func TestMinimizeKnownFunctions(t *testing.T) {
+	cases := []struct {
+		name string
+		f    *logic.Cover
+		want int // minimum product count
+	}{
+		{"xor2", logic.MustParseCover(2, 1, "10", "01"), 2},
+		{"and", logic.MustParseCover(2, 1, "11"), 1},
+		{"adjacent", logic.MustParseCover(2, 1, "11", "10"), 1},
+		{"xor3", logic.MustParseCover(3, 1, "100", "010", "001", "111"), 4},
+		{"majority", logic.MustParseCover(3, 1, "11-", "1-1", "-11"), 3},
+		{"fig3-5var", logic.MustParseCover(5, 1, "1----", "-1---", "--111"), 3},
+	}
+	for _, tc := range cases {
+		m, primes, err := Minimize(tc.f)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if primes <= 0 {
+			t.Errorf("%s: no primes reported", tc.name)
+		}
+		if m.NumProducts() != tc.want {
+			t.Errorf("%s: minimum = %d, want %d\n%v", tc.name, m.NumProducts(), tc.want, m)
+		}
+		ok, _ := logic.Equivalent(tc.f, m, 0, nil)
+		if !ok {
+			t.Errorf("%s: function changed", tc.name)
+		}
+	}
+}
+
+func TestMinimizeConstants(t *testing.T) {
+	zero := logic.NewCover(3, 1)
+	m, _, err := Minimize(zero)
+	if err != nil || !m.IsEmpty() {
+		t.Error("constant 0 must stay empty")
+	}
+	one := logic.MustParseCover(2, 1, "1-", "0-")
+	m, _, err = Minimize(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumProducts() != 1 || m.Cubes[0].NumLiterals() != 0 {
+		t.Errorf("tautology must minimize to the universe, got %v", m)
+	}
+}
+
+func TestMinimizeErrors(t *testing.T) {
+	if _, _, err := Minimize(logic.NewCover(3, 2)); err == nil {
+		t.Error("multi-output must fail")
+	}
+	if _, _, err := Minimize(logic.NewCover(MaxInputs+1, 1)); err == nil {
+		t.Error("too many inputs must fail")
+	}
+}
+
+// TestHeuristicNeverBeatsExact cross-validates the espresso-style heuristic
+// against the exact minimum: the heuristic can only tie or lose, and must
+// stay close.
+func TestHeuristicNeverBeatsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	totalExact, totalHeur := 0, 0
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(5)
+		f := randomSingle(rng, n, 1+rng.Intn(10))
+		em, _, err := Minimize(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hm := minimize.MinimizeSingle(f, minimize.Options{})
+		if hm.NumProducts() < em.NumProducts() {
+			t.Fatalf("heuristic (%d) beat the exact minimum (%d)?!\n%v",
+				hm.NumProducts(), em.NumProducts(), f)
+		}
+		ok, _ := logic.Equivalent(em, hm, 0, nil)
+		if !ok {
+			t.Fatal("exact and heuristic covers disagree on the function")
+		}
+		totalExact += em.NumProducts()
+		totalHeur += hm.NumProducts()
+	}
+	// Quality bound: the heuristic stays within 25% of optimal on this
+	// corpus in aggregate.
+	if float64(totalHeur) > 1.25*float64(totalExact) {
+		t.Errorf("heuristic quality degraded: %d products vs exact %d", totalHeur, totalExact)
+	}
+	t.Logf("aggregate products: exact=%d heuristic=%d", totalExact, totalHeur)
+}
+
+// TestExactIsMinimalBySearch verifies minimality on tiny functions by
+// exhaustive comparison against all smaller covers via truth-table count.
+func TestExactIsMinimalBySearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(2) // 2..3 inputs
+		tt := make([]bool, 1<<uint(n))
+		any := false
+		for i := range tt {
+			tt[i] = rng.Intn(2) == 1
+			any = any || tt[i]
+		}
+		if !any {
+			continue
+		}
+		f, err := logic.FromTruthTable(n, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _, err := Minimize(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best := smallestCoverSize(n, tt); m.NumProducts() != best {
+			t.Fatalf("exact returned %d products, true minimum %d (n=%d)", m.NumProducts(), best, n)
+		}
+	}
+}
+
+// smallestCoverSize brute-forces the minimum SOP size for tiny n by
+// enumerating all cube subsets of increasing size.
+func smallestCoverSize(n int, tt []bool) int {
+	var cubes []logic.Cube
+	var enumerate func(i int, cube logic.Cube)
+	enumerate = func(i int, cube logic.Cube) {
+		if i == n {
+			cubes = append(cubes, cube.Clone())
+			return
+		}
+		for _, v := range []logic.LitVal{logic.LitNeg, logic.LitPos, logic.LitDC} {
+			cube.In[i] = v
+			enumerate(i+1, cube)
+		}
+	}
+	seed := logic.NewCube(n, 1)
+	seed.Out[0] = true
+	enumerate(0, seed)
+	// Keep only implicants (cubes inside the ON-set).
+	var impl []logic.Cube
+	for _, cube := range cubes {
+		inside := true
+		for i := range tt {
+			x := logic.AssignmentFromIndex(uint64(i), n)
+			if cube.EvalInput(x) && !tt[i] {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			impl = append(impl, cube)
+		}
+	}
+	coversAll := func(sel []int) bool {
+		for i := range tt {
+			if !tt[i] {
+				continue
+			}
+			x := logic.AssignmentFromIndex(uint64(i), n)
+			hit := false
+			for _, k := range sel {
+				if impl[k].EvalInput(x) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				return false
+			}
+		}
+		return true
+	}
+	for size := 1; ; size++ {
+		sel := make([]int, size)
+		var try func(start, d int) bool
+		try = func(start, d int) bool {
+			if d == size {
+				return coversAll(sel)
+			}
+			for i := start; i < len(impl); i++ {
+				sel[d] = i
+				if try(i+1, d+1) {
+					return true
+				}
+			}
+			return false
+		}
+		if try(0, 0) {
+			return size
+		}
+	}
+}
+
+func randomSingle(rng *rand.Rand, nIn, nCubes int) *logic.Cover {
+	c := logic.NewCover(nIn, 1)
+	for k := 0; k < nCubes; k++ {
+		cube := logic.NewCube(nIn, 1)
+		cube.Out[0] = true
+		for i := range cube.In {
+			switch rng.Intn(4) {
+			case 0:
+				cube.In[i] = logic.LitNeg
+			case 1:
+				cube.In[i] = logic.LitPos
+			default:
+				cube.In[i] = logic.LitDC
+			}
+		}
+		c.Cubes = append(c.Cubes, cube)
+	}
+	return c
+}

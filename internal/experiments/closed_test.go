@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+func TestClosedToleranceShape(t *testing.T) {
+	points, err := ClosedTolerance("rd53",
+		[]float64{0.01}, []int{0, 4}, []int{0, 4}, 0.05, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	noSpare, withSpare := points[0], points[1]
+	// Without spares neither scheme can avoid closed defects in used
+	// columns; with spares the column-aware mapper must do strictly better
+	// than fixed wiring (which cannot use them for columns).
+	if withSpare.ColumnPsucc < noSpare.ColumnPsucc {
+		t.Errorf("spares hurt column-aware: %v -> %v", noSpare.ColumnPsucc, withSpare.ColumnPsucc)
+	}
+	if withSpare.ColumnPsucc <= withSpare.FixedPsucc {
+		t.Errorf("column-aware (%v) should beat fixed wiring (%v) with spares",
+			withSpare.ColumnPsucc, withSpare.FixedPsucc)
+	}
+}
+
+func TestClosedToleranceUnknownCircuit(t *testing.T) {
+	if _, err := ClosedTolerance("zzz", []float64{0.01}, []int{0}, []int{0}, 0.05, 2, 1); err == nil {
+		t.Error("unknown circuit must fail")
+	}
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/defect"
+	"repro/internal/mapping"
+	"repro/internal/minimize"
+	"repro/internal/montecarlo"
+	"repro/internal/suite"
+	"repro/internal/synth"
+	"repro/internal/xbar"
+)
+
+// MLRow is one circuit of the multi-level defect-mapping study — the
+// integration of multi-level synthesis with defect-tolerant mapping that
+// the paper's Section VI names as future work. HBA and EA operate on any
+// layout's function matrix, so the same machinery applies to gate rows.
+type MLRow struct {
+	Name  string
+	Gates int
+	Wires int
+	Rows  int
+	Cols  int
+	Area  int
+	IR    float64
+	HBA   AlgoStats
+	EA    AlgoStats
+}
+
+// MLOptions tunes the study.
+type MLOptions struct {
+	// Samples per circuit; zero means the paper's 200.
+	Samples int
+	// DefectRate is the stuck-open probability; zero means 0.10.
+	DefectRate float64
+	Seed       int64
+	// Circuits restricts the run (nil = a representative default set; the
+	// very large profiles are excluded because random dense covers factor
+	// into very wide multi-level layouts).
+	Circuits []string
+	Parallel bool
+}
+
+// DefaultMLCircuits is the default circuit set for the multi-level study.
+var DefaultMLCircuits = []string{"rd53", "squar5", "misex1", "sqrt8", "inc", "sao2"}
+
+// MultiLevelMapping measures defect-tolerant mapping success on multi-level
+// layouts at the given stuck-open rate, on optimum-size fabrics.
+func MultiLevelMapping(opt MLOptions) ([]MLRow, error) {
+	if opt.Samples == 0 {
+		opt.Samples = montecarlo.DefaultSamples
+	}
+	if opt.DefectRate == 0 {
+		opt.DefectRate = 0.10
+	}
+	circuits := opt.Circuits
+	if circuits == nil {
+		circuits = DefaultMLCircuits
+	}
+	var rows []MLRow
+	for _, name := range circuits {
+		c, ok := suite.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown circuit %q", name)
+		}
+		cov := c.Build()
+		if c.Kind == suite.Exact {
+			cov = minimize.Minimize(cov, minimize.Options{MaxIterations: 2})
+		}
+		nw, err := synth.SynthesizeMultiLevel(cov, synth.MultiLevelOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %v", name, err)
+		}
+		l, err := xbar.NewMultiLevel(nw)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %v", name, err)
+		}
+		row := MLRow{
+			Name:  name,
+			Gates: nw.NumGates(),
+			Wires: nw.NumInternalWires(),
+			Rows:  l.Rows,
+			Cols:  l.Cols,
+			Area:  l.Area(),
+			IR:    l.InclusionRatio(),
+		}
+		run := func(algo func(*mapping.Problem) mapping.Result) (AlgoStats, error) {
+			summary, err := montecarlo.Run(montecarlo.Options{
+				Samples: opt.Samples, Seed: opt.Seed + int64(len(name)), Parallel: opt.Parallel,
+			}, func(i int, rng *rand.Rand) montecarlo.Outcome {
+				dm, genErr := defect.Generate(l.Rows, l.Cols, defect.Params{POpen: opt.DefectRate}, rng)
+				if genErr != nil {
+					return montecarlo.Outcome{}
+				}
+				p, pErr := mapping.NewProblem(l, dm)
+				if pErr != nil {
+					return montecarlo.Outcome{}
+				}
+				start := time.Now()
+				res := algo(p)
+				return montecarlo.Outcome{Success: res.Valid, Elapsed: time.Since(start)}
+			})
+			if err != nil {
+				return AlgoStats{}, err
+			}
+			return AlgoStats{Psucc: summary.SuccessRate, MeanTime: summary.MeanTime}, nil
+		}
+		if row.HBA, err = run(mapping.HBA); err != nil {
+			return nil, err
+		}
+		if row.EA, err = run(mapping.Exact); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Ablation compares HBA design-choice variants (backtracking, exact output
+// assignment, density ordering) on one circuit, extending the paper's
+// algorithm discussion with measured contributions.
+type AblationRow struct {
+	Variant string
+	Psucc   float64
+	Mean    time.Duration
+}
+
+// Ablation runs the HBA variants of mapping.HBAOptions on the named circuit.
+func Ablation(circuit string, samples int, rate float64, seed int64) ([]AblationRow, error) {
+	c, ok := suite.ByName(circuit)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown circuit %q", circuit)
+	}
+	cov := c.Build()
+	if c.Kind == suite.Exact {
+		cov = minimize.Minimize(cov, minimize.Options{MaxIterations: 2})
+	}
+	l, err := xbar.NewTwoLevel(cov)
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name string
+		opt  mapping.HBAOptions
+	}{
+		{"greedy only", mapping.HBAOptions{}},
+		{"+backtracking", mapping.HBAOptions{Backtracking: true}},
+		{"+exact outputs (paper HBA)", mapping.PaperHBAOptions()},
+		{"+density order (extension)", mapping.HBAOptions{Backtracking: true, ExactOutputs: true, DensityOrder: true}},
+	}
+	var rows []AblationRow
+	for _, v := range variants {
+		summary, err := montecarlo.Run(montecarlo.Options{Samples: samples, Seed: seed},
+			func(i int, rng *rand.Rand) montecarlo.Outcome {
+				dm, genErr := defect.Generate(l.Rows, l.Cols, defect.Params{POpen: rate}, rng)
+				if genErr != nil {
+					return montecarlo.Outcome{}
+				}
+				p, pErr := mapping.NewProblem(l, dm)
+				if pErr != nil {
+					return montecarlo.Outcome{}
+				}
+				start := time.Now()
+				res := mapping.HBAWith(p, v.opt)
+				return montecarlo.Outcome{Success: res.Valid, Elapsed: time.Since(start)}
+			})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Variant: v.name, Psucc: summary.SuccessRate, Mean: summary.MeanTime})
+	}
+	return rows, nil
+}

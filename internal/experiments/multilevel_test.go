@@ -1,0 +1,59 @@
+package experiments
+
+import "testing"
+
+func TestMultiLevelMappingSmall(t *testing.T) {
+	rows, err := MultiLevelMapping(MLOptions{
+		Samples:  25,
+		Seed:     5,
+		Circuits: []string{"rd53", "misex1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Gates <= 0 || r.Area != r.Rows*r.Cols {
+			t.Errorf("%s geometry inconsistent: %+v", r.Name, r)
+		}
+		if r.HBA.Psucc > r.EA.Psucc+1e-9 {
+			t.Errorf("%s: HBA beats EA (%v > %v)", r.Name, r.HBA.Psucc, r.EA.Psucc)
+		}
+		if r.IR <= 0 || r.IR >= 1 {
+			t.Errorf("%s IR = %v out of range", r.Name, r.IR)
+		}
+	}
+}
+
+func TestMultiLevelMappingUnknownCircuit(t *testing.T) {
+	if _, err := MultiLevelMapping(MLOptions{Samples: 1, Circuits: []string{"zzz"}}); err == nil {
+		t.Error("unknown circuit must fail")
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	rows, err := Ablation("rd53", 60, 0.10, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	// The paper HBA must not be worse than the greedy-only baseline.
+	if rows[2].Psucc < rows[0].Psucc {
+		t.Errorf("paper HBA (%v) below greedy-only (%v)", rows[2].Psucc, rows[0].Psucc)
+	}
+	for _, r := range rows {
+		if r.Psucc < 0 || r.Psucc > 1 {
+			t.Errorf("%s: Psucc %v out of range", r.Variant, r.Psucc)
+		}
+	}
+}
+
+func TestAblationUnknownCircuit(t *testing.T) {
+	if _, err := Ablation("zzz", 1, 0.1, 1); err == nil {
+		t.Error("unknown circuit must fail")
+	}
+}

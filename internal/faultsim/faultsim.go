@@ -1,0 +1,162 @@
+// Package faultsim runs exhaustive single-fault injection campaigns on
+// crossbar layouts: every crosspoint is given each stuck-at fault in turn
+// and the fabric is re-simulated to classify the fault as benign or
+// critical. The campaign connects the paper's Inclusion Ratio to fault
+// sensitivity — IR is exactly the fraction of crosspoints whose stuck-open
+// failure can matter — and provides ground truth for the mapping
+// algorithms' defect model (stuck-open on a disabled device is always
+// benign, stuck-closed is almost always fatal).
+package faultsim
+
+import (
+	"fmt"
+
+	"repro/internal/defect"
+	"repro/internal/xbar"
+)
+
+// Verdict classifies one injected fault.
+type Verdict uint8
+
+const (
+	// Benign means the fabric still computes the function on every probed
+	// input.
+	Benign Verdict = iota
+	// Critical means at least one probed input mis-computes.
+	Critical
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	if v == Benign {
+		return "benign"
+	}
+	return "critical"
+}
+
+// Fault is one injected fault and its verdict.
+type Fault struct {
+	Row, Col int
+	Kind     defect.Kind
+	Verdict  Verdict
+	// FailingInput is a witness assignment for critical faults (nil for
+	// benign ones).
+	FailingInput []bool
+}
+
+// Result summarizes a campaign.
+type Result struct {
+	Faults []Fault
+	// Injected counts injected faults; CriticalOpen / CriticalClosed and
+	// the benign counterparts partition them by kind.
+	Injected       int
+	CriticalOpen   int
+	BenignOpen     int
+	CriticalClosed int
+	BenignClosed   int
+}
+
+// OpenCriticalFraction is the fraction of stuck-open injections that were
+// critical; for a layout with no logical redundancy it approaches the
+// inclusion ratio.
+func (r Result) OpenCriticalFraction() float64 {
+	total := r.CriticalOpen + r.BenignOpen
+	if total == 0 {
+		return 0
+	}
+	return float64(r.CriticalOpen) / float64(total)
+}
+
+// ClosedCriticalFraction is the fraction of stuck-closed injections that
+// were critical.
+func (r Result) ClosedCriticalFraction() float64 {
+	total := r.CriticalClosed + r.BenignClosed
+	if total == 0 {
+		return 0
+	}
+	return float64(r.CriticalClosed) / float64(total)
+}
+
+// Options tunes a campaign.
+type Options struct {
+	// Inputs are the probe assignments; use xbar.AllAssignments for
+	// exhaustive campaigns on small functions.
+	Inputs [][]bool
+	// InjectOpen / InjectClosed select the fault kinds; both default true
+	// when neither is set.
+	InjectOpen   bool
+	InjectClosed bool
+	// KeepWitnesses stores a failing input per critical fault.
+	KeepWitnesses bool
+}
+
+// Run injects every selected single fault into the layout (placed with the
+// identity assignment on an otherwise clean fabric) and classifies it by
+// simulation against eval.
+func Run(l *xbar.Layout, eval func(x []bool) []bool, opt Options) (Result, error) {
+	if len(opt.Inputs) == 0 {
+		return Result{}, fmt.Errorf("faultsim: no probe inputs")
+	}
+	if !opt.InjectOpen && !opt.InjectClosed {
+		opt.InjectOpen, opt.InjectClosed = true, true
+	}
+	var kinds []defect.Kind
+	if opt.InjectOpen {
+		kinds = append(kinds, defect.StuckOpen)
+	}
+	if opt.InjectClosed {
+		kinds = append(kinds, defect.StuckClosed)
+	}
+	var res Result
+	for r := 0; r < l.Rows; r++ {
+		for c := 0; c < l.Cols; c++ {
+			for _, k := range kinds {
+				dm := defect.NewMap(l.Rows, l.Cols)
+				dm.Set(r, c, k)
+				witness, err := probe(l, eval, dm, opt.Inputs)
+				if err != nil {
+					return Result{}, err
+				}
+				f := Fault{Row: r, Col: c, Kind: k}
+				if witness != nil {
+					f.Verdict = Critical
+					if opt.KeepWitnesses {
+						f.FailingInput = witness
+					}
+				}
+				res.Injected++
+				switch {
+				case k == defect.StuckOpen && f.Verdict == Critical:
+					res.CriticalOpen++
+				case k == defect.StuckOpen:
+					res.BenignOpen++
+				case f.Verdict == Critical:
+					res.CriticalClosed++
+				default:
+					res.BenignClosed++
+				}
+				res.Faults = append(res.Faults, f)
+			}
+		}
+	}
+	return res, nil
+}
+
+// probe simulates the faulty fabric on every input and returns a failing
+// assignment, checking both fabric outputs: f must equal the function and
+// f̄ its complement (the crossbar contract delivers both polarities).
+func probe(l *xbar.Layout, eval func(x []bool) []bool, dm *defect.Map, inputs [][]bool) ([]bool, error) {
+	for _, x := range inputs {
+		res, err := l.SimulateMapped(x, dm, nil)
+		if err != nil {
+			return nil, err
+		}
+		want := eval(x)
+		for j := range want {
+			if res.F[j] != want[j] || res.FBar[j] == want[j] {
+				return x, nil
+			}
+		}
+	}
+	return nil, nil
+}

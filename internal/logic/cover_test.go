@@ -1,0 +1,186 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fig3Cover is the running example of the paper (Figs. 3 and 5):
+// f = x1 + x2 + x3 + x4 + x5·x6·x7·x8.
+func fig3Cover() *Cover {
+	return MustParseCover(8, 1,
+		"1-------",
+		"-1------",
+		"--1-----",
+		"---1----",
+		"----1111",
+	)
+}
+
+func TestCoverEvalFig3(t *testing.T) {
+	f := fig3Cover()
+	cases := []struct {
+		x    string
+		want bool
+	}{
+		{"10000000", true},
+		{"00000000", false},
+		{"00001111", true},
+		{"00001110", false},
+		{"01001110", true},
+	}
+	for _, tc := range cases {
+		x := make([]bool, 8)
+		for i := range x {
+			x[i] = tc.x[i] == '1'
+		}
+		if got := f.EvalOutput(0, x); got != tc.want {
+			t.Errorf("f(%s) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCoverMultiOutputEval(t *testing.T) {
+	// Fig. 7 of the paper: O1 = x1·x̄2 + x̄2·x3 (per the FM in Fig. 8),
+	// O2 = x̄1·x̄3 + x2·x̄3.
+	f := MustParseCover(3, 2,
+		"10- 10",
+		"-01 10",
+		"0-0 01",
+		"-10 01",
+	)
+	x := []bool{true, false, true}
+	y := f.Eval(x)
+	if !y[0] || y[1] {
+		t.Errorf("Eval(101) = %v, want [true false]", y)
+	}
+}
+
+func TestOutputCoverAndMerge(t *testing.T) {
+	f := MustParseCover(3, 2,
+		"10- 10",
+		"-01 11",
+		"0-0 01",
+	)
+	o0 := f.OutputCover(0)
+	o1 := f.OutputCover(1)
+	if o0.NumProducts() != 2 || o1.NumProducts() != 2 {
+		t.Fatalf("per-output product counts = %d,%d, want 2,2", o0.NumProducts(), o1.NumProducts())
+	}
+	merged, err := MergeOutputs([]*Cover{o0, o1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shared product -01 must be emitted once with both output bits.
+	if merged.NumProducts() != 3 {
+		t.Errorf("merged products = %d, want 3 (shared product re-fused)", merged.NumProducts())
+	}
+	ok, err := Equivalent(f, merged, 0, nil)
+	if err != nil || !ok {
+		t.Errorf("merge changed the function (ok=%v err=%v)", ok, err)
+	}
+}
+
+func TestMergeOutputsErrors(t *testing.T) {
+	a := NewCover(3, 1)
+	b := NewCover(4, 1)
+	if _, err := MergeOutputs([]*Cover{a, b}); err == nil {
+		t.Error("mismatched input counts should fail")
+	}
+	if _, err := MergeOutputs(nil); err == nil {
+		t.Error("empty merge should fail")
+	}
+	c := NewCover(3, 2)
+	if _, err := MergeOutputs([]*Cover{a, c}); err == nil {
+		t.Error("multi-output member should fail")
+	}
+}
+
+func TestAddCubeDimensionCheck(t *testing.T) {
+	c := NewCover(3, 1)
+	if err := c.AddCube(NewCube(4, 1)); err == nil {
+		t.Error("AddCube must reject wrong input arity")
+	}
+	if err := c.AddCube(NewCube(3, 2)); err == nil {
+		t.Error("AddCube must reject wrong output arity")
+	}
+	if err := c.AddCube(NewCube(3, 1)); err != nil {
+		t.Errorf("AddCube rejected a valid cube: %v", err)
+	}
+}
+
+func TestRemoveDuplicates(t *testing.T) {
+	c := MustParseCover(3, 1, "1--", "1--", "0-1")
+	c.RemoveDuplicates()
+	if c.NumProducts() != 2 {
+		t.Errorf("products after dedup = %d, want 2", c.NumProducts())
+	}
+}
+
+func TestSingleOutputContained(t *testing.T) {
+	c := MustParseCover(3, 1, "1--", "11-", "0-1", "111")
+	c.SingleOutputContained()
+	if c.NumProducts() != 2 {
+		t.Errorf("products after containment removal = %d, want 2: %v", c.NumProducts(), c)
+	}
+}
+
+func TestCofactorVar(t *testing.T) {
+	f := fig3Cover()
+	// Cofactor on x1 = 1: function becomes constant 1 (the x1 cube covers).
+	fx := f.CofactorVar(0, true)
+	if !fx.IsTautology() {
+		t.Error("f|x1=1 should be a tautology")
+	}
+	fnx := f.CofactorVar(0, false)
+	if fnx.IsTautology() {
+		t.Error("f|x1=0 should not be a tautology")
+	}
+}
+
+func TestTotalLiterals(t *testing.T) {
+	f := fig3Cover()
+	if n := f.TotalLiterals(); n != 8 {
+		t.Errorf("TotalLiterals = %d, want 8", n)
+	}
+}
+
+func TestCoverCofactorAgainstEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := randomCover(rng, 6, 2, 8)
+	p := NewCube(6, 2)
+	p.In[2] = LitPos
+	p.In[4] = LitNeg
+	g := f.Cofactor(p)
+	for trial := 0; trial < 200; trial++ {
+		x := make([]bool, 6)
+		for i := range x {
+			x[i] = rng.Intn(2) == 1
+		}
+		x[2], x[4] = true, false // inside the cofactor cube
+		want := f.Eval(x)
+		got := g.Eval(x)
+		if !equalBools(want, got) {
+			t.Fatalf("cofactor mismatch at %v: %v vs %v", x, got, want)
+		}
+	}
+}
+
+// randomCover builds a random multi-output cover for property tests.
+func randomCover(rng *rand.Rand, nIn, nOut, nCubes int) *Cover {
+	c := NewCover(nIn, nOut)
+	for k := 0; k < nCubes; k++ {
+		cube := NewCube(nIn, nOut)
+		for i := range cube.In {
+			cube.In[i] = LitVal(rng.Intn(3))
+		}
+		for j := range cube.Out {
+			cube.Out[j] = rng.Intn(2) == 1
+		}
+		if cube.NumOutputs() == 0 {
+			cube.Out[rng.Intn(nOut)] = true
+		}
+		c.Cubes = append(c.Cubes, cube)
+	}
+	return c
+}

@@ -1,0 +1,284 @@
+// Package logic implements the two-level Boolean function machinery the
+// crossbar synthesizer is built on: three-valued cubes, multi-output covers
+// (sum-of-products), cofactors, tautology checking, containment, sharp and
+// complement via the unate recursive paradigm, and truth-table equivalence.
+//
+// The representation follows the classical espresso conventions: a cube has
+// one three-valued literal per input variable (0 = complemented literal,
+// 1 = positive literal, 2 = variable absent / don't care) and one bit per
+// output (the cube belongs to that output's ON-set cover).
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LitVal is the three-valued state of one input variable inside a cube.
+type LitVal uint8
+
+const (
+	// LitNeg means the complemented literal x̄ appears in the product.
+	LitNeg LitVal = 0
+	// LitPos means the positive literal x appears in the product.
+	LitPos LitVal = 1
+	// LitDC means the variable does not appear in the product.
+	LitDC LitVal = 2
+)
+
+// String renders the literal in espresso PLA notation.
+func (v LitVal) String() string {
+	switch v {
+	case LitNeg:
+		return "0"
+	case LitPos:
+		return "1"
+	case LitDC:
+		return "-"
+	}
+	return "?"
+}
+
+// Cube is a product term over n input variables together with the set of
+// outputs whose ON-set it belongs to. The zero value is not useful; build
+// cubes with NewCube or by parsing.
+type Cube struct {
+	In  []LitVal // one entry per input variable
+	Out []bool   // one entry per output; true = cube is in that output's cover
+}
+
+// NewCube returns a full don't-care cube (the universe) over nIn inputs that
+// belongs to no output.
+func NewCube(nIn, nOut int) Cube {
+	c := Cube{In: make([]LitVal, nIn), Out: make([]bool, nOut)}
+	for i := range c.In {
+		c.In[i] = LitDC
+	}
+	return c
+}
+
+// Clone returns a deep copy of the cube.
+func (c Cube) Clone() Cube {
+	d := Cube{In: make([]LitVal, len(c.In)), Out: make([]bool, len(c.Out))}
+	copy(d.In, c.In)
+	copy(d.Out, c.Out)
+	return d
+}
+
+// NumLiterals reports how many input variables appear in the product.
+func (c Cube) NumLiterals() int {
+	n := 0
+	for _, v := range c.In {
+		if v != LitDC {
+			n++
+		}
+	}
+	return n
+}
+
+// NumOutputs reports how many outputs the cube belongs to.
+func (c Cube) NumOutputs() int {
+	n := 0
+	for _, b := range c.Out {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// EvalInput reports whether the product term covers the input assignment x.
+// It ignores the output part.
+func (c Cube) EvalInput(x []bool) bool {
+	for i, v := range c.In {
+		switch v {
+		case LitPos:
+			if !x[i] {
+				return false
+			}
+		case LitNeg:
+			if x[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ContainsCube reports whether c covers d in the input space: every
+// assignment covered by d's product is covered by c's product.
+func (c Cube) ContainsCube(d Cube) bool {
+	for i, v := range c.In {
+		if v != LitDC && v != d.In[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Distance counts input variables on which c and d have opposing literals
+// (one LitPos, the other LitNeg). Distance 0 means the products intersect.
+func (c Cube) Distance(d Cube) int {
+	dist := 0
+	for i, v := range c.In {
+		w := d.In[i]
+		if v != LitDC && w != LitDC && v != w {
+			dist++
+		}
+	}
+	return dist
+}
+
+// Intersect returns the product-space intersection of c and d and whether it
+// is nonempty. The output part of the result is the AND of the two cubes'
+// output parts.
+func (c Cube) Intersect(d Cube) (Cube, bool) {
+	r := NewCube(len(c.In), len(c.Out))
+	for i, v := range c.In {
+		w := d.In[i]
+		switch {
+		case v == LitDC:
+			r.In[i] = w
+		case w == LitDC || w == v:
+			r.In[i] = v
+		default:
+			return Cube{}, false
+		}
+	}
+	for i := range r.Out {
+		r.Out[i] = c.Out[i] && d.Out[i]
+	}
+	return r, true
+}
+
+// Supercube returns the smallest cube containing both c and d; its output
+// part is the OR of the operands'.
+func (c Cube) Supercube(d Cube) Cube {
+	r := NewCube(len(c.In), len(c.Out))
+	for i, v := range c.In {
+		w := d.In[i]
+		if v == w {
+			r.In[i] = v
+		} else {
+			r.In[i] = LitDC
+		}
+	}
+	for i := range r.Out {
+		r.Out[i] = c.Out[i] || d.Out[i]
+	}
+	return r
+}
+
+// Consensus returns the consensus cube of c and d (defined when the distance
+// is exactly 1) and whether it exists. The consensus is the largest cube
+// contained in c ∪ d that spans the single conflicting variable.
+func (c Cube) Consensus(d Cube) (Cube, bool) {
+	if c.Distance(d) != 1 {
+		return Cube{}, false
+	}
+	r := NewCube(len(c.In), len(c.Out))
+	for i, v := range c.In {
+		w := d.In[i]
+		switch {
+		case v == LitDC:
+			r.In[i] = w
+		case w == LitDC || v == w:
+			r.In[i] = v
+		default:
+			r.In[i] = LitDC // the conflicting variable drops out
+		}
+	}
+	for i := range r.Out {
+		r.Out[i] = c.Out[i] && d.Out[i]
+	}
+	return r, true
+}
+
+// CofactorCube returns the cofactor of c with respect to cube p (the
+// generalized Shannon cofactor) and whether it is nonempty. Variables fixed
+// by p become don't cares in the result.
+func (c Cube) CofactorCube(p Cube) (Cube, bool) {
+	r := NewCube(len(c.In), len(c.Out))
+	for i, v := range c.In {
+		w := p.In[i]
+		switch {
+		case w == LitDC:
+			r.In[i] = v
+		case v == LitDC || v == w:
+			r.In[i] = LitDC
+		default:
+			return Cube{}, false
+		}
+	}
+	copy(r.Out, c.Out)
+	return r, true
+}
+
+// String renders the cube in PLA row notation, e.g. "1-0 10".
+func (c Cube) String() string {
+	var b strings.Builder
+	for _, v := range c.In {
+		b.WriteString(v.String())
+	}
+	if len(c.Out) > 0 {
+		b.WriteByte(' ')
+		for _, o := range c.Out {
+			if o {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+	}
+	return b.String()
+}
+
+// ParseCube parses a PLA-style row such as "1-0 10". The output part may be
+// omitted for single-output covers, in which case the cube belongs to
+// output 0 of nOut outputs.
+func ParseCube(s string, nIn, nOut int) (Cube, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return Cube{}, fmt.Errorf("logic: empty cube %q", s)
+	}
+	in := fields[0]
+	if len(in) != nIn {
+		return Cube{}, fmt.Errorf("logic: cube %q has %d input positions, want %d", s, len(in), nIn)
+	}
+	c := NewCube(nIn, nOut)
+	for i := 0; i < nIn; i++ {
+		switch in[i] {
+		case '0':
+			c.In[i] = LitNeg
+		case '1':
+			c.In[i] = LitPos
+		case '-', '2':
+			c.In[i] = LitDC
+		default:
+			return Cube{}, fmt.Errorf("logic: bad input literal %q in cube %q", in[i], s)
+		}
+	}
+	switch {
+	case len(fields) == 1:
+		if nOut != 1 {
+			return Cube{}, fmt.Errorf("logic: cube %q missing output part for %d outputs", s, nOut)
+		}
+		c.Out[0] = true
+	default:
+		out := fields[1]
+		if len(out) != nOut {
+			return Cube{}, fmt.Errorf("logic: cube %q has %d output positions, want %d", s, len(out), nOut)
+		}
+		for j := 0; j < nOut; j++ {
+			switch out[j] {
+			case '1', '4':
+				c.Out[j] = true
+			case '0', '~', '-', '2':
+				c.Out[j] = false
+			default:
+				return Cube{}, fmt.Errorf("logic: bad output literal %q in cube %q", out[j], s)
+			}
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,204 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseCubeRoundTrip(t *testing.T) {
+	cases := []string{"1-0 10", "111 01", "--- 11", "000 00"}
+	for _, s := range cases {
+		c, err := ParseCube(s, 3, 2)
+		if err != nil {
+			t.Fatalf("ParseCube(%q): %v", s, err)
+		}
+		if got := c.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestParseCubeSingleOutputShorthand(t *testing.T) {
+	c, err := ParseCube("10-", 3, 1)
+	if err != nil {
+		t.Fatalf("ParseCube: %v", err)
+	}
+	if !c.Out[0] {
+		t.Error("shorthand cube should belong to output 0")
+	}
+}
+
+func TestParseCubeErrors(t *testing.T) {
+	bad := []struct {
+		s         string
+		nIn, nOut int
+	}{
+		{"", 3, 1},
+		{"1-", 3, 1},
+		{"1x0 1", 3, 1},
+		{"1-0 1", 3, 2},
+		{"1-0 1z", 3, 2},
+		{"1-0", 3, 2}, // missing output part with multiple outputs
+	}
+	for _, tc := range bad {
+		if _, err := ParseCube(tc.s, tc.nIn, tc.nOut); err == nil {
+			t.Errorf("ParseCube(%q, %d, %d) should fail", tc.s, tc.nIn, tc.nOut)
+		}
+	}
+}
+
+func TestCubeEvalInput(t *testing.T) {
+	c, _ := ParseCube("1-0 1", 3, 1)
+	cases := []struct {
+		x    []bool
+		want bool
+	}{
+		{[]bool{true, false, false}, true},
+		{[]bool{true, true, false}, true},
+		{[]bool{false, true, false}, false},
+		{[]bool{true, true, true}, false},
+	}
+	for _, tc := range cases {
+		if got := c.EvalInput(tc.x); got != tc.want {
+			t.Errorf("EvalInput(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCubeContainment(t *testing.T) {
+	big, _ := ParseCube("1-- 1", 3, 1)
+	small, _ := ParseCube("110 1", 3, 1)
+	if !big.ContainsCube(small) {
+		t.Error("1-- should contain 110")
+	}
+	if small.ContainsCube(big) {
+		t.Error("110 should not contain 1--")
+	}
+	if !big.ContainsCube(big) {
+		t.Error("containment must be reflexive")
+	}
+}
+
+func TestCubeDistanceAndIntersect(t *testing.T) {
+	a, _ := ParseCube("10- 1", 3, 1)
+	b, _ := ParseCube("01- 1", 3, 1)
+	if d := a.Distance(b); d != 2 {
+		t.Errorf("distance = %d, want 2", d)
+	}
+	if _, ok := a.Intersect(b); ok {
+		t.Error("distance-2 cubes must not intersect")
+	}
+	c, _ := ParseCube("1-1 1", 3, 1)
+	r, ok := a.Intersect(c)
+	if !ok {
+		t.Fatal("10- and 1-1 should intersect")
+	}
+	if r.String() != "101 1" {
+		t.Errorf("intersection = %q, want 101 1", r.String())
+	}
+}
+
+func TestCubeSupercube(t *testing.T) {
+	a, _ := ParseCube("101 10", 3, 2)
+	b, _ := ParseCube("111 01", 3, 2)
+	s := a.Supercube(b)
+	if s.String() != "1-1 11" {
+		t.Errorf("supercube = %q, want 1-1 11", s.String())
+	}
+}
+
+func TestCubeConsensus(t *testing.T) {
+	a, _ := ParseCube("1-0 1", 3, 1)
+	b, _ := ParseCube("-11 1", 3, 1)
+	c, ok := a.Consensus(b)
+	if !ok {
+		t.Fatal("distance-1 cubes must have a consensus")
+	}
+	// Consensus of x1x̄3 and x2x3 is x1x2 (conflict variable x3 drops).
+	if c.String() != "11- 1" {
+		t.Errorf("consensus = %q, want 11- 1", c.String())
+	}
+	far, _ := ParseCube("011 1", 3, 1)
+	if _, ok := a.Consensus(far); ok {
+		t.Error("distance-2 cubes must have no consensus")
+	}
+}
+
+func TestCofactorCube(t *testing.T) {
+	a, _ := ParseCube("1-0 1", 3, 1)
+	p, _ := ParseCube("1-- 1", 3, 1)
+	r, ok := a.CofactorCube(p)
+	if !ok {
+		t.Fatal("cofactor should exist")
+	}
+	if r.String() != "--0 1" {
+		t.Errorf("cofactor = %q, want --0 1", r.String())
+	}
+	q, _ := ParseCube("0-- 1", 3, 1)
+	if _, ok := a.CofactorCube(q); ok {
+		t.Error("cofactor against opposing literal must vanish")
+	}
+}
+
+// Property: the supercube contains both operands.
+func TestSupercubeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gen := func() Cube {
+		c := NewCube(6, 1)
+		c.Out[0] = true
+		for i := range c.In {
+			c.In[i] = LitVal(rng.Intn(3))
+		}
+		return c
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b := gen(), gen()
+		s := a.Supercube(b)
+		if !s.ContainsCube(a) || !s.ContainsCube(b) {
+			t.Fatalf("supercube %v of %v,%v does not contain operands", s, a, b)
+		}
+	}
+}
+
+// Property: intersection, when it exists, is contained in both operands and
+// covers exactly the assignments covered by both.
+func TestIntersectProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}
+	f := func(raw [6]uint8, x [3]bool) bool {
+		a, b := NewCube(3, 1), NewCube(3, 1)
+		for i := 0; i < 3; i++ {
+			a.In[i] = LitVal(raw[i] % 3)
+			b.In[i] = LitVal(raw[i+3] % 3)
+		}
+		r, ok := a.Intersect(b)
+		both := a.EvalInput(x[:]) && b.EvalInput(x[:])
+		if !ok {
+			return !both
+		}
+		return r.EvalInput(x[:]) == both
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumLiteralsAndOutputs(t *testing.T) {
+	c, _ := ParseCube("1-0- 101", 4, 3)
+	if n := c.NumLiterals(); n != 2 {
+		t.Errorf("NumLiterals = %d, want 2", n)
+	}
+	if n := c.NumOutputs(); n != 2 {
+		t.Errorf("NumOutputs = %d, want 2", n)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a, _ := ParseCube("10- 1", 3, 1)
+	b := a.Clone()
+	b.In[0] = LitNeg
+	b.Out[0] = false
+	if a.In[0] != LitPos || !a.Out[0] {
+		t.Error("Clone must not alias the original")
+	}
+}

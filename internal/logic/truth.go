@@ -1,0 +1,118 @@
+package logic
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MaxExhaustiveInputs is the largest input count for which equivalence and
+// truth-table routines enumerate all 2^n assignments. Above it, callers fall
+// back to random sampling.
+const MaxExhaustiveInputs = 20
+
+// AssignmentFromIndex decodes the i-th input assignment (bit k of i drives
+// input k) into a bool slice of length n.
+func AssignmentFromIndex(i uint64, n int) []bool {
+	x := make([]bool, n)
+	for k := 0; k < n; k++ {
+		x[k] = i&(1<<uint(k)) != 0
+	}
+	return x
+}
+
+// TruthTable enumerates output j of the cover over all 2^NumIn assignments.
+// It panics when NumIn exceeds MaxExhaustiveInputs.
+func (c *Cover) TruthTable(j int) []bool {
+	if c.NumIn > MaxExhaustiveInputs {
+		panic(fmt.Sprintf("logic: TruthTable on %d inputs exceeds limit %d", c.NumIn, MaxExhaustiveInputs))
+	}
+	size := uint64(1) << uint(c.NumIn)
+	tt := make([]bool, size)
+	for i := uint64(0); i < size; i++ {
+		tt[i] = c.EvalOutput(j, AssignmentFromIndex(i, c.NumIn))
+	}
+	return tt
+}
+
+// Equivalent reports whether two covers compute the same multi-output
+// function, exhaustively when NumIn <= MaxExhaustiveInputs and on `samples`
+// random assignments otherwise (rng must be non-nil in that case).
+func Equivalent(a, b *Cover, samples int, rng *rand.Rand) (bool, error) {
+	if a.NumIn != b.NumIn || a.NumOut != b.NumOut {
+		return false, fmt.Errorf("logic: dimension mismatch %dx%d vs %dx%d",
+			a.NumIn, a.NumOut, b.NumIn, b.NumOut)
+	}
+	if a.NumIn <= MaxExhaustiveInputs {
+		size := uint64(1) << uint(a.NumIn)
+		for i := uint64(0); i < size; i++ {
+			x := AssignmentFromIndex(i, a.NumIn)
+			if !equalBools(a.Eval(x), b.Eval(x)) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	if rng == nil {
+		return false, fmt.Errorf("logic: sampling equivalence needs a rand source")
+	}
+	for s := 0; s < samples; s++ {
+		x := make([]bool, a.NumIn)
+		for i := range x {
+			x[i] = rng.Intn(2) == 1
+		}
+		if !equalBools(a.Eval(x), b.Eval(x)) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OnSetSize counts the minterms of output j (exhaustive; NumIn bounded by
+// MaxExhaustiveInputs).
+func (c *Cover) OnSetSize(j int) uint64 {
+	tt := c.TruthTable(j)
+	var n uint64
+	for _, b := range tt {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// FromTruthTable builds a canonical minterm cover for a single-output
+// function given as a truth table of length 2^nIn.
+func FromTruthTable(nIn int, tt []bool) (*Cover, error) {
+	if len(tt) != 1<<uint(nIn) {
+		return nil, fmt.Errorf("logic: truth table length %d does not match %d inputs", len(tt), nIn)
+	}
+	c := NewCover(nIn, 1)
+	for i, b := range tt {
+		if !b {
+			continue
+		}
+		cube := NewCube(nIn, 1)
+		cube.Out[0] = true
+		for k := 0; k < nIn; k++ {
+			if i&(1<<uint(k)) != 0 {
+				cube.In[k] = LitPos
+			} else {
+				cube.In[k] = LitNeg
+			}
+		}
+		c.Cubes = append(c.Cubes, cube)
+	}
+	return c, nil
+}

@@ -1,0 +1,97 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAssignmentFromIndex(t *testing.T) {
+	x := AssignmentFromIndex(5, 4) // 0b0101
+	want := []bool{true, false, true, false}
+	if !equalBools(x, want) {
+		t.Errorf("AssignmentFromIndex(5,4) = %v, want %v", x, want)
+	}
+}
+
+func TestTruthTableFig3(t *testing.T) {
+	f := fig3Cover()
+	tt := f.TruthTable(0)
+	if len(tt) != 256 {
+		t.Fatalf("truth table length = %d, want 256", len(tt))
+	}
+	// f is 0 only when x1..x4 are 0 and x5..x8 are not all 1:
+	// 2^4 - 1 = 15 zero points.
+	zeros := 0
+	for _, b := range tt {
+		if !b {
+			zeros++
+		}
+	}
+	if zeros != 15 {
+		t.Errorf("zero count = %d, want 15", zeros)
+	}
+}
+
+func TestTruthTablePanicsOnLargeN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("TruthTable must panic above MaxExhaustiveInputs")
+		}
+	}()
+	NewCover(MaxExhaustiveInputs+1, 1).TruthTable(0)
+}
+
+func TestEquivalentDimensionMismatch(t *testing.T) {
+	if _, err := Equivalent(NewCover(3, 1), NewCover(4, 1), 0, nil); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestEquivalentSampled(t *testing.T) {
+	a := NewCover(25, 1)
+	cube := NewCube(25, 1)
+	cube.Out[0] = true
+	cube.In[0] = LitPos
+	a.Cubes = append(a.Cubes, cube)
+	b := a.Clone()
+	rng := rand.New(rand.NewSource(3))
+	ok, err := Equivalent(a, b, 200, rng)
+	if err != nil || !ok {
+		t.Errorf("identical large covers should sample as equivalent (ok=%v err=%v)", ok, err)
+	}
+	if _, err := Equivalent(a, b, 200, nil); err == nil {
+		t.Error("sampling without rng should error")
+	}
+}
+
+func TestFromTruthTableRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(5)
+		tt := make([]bool, 1<<uint(n))
+		for i := range tt {
+			tt[i] = rng.Intn(2) == 1
+		}
+		c, err := FromTruthTable(n, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := c.TruthTable(0)
+		if !equalBools(tt, got) {
+			t.Fatalf("round trip failed for n=%d", n)
+		}
+	}
+}
+
+func TestFromTruthTableBadLength(t *testing.T) {
+	if _, err := FromTruthTable(3, make([]bool, 7)); err == nil {
+		t.Error("bad table length should error")
+	}
+}
+
+func TestOnSetSize(t *testing.T) {
+	f := fig3Cover()
+	if n := f.OnSetSize(0); n != 256-15 {
+		t.Errorf("OnSetSize = %d, want %d", n, 256-15)
+	}
+}

@@ -1,0 +1,272 @@
+package logic
+
+// This file implements the unate recursive paradigm: tautology checking and
+// complementation of single-output covers, the two primitives the minimizer
+// and the "dual implementation" area optimization of the paper rely on.
+
+// varPolarity summarizes how a variable appears across the cubes of a cover.
+type varPolarity struct {
+	pos int // cubes with the positive literal
+	neg int // cubes with the complemented literal
+}
+
+func polarities(c *Cover) []varPolarity {
+	p := make([]varPolarity, c.NumIn)
+	for _, cube := range c.Cubes {
+		for i, v := range cube.In {
+			switch v {
+			case LitPos:
+				p[i].pos++
+			case LitNeg:
+				p[i].neg++
+			}
+		}
+	}
+	return p
+}
+
+// mostBinateVar picks the splitting variable for the recursive paradigm: the
+// variable appearing in the most cubes, favouring balanced polarity. Returns
+// -1 when no cube mentions any variable (all cubes are the universe).
+func mostBinateVar(c *Cover) int {
+	pol := polarities(c)
+	best, bestScore := -1, -1
+	for i, p := range pol {
+		total := p.pos + p.neg
+		if total == 0 {
+			continue
+		}
+		binate := 0
+		if p.pos > 0 && p.neg > 0 {
+			binate = 1
+		}
+		// Binate variables first, then highest occurrence, then most
+		// balanced split.
+		score := binate*1_000_000 + total*1_000 - abs(p.pos-p.neg)
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// IsTautology reports whether the single-output cover computes constant 1.
+func (c *Cover) IsTautology() bool {
+	return tautologyRec(c)
+}
+
+func tautologyRec(c *Cover) bool {
+	if len(c.Cubes) == 0 {
+		return false
+	}
+	for _, cube := range c.Cubes {
+		if cube.NumLiterals() == 0 {
+			return true // the universe cube is present
+		}
+	}
+	// A cover of cubes each with >=1 literal cannot be a tautology if the
+	// total number of minterms covered is provably < 2^n: quick bound.
+	// Sum of 2^(n - literals) over cubes must reach 2^n.
+	if c.NumIn <= 30 {
+		var sum uint64
+		full := uint64(1) << uint(c.NumIn)
+		for _, cube := range c.Cubes {
+			sum += uint64(1) << uint(c.NumIn-cube.NumLiterals())
+			if sum >= full {
+				break
+			}
+		}
+		if sum < full {
+			return false
+		}
+	}
+	// Unate reduction: if variable i appears only positively, the cover is a
+	// tautology iff the cofactor against x̄i is (monotone containment).
+	pol := polarities(c)
+	for i, p := range pol {
+		if p.pos > 0 && p.neg == 0 {
+			return tautologyRec(c.CofactorVar(i, false))
+		}
+		if p.neg > 0 && p.pos == 0 {
+			return tautologyRec(c.CofactorVar(i, true))
+		}
+	}
+	j := mostBinateVar(c)
+	if j < 0 {
+		return false // no literals anywhere yet no universe cube: empty cubes only
+	}
+	return tautologyRec(c.CofactorVar(j, true)) && tautologyRec(c.CofactorVar(j, false))
+}
+
+// Complement returns a single-output cover computing the complement f̄ of
+// this single-output cover, using the unate recursive paradigm.
+func (c *Cover) Complement() *Cover {
+	if c.NumOut != 1 {
+		panic("logic: Complement requires a single-output cover")
+	}
+	r := complementRec(c)
+	r.SingleOutputContained()
+	return r
+}
+
+func complementRec(c *Cover) *Cover {
+	// Base cases.
+	if len(c.Cubes) == 0 {
+		u := NewCover(c.NumIn, 1)
+		cube := NewCube(c.NumIn, 1)
+		cube.Out[0] = true
+		u.Cubes = append(u.Cubes, cube)
+		return u
+	}
+	for _, cube := range c.Cubes {
+		if cube.NumLiterals() == 0 {
+			return NewCover(c.NumIn, 1) // tautology: complement is empty
+		}
+	}
+	if len(c.Cubes) == 1 {
+		return complementCube(c.Cubes[0], c.NumIn)
+	}
+	j := mostBinateVar(c)
+	if j < 0 {
+		return NewCover(c.NumIn, 1)
+	}
+	pos := complementRec(c.CofactorVar(j, true))
+	neg := complementRec(c.CofactorVar(j, false))
+	r := NewCover(c.NumIn, 1)
+	for _, cube := range pos.Cubes {
+		nc := cube.Clone()
+		if nc.In[j] == LitDC {
+			nc.In[j] = LitPos
+		}
+		r.Cubes = append(r.Cubes, nc)
+	}
+	for _, cube := range neg.Cubes {
+		nc := cube.Clone()
+		if nc.In[j] == LitDC {
+			nc.In[j] = LitNeg
+		}
+		r.Cubes = append(r.Cubes, nc)
+	}
+	mergeOpposingPairs(r, j)
+	return r
+}
+
+// mergeOpposingPairs performs the classical x·A + x̄·A = A cleanup after the
+// Shannon merge step: cubes identical except for opposite literals of the
+// split variable are fused.
+func mergeOpposingPairs(c *Cover, j int) {
+	index := map[string]int{}
+	out := c.Cubes[:0]
+	for _, cube := range c.Cubes {
+		if cube.In[j] == LitDC {
+			out = append(out, cube)
+			continue
+		}
+		key := pairKey(cube.In, j)
+		if k, ok := index[key]; ok && out[k].In[j] != cube.In[j] && out[k].In[j] != LitDC {
+			out[k].In[j] = LitDC
+			continue
+		}
+		index[key] = len(out)
+		out = append(out, cube)
+	}
+	c.Cubes = out
+}
+
+func pairKey(in []LitVal, j int) string {
+	b := make([]byte, len(in))
+	for i, v := range in {
+		if i == j {
+			b[i] = '*'
+		} else {
+			b[i] = byte('0' + v)
+		}
+	}
+	return string(b)
+}
+
+// complementCube applies De Morgan to a single product: the complement of
+// l1·l2·…·lk is l̄1 + l̄2 + … + l̄k.
+func complementCube(cube Cube, nIn int) *Cover {
+	r := NewCover(nIn, 1)
+	for i, v := range cube.In {
+		if v == LitDC {
+			continue
+		}
+		nc := NewCube(nIn, 1)
+		nc.Out[0] = true
+		if v == LitPos {
+			nc.In[i] = LitNeg
+		} else {
+			nc.In[i] = LitPos
+		}
+		r.Cubes = append(r.Cubes, nc)
+	}
+	return r
+}
+
+// ComplementAll complements every output of a multi-output cover and merges
+// the per-output complements back into a single multi-output cover, sharing
+// identical products.
+func (c *Cover) ComplementAll() *Cover {
+	per := make([]*Cover, c.NumOut)
+	for j := 0; j < c.NumOut; j++ {
+		per[j] = c.OutputCover(j).Complement()
+	}
+	m, err := MergeOutputs(per)
+	if err != nil {
+		panic(err) // dimensions are consistent by construction
+	}
+	return m
+}
+
+// CoversCube reports whether the single-output cover covers every minterm of
+// the given product term (cube containment against a cover, decided by a
+// tautology check of the cofactor).
+func (c *Cover) CoversCube(cube Cube) bool {
+	return c.Cofactor(cube).IsTautology()
+}
+
+// Sharp returns the cover computing c AND NOT(cube): the set difference of a
+// single-output cover and one product term, as a disjoint-free cover.
+func (c *Cover) Sharp(cube Cube) *Cover {
+	r := NewCover(c.NumIn, c.NumOut)
+	for _, a := range c.Cubes {
+		if _, ok := a.Intersect(cube); !ok {
+			r.Cubes = append(r.Cubes, a.Clone())
+			continue
+		}
+		// a # cube: for each literal of cube not already fixed oppositely in
+		// a, emit a with that literal flipped.
+		for i, v := range cube.In {
+			if v == LitDC {
+				continue
+			}
+			av := a.In[i]
+			if av == v {
+				continue // cannot flip; this literal already agrees
+			}
+			if av != LitDC {
+				continue // opposite literal: handled by the no-intersection case
+			}
+			nc := a.Clone()
+			if v == LitPos {
+				nc.In[i] = LitNeg
+			} else {
+				nc.In[i] = LitPos
+			}
+			r.Cubes = append(r.Cubes, nc)
+			// Restrict a to the agreeing half so emitted pieces stay disjoint.
+			a = a.Clone()
+			a.In[i] = v
+		}
+	}
+	return r
+}

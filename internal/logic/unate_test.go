@@ -1,0 +1,195 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTautologyBasics(t *testing.T) {
+	empty := NewCover(3, 1)
+	if empty.IsTautology() {
+		t.Error("empty cover is not a tautology")
+	}
+	universe := MustParseCover(3, 1, "---")
+	if !universe.IsTautology() {
+		t.Error("universe cube is a tautology")
+	}
+	split := MustParseCover(1, 1, "0", "1")
+	if !split.IsTautology() {
+		t.Error("x + x̄ is a tautology")
+	}
+	half := MustParseCover(2, 1, "1-")
+	if half.IsTautology() {
+		t.Error("x1 alone is not a tautology")
+	}
+}
+
+func TestTautologyAgainstTruthTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(5)
+		c := randomSingleOutput(rng, n, 1+rng.Intn(8))
+		tt := c.TruthTable(0)
+		all := true
+		for _, b := range tt {
+			if !b {
+				all = false
+				break
+			}
+		}
+		if got := c.IsTautology(); got != all {
+			t.Fatalf("IsTautology = %v, truth table says %v for\n%v", got, all, c)
+		}
+	}
+}
+
+func TestComplementFig3(t *testing.T) {
+	f := fig3Cover()
+	g := f.Complement()
+	// f̄ = x̄1·x̄2·x̄3·x̄4·(x̄5 + x̄6 + x̄7 + x̄8): 4 products of 5 literals.
+	checkComplement(t, f, g)
+	if g.NumProducts() != 4 {
+		t.Errorf("complement products = %d, want 4\n%v", g.NumProducts(), g)
+	}
+}
+
+func TestComplementEdgeCases(t *testing.T) {
+	empty := NewCover(3, 1)
+	g := empty.Complement()
+	if !g.IsTautology() {
+		t.Error("complement of constant 0 must be constant 1")
+	}
+	universe := MustParseCover(3, 1, "---")
+	h := universe.Complement()
+	if !h.IsEmpty() {
+		t.Errorf("complement of constant 1 must be empty, got %v", h)
+	}
+	single := MustParseCover(3, 1, "101")
+	s := single.Complement()
+	checkComplement(t, single, s)
+	if s.NumProducts() != 3 {
+		t.Errorf("De Morgan of a 3-literal product should give 3 cubes, got %d", s.NumProducts())
+	}
+}
+
+func TestComplementRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(6)
+		c := randomSingleOutput(rng, n, 1+rng.Intn(10))
+		checkComplement(t, c, c.Complement())
+	}
+}
+
+func TestDoubleComplementIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(5)
+		c := randomSingleOutput(rng, n, 1+rng.Intn(8))
+		cc := c.Complement().Complement()
+		ok, err := Equivalent(c, cc, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("double complement changed the function:\n%v\nvs\n%v", c, cc)
+		}
+	}
+}
+
+func TestComplementPanicsOnMultiOutput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Complement on a multi-output cover must panic")
+		}
+	}()
+	NewCover(3, 2).Complement()
+}
+
+func TestComplementAll(t *testing.T) {
+	f := MustParseCover(3, 2,
+		"10- 10",
+		"-01 11",
+		"0-0 01",
+	)
+	g := f.ComplementAll()
+	if g.NumOut != 2 {
+		t.Fatalf("ComplementAll outputs = %d, want 2", g.NumOut)
+	}
+	for i := uint64(0); i < 8; i++ {
+		x := AssignmentFromIndex(i, 3)
+		fy, gy := f.Eval(x), g.Eval(x)
+		for j := 0; j < 2; j++ {
+			if fy[j] == gy[j] {
+				t.Fatalf("output %d not complemented at %v", j, x)
+			}
+		}
+	}
+}
+
+func TestCoversCube(t *testing.T) {
+	f := MustParseCover(3, 1, "1--", "01-")
+	in, _ := ParseCube("11-", 3, 1)
+	if !f.CoversCube(in) {
+		t.Error("f covers 11-")
+	}
+	out, _ := ParseCube("00-", 3, 1)
+	if f.CoversCube(out) {
+		t.Error("f does not cover 00-")
+	}
+}
+
+func TestSharp(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(5)
+		c := randomSingleOutput(rng, n, 1+rng.Intn(6))
+		cube := NewCube(n, 1)
+		cube.Out[0] = true
+		for i := range cube.In {
+			cube.In[i] = LitVal(rng.Intn(3))
+		}
+		d := c.Sharp(cube)
+		for i := uint64(0); i < 1<<uint(n); i++ {
+			x := AssignmentFromIndex(i, n)
+			want := c.EvalOutput(0, x) && !cube.EvalInput(x)
+			if got := d.EvalOutput(0, x); got != want {
+				t.Fatalf("sharp mismatch at %v: got %v want %v\ncover:\n%v\ncube: %v",
+					x, got, want, c, cube)
+			}
+		}
+	}
+}
+
+// checkComplement verifies g == NOT f exhaustively.
+func checkComplement(t *testing.T, f, g *Cover) {
+	t.Helper()
+	size := uint64(1) << uint(f.NumIn)
+	for i := uint64(0); i < size; i++ {
+		x := AssignmentFromIndex(i, f.NumIn)
+		if f.EvalOutput(0, x) == g.EvalOutput(0, x) {
+			t.Fatalf("complement not disjoint/covering at %v\nf:\n%v\ng:\n%v", x, f, g)
+		}
+	}
+}
+
+func randomSingleOutput(rng *rand.Rand, nIn, nCubes int) *Cover {
+	c := NewCover(nIn, 1)
+	for k := 0; k < nCubes; k++ {
+		cube := NewCube(nIn, 1)
+		cube.Out[0] = true
+		for i := range cube.In {
+			// Bias toward don't cares to get interesting overlaps.
+			switch rng.Intn(4) {
+			case 0:
+				cube.In[i] = LitNeg
+			case 1:
+				cube.In[i] = LitPos
+			default:
+				cube.In[i] = LitDC
+			}
+		}
+		c.Cubes = append(c.Cubes, cube)
+	}
+	return c
+}

@@ -1,0 +1,159 @@
+package mapping
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/munkres"
+)
+
+// HBAOptions exposes the hybrid algorithm's design choices for ablation:
+// the paper motivates (a) backtracking in the product phase and (b) an
+// exact assignment for the output rows ("more critical since a single
+// defect might discard a whole output"). Disabling either quantifies its
+// contribution; DensityOrder is an extension beyond the paper.
+type HBAOptions struct {
+	// Backtracking enables the single-level relocation step of Algorithm 1.
+	Backtracking bool
+	// ExactOutputs assigns output rows with Munkres; when false, outputs
+	// are placed with the same greedy scan as products.
+	ExactOutputs bool
+	// DensityOrder places the densest product rows (most required-active
+	// devices) first instead of top-to-bottom. Hard rows grab scarce
+	// compatible lines early; an extension beyond the paper.
+	DensityOrder bool
+}
+
+// PaperHBAOptions returns Algorithm 1 as published: backtracking on, exact
+// output assignment on, top-to-bottom order.
+func PaperHBAOptions() HBAOptions {
+	return HBAOptions{Backtracking: true, ExactOutputs: true}
+}
+
+// HBAWith runs the hybrid algorithm under the given option set.
+func HBAWith(p *Problem, opt HBAOptions) Result {
+	var stats Stats
+	if ok, c := p.ColumnFeasible(); !ok {
+		return Result{Reason: fmt.Sprintf("column %d poisoned by a stuck-closed defect", c), Stats: stats}
+	}
+	nCM := p.Defects.Rows
+	products := append([]int(nil), p.Layout.ProductRows()...)
+	outputs := p.Layout.OutputRows()
+	if opt.DensityOrder {
+		density := func(r int) int {
+			n := 0
+			for _, a := range p.Layout.Active[r] {
+				if a {
+					n++
+				}
+			}
+			return n
+		}
+		sort.SliceStable(products, func(a, b int) bool {
+			return density(products[a]) > density(products[b])
+		})
+	}
+
+	occupant := make([]int, nCM)
+	for t := range occupant {
+		occupant[t] = -1
+	}
+	place := make([]int, p.Layout.Rows)
+	for r := range place {
+		place[r] = -1
+	}
+	findUnmatched := func(fmRow, except int) int {
+		for t := 0; t < nCM; t++ {
+			if t == except {
+				continue
+			}
+			if occupant[t] == -1 && p.rowMatches(fmRow, t, &stats) {
+				return t
+			}
+		}
+		return -1
+	}
+	placeRow := func(i int) bool {
+		if t := findUnmatched(i, -1); t >= 0 {
+			occupant[t] = i
+			place[i] = t
+			return true
+		}
+		if !opt.Backtracking {
+			return false
+		}
+		stats.Backtracks++
+		for t := 0; t < nCM; t++ {
+			if occupant[t] == -1 || !p.rowMatches(i, t, &stats) {
+				continue
+			}
+			prev := occupant[t]
+			occupant[t] = -1
+			if u := findUnmatched(prev, t); u >= 0 {
+				occupant[u] = prev
+				place[prev] = u
+				occupant[t] = i
+				place[i] = t
+				return true
+			}
+			occupant[t] = prev
+		}
+		return false
+	}
+
+	for _, i := range products {
+		if !placeRow(i) {
+			return Result{
+				Reason: fmt.Sprintf("product row %d has no compatible crossbar row", i),
+				Stats:  stats,
+			}
+		}
+	}
+	if !opt.ExactOutputs {
+		// First-fit output placement among the free rows, with no
+		// relocation: this isolates exactly the choice the paper motivates
+		// (Munkres on outputs vs continuing the greedy scan). Whenever the
+		// first-fit succeeds, Munkres also succeeds, so the exact variant
+		// dominates this one by construction.
+		for _, i := range outputs {
+			t := findUnmatched(i, -1)
+			if t < 0 {
+				return Result{
+					Reason: fmt.Sprintf("output row %d has no compatible crossbar row", i),
+					Stats:  stats,
+				}
+			}
+			occupant[t] = i
+			place[i] = t
+		}
+		return Result{Valid: true, Assignment: place, Stats: stats}
+	}
+
+	var free []int
+	for t := 0; t < nCM; t++ {
+		if occupant[t] == -1 {
+			free = append(free, t)
+		}
+	}
+	if len(free) < len(outputs) {
+		return Result{Reason: "not enough free rows for outputs", Stats: stats}
+	}
+	forbidden := make([][]bool, len(outputs))
+	for k, i := range outputs {
+		forbidden[k] = make([]bool, len(free))
+		for u, t := range free {
+			forbidden[k][u] = !p.rowMatches(i, t, &stats)
+		}
+	}
+	assign, ok, err := munkres.SolveBinary(forbidden)
+	if err != nil {
+		return Result{Reason: err.Error(), Stats: stats}
+	}
+	if !ok {
+		return Result{Reason: "outputs cannot be assigned defect-free", Stats: stats}
+	}
+	for k, i := range outputs {
+		place[i] = free[assign[k]]
+	}
+	return Result{Valid: true, Assignment: place, Stats: stats}
+}

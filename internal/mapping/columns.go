@@ -1,0 +1,289 @@
+package mapping
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/defect"
+	"repro/internal/xbar"
+)
+
+// Column-aware mapping: the extension that makes stuck-at-closed defects
+// tolerable. Section IV-A of the paper shows a closed device poisons its
+// whole vertical line, so on an optimum-size crossbar with fixed wiring no
+// row permutation can save a used column. But the fabric's columns are
+// interchangeable within their roles — any physical (x, x̄) column pair can
+// carry any logical input, wire columns can carry any connection, output
+// pairs any output — so with redundant column pairs the mapper can route
+// logic away from poisoned lines. This file implements that joint
+// column-assignment + row-assignment search.
+
+// FabricSpec describes the physical column resources of a crossbar. The
+// physical column order is [x_0..x_{P-1}, x̄_0..x̄_{P-1}, wires,
+// f̄-pairs..., f-pairs...], mirroring the layout convention.
+type FabricSpec struct {
+	InputPairs  int // physical (x, x̄) column pairs
+	Wires       int // physical multi-level connection columns
+	OutputPairs int // physical (f̄, f) column pairs
+}
+
+// Cols is the total physical column count.
+func (s FabricSpec) Cols() int { return 2*s.InputPairs + s.Wires + 2*s.OutputPairs }
+
+// SpecFor returns the minimum fabric spec for a layout (no spare columns).
+func SpecFor(l *xbar.Layout) FabricSpec {
+	wires := 0
+	for _, k := range l.ColKinds {
+		if k == xbar.ColWire {
+			wires++
+		}
+	}
+	return FabricSpec{InputPairs: l.NumIn, Wires: wires, OutputPairs: l.NumOut}
+}
+
+// ColumnAssignment maps the layout's logical column resources onto physical
+// ones: logical input i uses physical pair InputPair[i], and so on. All
+// three maps are injective.
+type ColumnAssignment struct {
+	InputPair  []int
+	Wire       []int
+	OutputPair []int
+}
+
+// ColumnOptions tunes the column-aware search.
+type ColumnOptions struct {
+	// Retries bounds the random-restart swaps after the greedy assignment
+	// fails. Zero means 20.
+	Retries int
+	// Seed drives the retry randomization.
+	Seed int64
+	// RowAlgorithm runs the row-mapping phase; nil means HBA.
+	RowAlgorithm func(*Problem) Result
+}
+
+// ColumnResult is the outcome of a column-aware mapping attempt.
+type ColumnResult struct {
+	Valid   bool
+	Columns ColumnAssignment
+	Rows    Result
+	Reason  string
+	// Attempts counts column assignments tried.
+	Attempts int
+	// Projected is the defect map restricted to the chosen physical
+	// columns in layout order; simulate the mapped design against it.
+	Projected *defect.Map
+}
+
+// ColumnAware searches for a joint column and row assignment of the layout
+// onto a physical fabric with the given defect map. The fabric may have
+// spare rows (dm.Rows > layout rows) and spare column pairs (spec larger
+// than SpecFor(layout)); spares are what make stuck-closed defects
+// survivable.
+func ColumnAware(l *xbar.Layout, dm *defect.Map, spec FabricSpec, opt ColumnOptions) (ColumnResult, error) {
+	need := SpecFor(l)
+	if spec.InputPairs < need.InputPairs || spec.Wires < need.Wires || spec.OutputPairs < need.OutputPairs {
+		return ColumnResult{}, fmt.Errorf("mapping: fabric %+v too small for layout needing %+v", spec, need)
+	}
+	if dm.Cols != spec.Cols() {
+		return ColumnResult{}, fmt.Errorf("mapping: defect map has %d columns, fabric spec needs %d", dm.Cols, spec.Cols())
+	}
+	if dm.Rows < l.Rows {
+		return ColumnResult{}, fmt.Errorf("mapping: defect map has %d rows, layout needs %d", dm.Rows, l.Rows)
+	}
+	if opt.Retries == 0 {
+		opt.Retries = 20
+	}
+	rowAlgo := opt.RowAlgorithm
+	if rowAlgo == nil {
+		rowAlgo = HBA
+	}
+
+	usage := columnUsage(l)
+	assign := greedyColumns(l, dm, spec, usage)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	res := ColumnResult{}
+	for attempt := 0; attempt <= opt.Retries; attempt++ {
+		res.Attempts++
+		projected := ProjectDefects(dm, spec, l, assign)
+		p, err := NewProblem(l, projected)
+		if err != nil {
+			return ColumnResult{}, err
+		}
+		if ok, _ := p.ColumnFeasible(); ok {
+			rows := rowAlgo(p)
+			if rows.Valid {
+				return ColumnResult{
+					Valid:     true,
+					Columns:   assign,
+					Rows:      rows,
+					Attempts:  res.Attempts,
+					Projected: projected,
+				}, nil
+			}
+			res.Reason = rows.Reason
+		} else {
+			res.Reason = "poisoned column in the chosen set"
+		}
+		// Perturb: swap a used input pair with another (possibly spare)
+		// pair; occasionally reshuffle an output pair too.
+		assign = perturb(assign, spec, rng)
+	}
+	res.Valid = false
+	return res, nil
+}
+
+// columnUsage counts active devices per logical column (demand weight).
+func columnUsage(l *xbar.Layout) []int {
+	usage := make([]int, l.Cols)
+	for _, row := range l.Active {
+		for c, a := range row {
+			if a {
+				usage[c]++
+			}
+		}
+	}
+	return usage
+}
+
+// greedyColumns assigns the heaviest-demand logical resources to the
+// cleanest physical ones: pairs containing a stuck-closed device rank last
+// (effectively unusable), then by open-defect count.
+func greedyColumns(l *xbar.Layout, dm *defect.Map, spec FabricSpec, usage []int) ColumnAssignment {
+	penalty := func(cols ...int) int {
+		p := 0
+		for _, c := range cols {
+			if dm.ColHasClosed(c) {
+				p += 1_000_000
+			}
+			for r := 0; r < dm.Rows; r++ {
+				if dm.At(r, c) == defect.StuckOpen {
+					p++
+				}
+			}
+		}
+		return p
+	}
+	physPairCols := func(p int) (int, int) { return p, spec.InputPairs + p }
+	physWireCol := func(w int) int { return 2*spec.InputPairs + w }
+	physOutCols := func(o int) (int, int) {
+		base := 2*spec.InputPairs + spec.Wires
+		return base + o, base + spec.OutputPairs + o
+	}
+
+	rankPhys := func(n int, pen func(i int) int) []int {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return pen(order[a]) < pen(order[b]) })
+		return order
+	}
+	rankLogical := func(n int, demand func(i int) int) []int {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return demand(order[a]) > demand(order[b]) })
+		return order
+	}
+
+	nW := 0
+	for _, k := range l.ColKinds {
+		if k == xbar.ColWire {
+			nW++
+		}
+	}
+	a := ColumnAssignment{
+		InputPair:  make([]int, l.NumIn),
+		Wire:       make([]int, nW),
+		OutputPair: make([]int, l.NumOut),
+	}
+	physIn := rankPhys(spec.InputPairs, func(p int) int { x, nx := physPairCols(p); return penalty(x, nx) })
+	logIn := rankLogical(l.NumIn, func(i int) int { return usage[i] + usage[l.NumIn+i] })
+	for k, li := range logIn {
+		a.InputPair[li] = physIn[k]
+	}
+	physW := rankPhys(spec.Wires, func(w int) int { return penalty(physWireCol(w)) })
+	logW := rankLogical(nW, func(w int) int { return usage[2*l.NumIn+w] })
+	for k, lw := range logW {
+		a.Wire[lw] = physW[k]
+	}
+	physO := rankPhys(spec.OutputPairs, func(o int) int { fb, f := physOutCols(o); return penalty(fb, f) })
+	logO := rankLogical(l.NumOut, func(j int) int {
+		base := 2*l.NumIn + nW
+		return usage[base+j] + usage[base+l.NumOut+j]
+	})
+	for k, lj := range logO {
+		a.OutputPair[lj] = physO[k]
+	}
+	return a
+}
+
+// perturb swaps one assignment entry with a random alternative (used or
+// spare), returning a fresh assignment.
+func perturb(a ColumnAssignment, spec FabricSpec, rng *rand.Rand) ColumnAssignment {
+	b := ColumnAssignment{
+		InputPair:  append([]int(nil), a.InputPair...),
+		Wire:       append([]int(nil), a.Wire...),
+		OutputPair: append([]int(nil), a.OutputPair...),
+	}
+	swapInto := func(slice []int, limit int) {
+		if len(slice) == 0 || limit == 0 {
+			return
+		}
+		i := rng.Intn(len(slice))
+		target := rng.Intn(limit)
+		for k, v := range slice {
+			if v == target {
+				slice[i], slice[k] = slice[k], slice[i]
+				return
+			}
+		}
+		slice[i] = target
+	}
+	switch rng.Intn(3) {
+	case 0:
+		swapInto(b.InputPair, spec.InputPairs)
+	case 1:
+		if len(b.Wire) > 0 && spec.Wires > 0 {
+			swapInto(b.Wire, spec.Wires)
+		} else {
+			swapInto(b.InputPair, spec.InputPairs)
+		}
+	default:
+		swapInto(b.OutputPair, spec.OutputPairs)
+	}
+	return b
+}
+
+// ProjectDefects extracts the physical columns chosen by the assignment, in
+// layout column order, producing the defect map the row mapper (and the
+// simulator) sees.
+func ProjectDefects(dm *defect.Map, spec FabricSpec, l *xbar.Layout, a ColumnAssignment) *defect.Map {
+	nW := len(a.Wire)
+	cols := make([]int, 0, l.Cols)
+	for i := 0; i < l.NumIn; i++ {
+		cols = append(cols, a.InputPair[i])
+	}
+	for i := 0; i < l.NumIn; i++ {
+		cols = append(cols, spec.InputPairs+a.InputPair[i])
+	}
+	for w := 0; w < nW; w++ {
+		cols = append(cols, 2*spec.InputPairs+a.Wire[w])
+	}
+	base := 2*spec.InputPairs + spec.Wires
+	for j := 0; j < l.NumOut; j++ {
+		cols = append(cols, base+a.OutputPair[j])
+	}
+	for j := 0; j < l.NumOut; j++ {
+		cols = append(cols, base+spec.OutputPairs+a.OutputPair[j])
+	}
+	out := defect.NewMap(dm.Rows, len(cols))
+	for r := 0; r < dm.Rows; r++ {
+		for k, c := range cols {
+			out.Set(r, k, dm.At(r, c))
+		}
+	}
+	return out
+}

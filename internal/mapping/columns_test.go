@@ -1,0 +1,232 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/defect"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+	"repro/internal/xbar"
+)
+
+func synthNetHelper(cov *logic.Cover) (*netlist.Network, error) {
+	return synth.SynthesizeMultiLevel(cov, synth.MultiLevelOptions{})
+}
+
+func TestSpecFor(t *testing.T) {
+	l, _ := xbar.NewTwoLevel(fig8Cover())
+	spec := SpecFor(l)
+	if spec.InputPairs != 3 || spec.Wires != 0 || spec.OutputPairs != 2 {
+		t.Errorf("spec = %+v", spec)
+	}
+	if spec.Cols() != 10 {
+		t.Errorf("cols = %d, want 10", spec.Cols())
+	}
+}
+
+func TestColumnAwareIdentityOnCleanFabric(t *testing.T) {
+	l, _ := xbar.NewTwoLevel(fig8Cover())
+	spec := SpecFor(l)
+	dm := defect.NewMap(l.Rows, spec.Cols())
+	res, err := ColumnAware(l, dm, spec, ColumnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid {
+		t.Fatalf("clean fabric must map: %s", res.Reason)
+	}
+	if err := validateAssignment(res.Columns, spec, l); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColumnAwareValidation(t *testing.T) {
+	l, _ := xbar.NewTwoLevel(fig8Cover())
+	small := FabricSpec{InputPairs: 2, Wires: 0, OutputPairs: 2}
+	if _, err := ColumnAware(l, defect.NewMap(6, small.Cols()), small, ColumnOptions{}); err == nil {
+		t.Error("too-small fabric must fail")
+	}
+	spec := SpecFor(l)
+	if _, err := ColumnAware(l, defect.NewMap(6, spec.Cols()+1), spec, ColumnOptions{}); err == nil {
+		t.Error("column mismatch must fail")
+	}
+	if _, err := ColumnAware(l, defect.NewMap(l.Rows-1, spec.Cols()), spec, ColumnOptions{}); err == nil {
+		t.Error("too few rows must fail")
+	}
+}
+
+// TestStuckClosedToleratedWithSpareColumns is the headline of this
+// extension: a stuck-closed defect on a used input column defeats every
+// fixed-wiring algorithm, but one spare input pair plus column permutation
+// recovers the mapping — and the mapped defective fabric still computes
+// the function.
+func TestStuckClosedToleratedWithSpareColumns(t *testing.T) {
+	f := fig8Cover()
+	l, _ := xbar.NewTwoLevel(f)
+
+	// Closed defect on physical column 0 (= x1, used by product m1).
+	spec := SpecFor(l)
+	dm := defect.NewMap(l.Rows, spec.Cols())
+	dm.Set(3, 0, defect.StuckClosed)
+	p, _ := NewProblem(l, dm)
+	if Exact(p).Valid {
+		t.Fatal("fixed wiring must fail on a used poisoned column")
+	}
+	resNoSpare, err := ColumnAware(l, dm, spec, ColumnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resNoSpare.Valid {
+		t.Fatal("without spare pairs every input pair is used; permutation alone cannot help")
+	}
+
+	// One spare input pair: fabric has 4 pairs, the design needs 3.
+	spare := FabricSpec{InputPairs: 4, Wires: 0, OutputPairs: 2}
+	dmSpare := defect.NewMap(l.Rows, spare.Cols())
+	dmSpare.Set(3, 0, defect.StuckClosed) // poison physical pair 0's x column
+	res, err := ColumnAware(l, dmSpare, spare, ColumnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid {
+		t.Fatalf("one spare pair must rescue the mapping: %s", res.Reason)
+	}
+	for _, pair := range res.Columns.InputPair {
+		if pair == 0 {
+			t.Error("the poisoned pair 0 must not be chosen")
+		}
+	}
+	// End-to-end: simulate against the projected defect map.
+	bad, err := l.Verify(func(x []bool) []bool { return f.Eval(x) },
+		res.Projected, res.Rows.Assignment, xbar.AllAssignments(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != nil {
+		t.Errorf("column-remapped fabric mis-computes at %v", bad)
+	}
+}
+
+func TestColumnAwareImprovesOpenToleranceWithSpares(t *testing.T) {
+	// With spare pairs, column permutation must help at least as often as
+	// fixed wiring on random defect maps.
+	f := fig8Cover()
+	l, _ := xbar.NewTwoLevel(f)
+	spec := SpecFor(l)
+	spare := FabricSpec{InputPairs: spec.InputPairs + 2, Wires: 0, OutputPairs: spec.OutputPairs + 1}
+	rng := rand.New(rand.NewSource(331))
+	fixedOK, colOK := 0, 0
+	for trial := 0; trial < 120; trial++ {
+		dmFull, err := defect.Generate(l.Rows+1, spare.Cols(), defect.Params{POpen: 0.2, PClosed: 0.02}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fixed wiring sees the first columns of each block.
+		fixed := ProjectDefects(dmFull, spare, l, ColumnAssignment{
+			InputPair:  []int{0, 1, 2},
+			Wire:       nil,
+			OutputPair: []int{0, 1},
+		})
+		p, err := NewProblem(l, fixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if HBA(p).Valid {
+			fixedOK++
+		}
+		res, err := ColumnAware(l, dmFull, spare, ColumnOptions{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Valid {
+			colOK++
+			// Every claimed success must validate structurally.
+			pp, err := NewProblem(l, res.Projected)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := pp.Validate(res.Rows.Assignment); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if colOK < fixedOK {
+		t.Errorf("column permutation hurt: %d vs %d", colOK, fixedOK)
+	}
+	if colOK == 0 {
+		t.Error("column-aware mapping never succeeded; corpus degenerate")
+	}
+	t.Logf("fixed=%d column-aware=%d of 120", fixedOK, colOK)
+}
+
+func TestColumnAwareMultiLevelLayout(t *testing.T) {
+	cov := logic.MustParseCover(4, 1, "11--", "--11", "1--1")
+	nw, err := synthNetHelper(cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := xbar.NewMultiLevel(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := SpecFor(l)
+	spare := FabricSpec{InputPairs: spec.InputPairs + 1, Wires: spec.Wires + 1, OutputPairs: spec.OutputPairs}
+	rng := rand.New(rand.NewSource(337))
+	found := false
+	for trial := 0; trial < 40 && !found; trial++ {
+		dm, err := defect.Generate(l.Rows+1, spare.Cols(), defect.Params{POpen: 0.08, PClosed: 0.01}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ColumnAware(l, dm, spare, ColumnOptions{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Valid {
+			continue
+		}
+		found = true
+		bad, err := l.Verify(func(x []bool) []bool { return cov.Eval(x) },
+			res.Projected, res.Rows.Assignment, xbar.AllAssignments(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad != nil {
+			t.Errorf("multi-level column-aware mapping mis-computes at %v", bad)
+		}
+	}
+	if !found {
+		t.Error("column-aware never mapped the multi-level layout")
+	}
+}
+
+func validateAssignment(a ColumnAssignment, spec FabricSpec, l *xbar.Layout) error {
+	checkInjective := func(xs []int, limit int, what string) error {
+		seen := map[int]bool{}
+		for _, v := range xs {
+			if v < 0 || v >= limit || seen[v] {
+				return errInvalid(what, xs)
+			}
+			seen[v] = true
+		}
+		return nil
+	}
+	if err := checkInjective(a.InputPair, spec.InputPairs, "input pairs"); err != nil {
+		return err
+	}
+	if err := checkInjective(a.Wire, spec.Wires, "wires"); err != nil {
+		return err
+	}
+	return checkInjective(a.OutputPair, spec.OutputPairs, "output pairs")
+}
+
+type assignErr struct {
+	what string
+	xs   []int
+}
+
+func (e assignErr) Error() string { return e.what + " assignment invalid" }
+
+func errInvalid(what string, xs []int) error { return assignErr{what, xs} }

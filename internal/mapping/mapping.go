@@ -1,0 +1,311 @@
+// Package mapping implements the defect-tolerant logic mapping algorithms of
+// the paper's Section IV-B: the naive (defect-blind) mapper of Fig. 7(a),
+// the exact algorithm (EA) that solves the full row-assignment problem with
+// Munkres' method, and the hybrid algorithm (HBA, Algorithm 1) that places
+// product rows with a greedy backtracking heuristic and reserves the exact
+// assignment for the critical output rows.
+//
+// Rows of the function matrix (FM) are matched to rows of the crossbar
+// matrix (CM): an FM row fits a CM row when every required-active device
+// (FM = 1) falls on a functional switch (CM = 1); stuck-open switches
+// (CM = 0) can only host disabled devices (FM = 0). Columns are fixed by
+// the fabric wiring, so only rows are permuted.
+package mapping
+
+import (
+	"fmt"
+
+	"repro/internal/defect"
+	"repro/internal/munkres"
+	"repro/internal/xbar"
+)
+
+// Stats counts the work a mapping attempt performed.
+type Stats struct {
+	// MatchChecks is the number of row-compatibility tests.
+	MatchChecks int
+	// Backtracks counts heuristic backtracking events (HBA only).
+	Backtracks int
+}
+
+// Result is the outcome of a mapping attempt.
+type Result struct {
+	// Valid reports whether a complete, defect-avoiding row assignment was
+	// found.
+	Valid bool
+	// Assignment maps each layout (FM) row to a physical (CM) row; nil when
+	// Valid is false.
+	Assignment []int
+	// Reason explains a failure for diagnostics.
+	Reason string
+	Stats  Stats
+}
+
+// Problem pairs a layout with the defect map of the target crossbar. The
+// defect map may have more rows than the layout (redundant spare lines, the
+// paper's Section VI future-work direction); it must have exactly the
+// layout's column count.
+type Problem struct {
+	Layout  *xbar.Layout
+	Defects *defect.Map
+}
+
+// NewProblem validates dimensions and pre-computes row usability.
+func NewProblem(l *xbar.Layout, dm *defect.Map) (*Problem, error) {
+	if dm.Cols != l.Cols {
+		return nil, fmt.Errorf("mapping: defect map has %d columns, layout needs %d", dm.Cols, l.Cols)
+	}
+	if dm.Rows < l.Rows {
+		return nil, fmt.Errorf("mapping: defect map has %d rows, layout needs %d", dm.Rows, l.Rows)
+	}
+	return &Problem{Layout: l, Defects: dm}, nil
+}
+
+// ColumnFeasible reports whether every column the layout actually uses is
+// free of stuck-at-closed defects. A closed device poisons its entire
+// vertical line, and columns cannot be re-routed, so a used poisoned column
+// makes every mapping invalid regardless of row assignment (Section IV-A).
+func (p *Problem) ColumnFeasible() (bool, int) {
+	used := make([]bool, p.Layout.Cols)
+	for _, row := range p.Layout.Active {
+		for c, a := range row {
+			if a {
+				used[c] = true
+			}
+		}
+	}
+	for c, u := range used {
+		if u && p.Defects.ColHasClosed(c) {
+			return false, c
+		}
+	}
+	return true, -1
+}
+
+// rowMatches tests the paper's row-matching rule, counting the check.
+func (p *Problem) rowMatches(fmRow int, cmRow int, stats *Stats) bool {
+	stats.MatchChecks++
+	if p.Defects.RowHasClosed(cmRow) {
+		return false // forced-1 line cannot host any logic row
+	}
+	active := p.Layout.Active[fmRow]
+	for c, a := range active {
+		if a && !p.Defects.Functional(cmRow, c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Naive places rows in identity order, ignoring defects, then validates.
+// This is the defect-blind flow of Fig. 7(a); it exists as the baseline the
+// defect-aware algorithms are compared against.
+func Naive(p *Problem) Result {
+	var stats Stats
+	assignment := make([]int, p.Layout.Rows)
+	for r := range assignment {
+		assignment[r] = r
+	}
+	if ok, c := p.ColumnFeasible(); !ok {
+		return Result{Reason: fmt.Sprintf("column %d poisoned by a stuck-closed defect", c), Stats: stats}
+	}
+	for r := range assignment {
+		if !p.rowMatches(r, r, &stats) {
+			return Result{Reason: fmt.Sprintf("row %d collides with a defect", r), Stats: stats}
+		}
+	}
+	return Result{Valid: true, Assignment: assignment, Stats: stats}
+}
+
+// Exact is the paper's EA: it builds the full matching matrix between every
+// FM row and every usable CM row and runs Munkres' assignment; a zero-cost
+// complete assignment is a valid mapping. EA is exact: if any valid row
+// assignment exists, it finds one.
+func Exact(p *Problem) Result {
+	var stats Stats
+	if ok, c := p.ColumnFeasible(); !ok {
+		return Result{Reason: fmt.Sprintf("column %d poisoned by a stuck-closed defect", c), Stats: stats}
+	}
+	nFM, nCM := p.Layout.Rows, p.Defects.Rows
+	forbidden := make([][]bool, nFM)
+	for i := 0; i < nFM; i++ {
+		forbidden[i] = make([]bool, nCM)
+		for t := 0; t < nCM; t++ {
+			forbidden[i][t] = !p.rowMatches(i, t, &stats)
+		}
+	}
+	assign, ok, err := munkres.SolveBinary(forbidden)
+	if err != nil {
+		return Result{Reason: err.Error(), Stats: stats}
+	}
+	if !ok {
+		return Result{Reason: "no zero-cost assignment exists", Stats: stats}
+	}
+	return Result{Valid: true, Assignment: assign, Stats: stats}
+}
+
+// HBA is the paper's hybrid algorithm (Algorithm 1): a greedy top-to-bottom
+// heuristic with single-level backtracking places the product (minterm)
+// rows, then Munkres' algorithm assigns the output rows — the critical
+// resource, since a single defect can discard a whole output — onto the
+// remaining crossbar rows.
+func HBA(p *Problem) Result {
+	var stats Stats
+	if ok, c := p.ColumnFeasible(); !ok {
+		return Result{Reason: fmt.Sprintf("column %d poisoned by a stuck-closed defect", c), Stats: stats}
+	}
+	nCM := p.Defects.Rows
+	products := p.Layout.ProductRows()
+	outputs := p.Layout.OutputRows()
+
+	// occupant[t] = FM product row currently on CM row t, or -1.
+	occupant := make([]int, nCM)
+	for t := range occupant {
+		occupant[t] = -1
+	}
+	place := make([]int, p.Layout.Rows)
+	for r := range place {
+		place[r] = -1
+	}
+
+	// findUnmatched scans unmatched CM rows top to bottom; except excludes a
+	// row temporarily lifted during backtracking (-1 excludes nothing).
+	findUnmatched := func(fmRow, except int) int {
+		for t := 0; t < nCM; t++ {
+			if t == except {
+				continue
+			}
+			if occupant[t] == -1 && p.rowMatches(fmRow, t, &stats) {
+				return t
+			}
+		}
+		return -1
+	}
+
+	for _, i := range products {
+		if t := findUnmatched(i, -1); t >= 0 {
+			occupant[t] = i
+			place[i] = t
+			continue
+		}
+		// Backtracking: scan matched CM rows top to bottom; if row i fits a
+		// matched row t, try to relocate t's occupant to an unmatched row.
+		stats.Backtracks++
+		placed := false
+		for t := 0; t < nCM && !placed; t++ {
+			if occupant[t] == -1 || !p.rowMatches(i, t, &stats) {
+				continue
+			}
+			prev := occupant[t]
+			occupant[t] = -1 // lift the occupant while searching
+			if u := findUnmatched(prev, t); u >= 0 {
+				occupant[u] = prev
+				place[prev] = u
+				occupant[t] = i
+				place[i] = t
+				placed = true
+			} else {
+				occupant[t] = prev
+			}
+		}
+		if !placed {
+			return Result{
+				Reason: fmt.Sprintf("product row %d has no compatible crossbar row", i),
+				Stats:  stats,
+			}
+		}
+	}
+
+	// Exact assignment of the output rows onto the unmatched CM rows.
+	var free []int
+	for t := 0; t < nCM; t++ {
+		if occupant[t] == -1 {
+			free = append(free, t)
+		}
+	}
+	if len(free) < len(outputs) {
+		return Result{Reason: "not enough free rows for outputs", Stats: stats}
+	}
+	forbidden := make([][]bool, len(outputs))
+	for k, i := range outputs {
+		forbidden[k] = make([]bool, len(free))
+		for u, t := range free {
+			forbidden[k][u] = !p.rowMatches(i, t, &stats)
+		}
+	}
+	assign, ok, err := munkres.SolveBinary(forbidden)
+	if err != nil {
+		return Result{Reason: err.Error(), Stats: stats}
+	}
+	if !ok {
+		return Result{Reason: "outputs cannot be assigned defect-free", Stats: stats}
+	}
+	for k, i := range outputs {
+		place[i] = free[assign[k]]
+	}
+	return Result{Valid: true, Assignment: place, Stats: stats}
+}
+
+// Validate re-checks a claimed assignment against the matching rule,
+// independent of how it was produced.
+func (p *Problem) Validate(assignment []int) error {
+	if len(assignment) != p.Layout.Rows {
+		return fmt.Errorf("mapping: assignment covers %d rows, layout has %d", len(assignment), p.Layout.Rows)
+	}
+	if ok, c := p.ColumnFeasible(); !ok {
+		return fmt.Errorf("mapping: used column %d is poisoned", c)
+	}
+	seen := make(map[int]bool, len(assignment))
+	var stats Stats
+	for r, t := range assignment {
+		if t < 0 || t >= p.Defects.Rows {
+			return fmt.Errorf("mapping: row %d assigned outside the crossbar (%d)", r, t)
+		}
+		if seen[t] {
+			return fmt.Errorf("mapping: physical row %d used twice", t)
+		}
+		seen[t] = true
+		if !p.rowMatches(r, t, &stats) {
+			return fmt.Errorf("mapping: row %d collides with defects on physical row %d", r, t)
+		}
+	}
+	return nil
+}
+
+// BruteForce searches all row permutations for a valid mapping. It is the
+// test oracle for EA's exactness claim and is exponential; callers must keep
+// the instance small.
+func BruteForce(p *Problem, limitRows int) Result {
+	var stats Stats
+	if p.Layout.Rows > limitRows {
+		return Result{Reason: fmt.Sprintf("instance too large for brute force (%d rows)", p.Layout.Rows)}
+	}
+	if ok, c := p.ColumnFeasible(); !ok {
+		return Result{Reason: fmt.Sprintf("column %d poisoned", c), Stats: stats}
+	}
+	nCM := p.Defects.Rows
+	used := make([]bool, nCM)
+	assignment := make([]int, p.Layout.Rows)
+	var rec func(r int) bool
+	rec = func(r int) bool {
+		if r == p.Layout.Rows {
+			return true
+		}
+		for t := 0; t < nCM; t++ {
+			if used[t] || !p.rowMatches(r, t, &stats) {
+				continue
+			}
+			used[t] = true
+			assignment[r] = t
+			if rec(r + 1) {
+				return true
+			}
+			used[t] = false
+		}
+		return false
+	}
+	if rec(0) {
+		return Result{Valid: true, Assignment: assignment, Stats: stats}
+	}
+	return Result{Reason: "exhaustive search found no valid mapping", Stats: stats}
+}

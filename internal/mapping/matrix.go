@@ -1,0 +1,48 @@
+package mapping
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MatchingMatrix builds the matrix of Fig. 8(c): entry [t][i] is 0 when FM
+// row i can be hosted by CM row t and 1 otherwise, mirroring the cost-matrix
+// convention of assignment problems (0 = zero-cost pairing).
+func (p *Problem) MatchingMatrix() [][]int {
+	var stats Stats
+	m := make([][]int, p.Defects.Rows)
+	for t := range m {
+		m[t] = make([]int, p.Layout.Rows)
+		for i := range m[t] {
+			if !p.rowMatches(i, t, &stats) {
+				m[t][i] = 1
+			}
+		}
+	}
+	return m
+}
+
+// RenderMatchingMatrix renders the matrix with the paper's row/column
+// labels (H1.., m1.., O1..) for examples and documentation.
+func (p *Problem) RenderMatchingMatrix() string {
+	m := p.MatchingMatrix()
+	nP := len(p.Layout.ProductRows())
+	var b strings.Builder
+	b.WriteString("      ")
+	for i := 0; i < p.Layout.Rows; i++ {
+		if i < nP {
+			fmt.Fprintf(&b, "m%-3d", i+1)
+		} else {
+			fmt.Fprintf(&b, "O%-3d", i-nP+1)
+		}
+	}
+	b.WriteByte('\n')
+	for t, row := range m {
+		fmt.Fprintf(&b, "H%-4d ", t+1)
+		for _, v := range row {
+			fmt.Fprintf(&b, "%-4d", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,252 @@
+// Package minimize implements a heuristic two-level logic minimizer in the
+// espresso tradition (EXPAND / IRREDUNDANT / REDUCE iteration). The paper
+// relies on minimized sum-of-products covers both for the two-level crossbar
+// mapping and for the "dual implementation" optimization, where the smaller
+// of f and f̄ is implemented.
+package minimize
+
+import (
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// Options tunes the minimization loop.
+type Options struct {
+	// MaxIterations bounds the expand/irredundant/reduce loop. Zero means
+	// the default of 4.
+	MaxIterations int
+	// SkipReduce disables the REDUCE phase (single-pass expand+irredundant),
+	// trading quality for speed on very large covers.
+	SkipReduce bool
+	// MaxSharpCubes bounds the intermediate cover size used when reducing a
+	// cube; above it, the reduce step for that cube is skipped. Zero means
+	// the default of 4096.
+	MaxSharpCubes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 4
+	}
+	if o.MaxSharpCubes == 0 {
+		o.MaxSharpCubes = 4096
+	}
+	return o
+}
+
+// Minimize heuristically minimizes a multi-output cover output-by-output and
+// re-merges the results, sharing identical product terms across outputs.
+// The returned cover computes the same function.
+func Minimize(c *logic.Cover, opt Options) *logic.Cover {
+	if c.NumOut == 1 {
+		return MinimizeSingle(c, opt)
+	}
+	per := make([]*logic.Cover, c.NumOut)
+	for j := 0; j < c.NumOut; j++ {
+		per[j] = MinimizeSingle(c.OutputCover(j), opt)
+	}
+	m, err := logic.MergeOutputs(per)
+	if err != nil {
+		panic(err) // dimensions are consistent by construction
+	}
+	return m
+}
+
+// MinimizeSingle minimizes a single-output cover.
+func MinimizeSingle(f *logic.Cover, opt Options) *logic.Cover {
+	opt = opt.withDefaults()
+	if f.NumOut != 1 {
+		panic("minimize: MinimizeSingle requires a single-output cover")
+	}
+	cur := f.Clone()
+	cur.RemoveDuplicates()
+	cur.SingleOutputContained()
+	if cur.IsEmpty() {
+		return cur
+	}
+	off := cur.Complement() // OFF-set; the covers in this repo are completely specified
+	if off.IsEmpty() {
+		// Tautology: the universe cube is the minimum cover.
+		u := logic.NewCover(f.NumIn, 1)
+		cube := logic.NewCube(f.NumIn, 1)
+		cube.Out[0] = true
+		u.Cubes = append(u.Cubes, cube)
+		return u
+	}
+
+	bestCost := coverCost(cur)
+	best := cur.Clone()
+	for iter := 0; iter < opt.MaxIterations; iter++ {
+		expand(cur, off)
+		irredundant(cur)
+		cost := coverCost(cur)
+		if cost < bestCost {
+			bestCost = cost
+			best = cur.Clone()
+		}
+		if opt.SkipReduce {
+			break
+		}
+		reduced := reduce(cur, opt)
+		if !reduced {
+			break
+		}
+	}
+	return best
+}
+
+// coverCost is the primary/secondary objective: product count then literals.
+func coverCost(c *logic.Cover) int {
+	return c.NumProducts()*10_000 + c.TotalLiterals()
+}
+
+// expand grows every cube maximally against the OFF-set, then deletes cubes
+// contained in other cubes. Cubes are processed largest-first so big primes
+// swallow small ones.
+func expand(c *logic.Cover, off *logic.Cover) {
+	sort.SliceStable(c.Cubes, func(i, k int) bool {
+		return c.Cubes[i].NumLiterals() < c.Cubes[k].NumLiterals()
+	})
+	for idx := range c.Cubes {
+		c.Cubes[idx] = expandCube(c.Cubes[idx], off)
+	}
+	c.RemoveDuplicates()
+	c.SingleOutputContained()
+}
+
+// expandCube raises literals of the cube to don't-care while the cube stays
+// disjoint from the OFF-set; the result is a prime implicant. Literals whose
+// removal frees the most OFF-set distance are tried first (a cheap proxy for
+// the espresso expansion heuristics).
+func expandCube(cube logic.Cube, off *logic.Cover) logic.Cube {
+	order := literalOrder(cube, off)
+	for _, i := range order {
+		if cube.In[i] == logic.LitDC {
+			continue
+		}
+		saved := cube.In[i]
+		cube.In[i] = logic.LitDC
+		if intersectsCover(cube, off) {
+			cube.In[i] = saved
+		}
+	}
+	return cube
+}
+
+// literalOrder ranks fixed literal positions: positions that conflict with
+// the most OFF-set cubes are kept longest (they are doing the most blocking
+// work), so we attempt to raise the least-loaded literals first.
+func literalOrder(cube logic.Cube, off *logic.Cover) []int {
+	type litScore struct{ pos, score int }
+	scores := make([]litScore, 0, len(cube.In))
+	for i, v := range cube.In {
+		if v == logic.LitDC {
+			continue
+		}
+		blocking := 0
+		for _, r := range off.Cubes {
+			w := r.In[i]
+			if w != logic.LitDC && w != v {
+				blocking++
+			}
+		}
+		scores = append(scores, litScore{i, blocking})
+	}
+	sort.SliceStable(scores, func(a, b int) bool { return scores[a].score < scores[b].score })
+	order := make([]int, len(scores))
+	for k, s := range scores {
+		order[k] = s.pos
+	}
+	return order
+}
+
+func intersectsCover(cube logic.Cube, cover *logic.Cover) bool {
+	for _, r := range cover.Cubes {
+		if cube.Distance(r) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// irredundant greedily removes cubes that are covered by the rest of the
+// cover, visiting the largest cubes last so the survivors tend to be primes.
+func irredundant(c *logic.Cover) {
+	// Visit smallest cubes first: they are the most likely to be redundant.
+	order := make([]int, len(c.Cubes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return c.Cubes[order[a]].NumLiterals() > c.Cubes[order[b]].NumLiterals()
+	})
+	removed := make([]bool, len(c.Cubes))
+	for _, i := range order {
+		rest := logic.NewCover(c.NumIn, 1)
+		for k, cube := range c.Cubes {
+			if k == i || removed[k] {
+				continue
+			}
+			rest.Cubes = append(rest.Cubes, cube)
+		}
+		if rest.CoversCube(c.Cubes[i]) {
+			removed[i] = true
+		}
+	}
+	keep := c.Cubes[:0]
+	for k, cube := range c.Cubes {
+		if !removed[k] {
+			keep = append(keep, cube)
+		}
+	}
+	c.Cubes = keep
+}
+
+// reduce shrinks each cube to the supercube of the part of the ON-set only
+// it covers, enabling the next expand pass to grow in a different direction.
+// Reports whether any cube changed.
+func reduce(c *logic.Cover, opt Options) bool {
+	changed := false
+	for i := range c.Cubes {
+		rest := logic.NewCover(c.NumIn, 1)
+		for k, cube := range c.Cubes {
+			if k != i {
+				rest.Cubes = append(rest.Cubes, cube)
+			}
+		}
+		own := uniquePart(c.Cubes[i], rest, opt.MaxSharpCubes)
+		if own == nil {
+			continue // bounded out; keep the cube as is
+		}
+		if own.IsEmpty() {
+			continue // fully redundant; irredundant will handle it
+		}
+		shrunk := own.Cubes[0]
+		for _, cube := range own.Cubes[1:] {
+			shrunk = shrunk.Supercube(cube)
+		}
+		if shrunk.String() != c.Cubes[i].String() {
+			c.Cubes[i] = shrunk
+			changed = true
+		}
+	}
+	return changed
+}
+
+// uniquePart computes cube # rest as a disjoint cover, or nil when the
+// intermediate size exceeds maxCubes.
+func uniquePart(cube logic.Cube, rest *logic.Cover, maxCubes int) *logic.Cover {
+	cur := logic.NewCover(len(cube.In), 1)
+	cur.Cubes = append(cur.Cubes, cube)
+	for _, r := range rest.Cubes {
+		cur = cur.Sharp(r)
+		if len(cur.Cubes) > maxCubes {
+			return nil
+		}
+		if cur.IsEmpty() {
+			break
+		}
+	}
+	return cur
+}

@@ -1,0 +1,162 @@
+package minimize
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestMinimizeKeepsFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(6)
+		f := randomSingle(rng, n, 1+rng.Intn(12))
+		m := MinimizeSingle(f, Options{})
+		ok, err := logic.Equivalent(f, m, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("minimization changed the function\nbefore:\n%v\nafter:\n%v", f, m)
+		}
+		if coverCost(m) > coverCost(f) {
+			t.Fatalf("minimization increased cost: %d -> %d", coverCost(f), coverCost(m))
+		}
+	}
+}
+
+func TestMinimizeMintermExplosion(t *testing.T) {
+	// All 16 minterms of a 4-input tautology must collapse to the universe.
+	tt := make([]bool, 16)
+	for i := range tt {
+		tt[i] = true
+	}
+	f, err := logic.FromTruthTable(4, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MinimizeSingle(f, Options{})
+	if m.NumProducts() != 1 || m.Cubes[0].NumLiterals() != 0 {
+		t.Errorf("tautology should minimize to the universe cube, got\n%v", m)
+	}
+}
+
+func TestMinimizeXor(t *testing.T) {
+	// XOR of 3 variables: 4 minterms, already minimum. The minimizer must
+	// not break it and must not grow it.
+	f := logic.MustParseCover(3, 1, "100", "010", "001", "111")
+	m := MinimizeSingle(f, Options{})
+	if m.NumProducts() != 4 {
+		t.Errorf("3-input XOR minimum is 4 products, got %d", m.NumProducts())
+	}
+	ok, _ := logic.Equivalent(f, m, 0, nil)
+	if !ok {
+		t.Error("XOR function changed")
+	}
+}
+
+func TestMinimizeAbsorption(t *testing.T) {
+	// x1 + x1·x2 + x1·x2·x3 should collapse to x1.
+	f := logic.MustParseCover(3, 1, "1--", "11-", "111")
+	m := MinimizeSingle(f, Options{})
+	if m.NumProducts() != 1 {
+		t.Errorf("absorption should give a single product, got\n%v", m)
+	}
+}
+
+func TestMinimizeMergesAdjacent(t *testing.T) {
+	// x1·x2 + x1·x̄2 = x1.
+	f := logic.MustParseCover(2, 1, "11", "10")
+	m := MinimizeSingle(f, Options{})
+	if m.NumProducts() != 1 || m.Cubes[0].NumLiterals() != 1 {
+		t.Errorf("adjacent minterms should merge, got\n%v", m)
+	}
+}
+
+func TestMinimizeFromAllMinterms(t *testing.T) {
+	// Recover a compact cover from the full minterm expansion of the paper's
+	// running example f = x1+x2+x3+x4+x5x6x7x8 restricted to 5 variables:
+	// f = x1+x2+x3 on 3 of 5 vars plus a long product.
+	g := logic.MustParseCover(5, 1, "1----", "-1---", "--111")
+	tt := g.TruthTable(0)
+	f, err := logic.FromTruthTable(5, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MinimizeSingle(f, Options{})
+	ok, _ := logic.Equivalent(g, m, 0, nil)
+	if !ok {
+		t.Fatal("function changed")
+	}
+	if m.NumProducts() != 3 {
+		t.Errorf("expected recovery of 3 products, got %d:\n%v", m.NumProducts(), m)
+	}
+}
+
+func TestMinimizeMultiOutputSharing(t *testing.T) {
+	f := logic.MustParseCover(3, 2,
+		"110 10",
+		"111 10",
+		"110 01",
+		"111 01",
+	)
+	m := Minimize(f, Options{})
+	ok, _ := logic.Equivalent(f, m, 0, nil)
+	if !ok {
+		t.Fatal("function changed")
+	}
+	// Both outputs are x1·x2; the merged cover must share one product.
+	if m.NumProducts() != 1 {
+		t.Errorf("shared product not fused, got %d products:\n%v", m.NumProducts(), m)
+	}
+}
+
+func TestMinimizeEmptyAndConstant(t *testing.T) {
+	empty := logic.NewCover(3, 1)
+	m := MinimizeSingle(empty, Options{})
+	if !m.IsEmpty() {
+		t.Error("constant 0 must stay empty")
+	}
+}
+
+func TestOptionsSkipReduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 40; trial++ {
+		f := randomSingle(rng, 5, 6)
+		m := MinimizeSingle(f, Options{SkipReduce: true})
+		ok, _ := logic.Equivalent(f, m, 0, nil)
+		if !ok {
+			t.Fatal("SkipReduce changed the function")
+		}
+	}
+}
+
+func TestMinimizeSinglePanicsOnMultiOutput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MinimizeSingle must panic on multi-output input")
+		}
+	}()
+	MinimizeSingle(logic.NewCover(3, 2), Options{})
+}
+
+func randomSingle(rng *rand.Rand, nIn, nCubes int) *logic.Cover {
+	c := logic.NewCover(nIn, 1)
+	for k := 0; k < nCubes; k++ {
+		cube := logic.NewCube(nIn, 1)
+		cube.Out[0] = true
+		for i := range cube.In {
+			switch rng.Intn(4) {
+			case 0:
+				cube.In[i] = logic.LitNeg
+			case 1:
+				cube.In[i] = logic.LitPos
+			default:
+				cube.In[i] = logic.LitDC
+			}
+		}
+		c.Cubes = append(c.Cubes, cube)
+	}
+	return c
+}

@@ -1,0 +1,104 @@
+// Package montecarlo provides the sampling harness of the paper's
+// experiments: fixed-size batches (the paper uses 200 samples, "fluctuating
+// of parameter values stabilize nearly after this threshold value") with
+// per-sample derived random seeds, success-rate accounting, and timing.
+package montecarlo
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// DefaultSamples is the paper's Monte Carlo sample size.
+const DefaultSamples = 200
+
+// Outcome is the result of a single trial.
+type Outcome struct {
+	// Success marks the trial as successful (e.g. a valid mapping found).
+	Success bool
+	// Elapsed is the portion of the trial the experiment wants timed
+	// (algorithm time only, excluding workload generation).
+	Elapsed time.Duration
+	// Value carries an experiment-specific measurement (e.g. area).
+	Value float64
+}
+
+// Trial runs one sample. The rng is derived deterministically from the
+// harness seed and the sample index, so trials are reproducible and order
+// independent.
+type Trial func(sample int, rng *rand.Rand) Outcome
+
+// Summary aggregates a batch.
+type Summary struct {
+	Samples     int
+	Successes   int
+	SuccessRate float64 // the paper's Psucc
+	TotalTime   time.Duration
+	MeanTime    time.Duration
+	Values      []float64 // per-sample Value, in sample order
+}
+
+// Options tunes a run.
+type Options struct {
+	// Samples is the batch size; zero means DefaultSamples.
+	Samples int
+	// Seed drives the per-sample rngs.
+	Seed int64
+	// Parallel runs trials across GOMAXPROCS workers. Determinism is
+	// preserved because each sample owns an independent seed.
+	Parallel bool
+}
+
+// Run executes the batch.
+func Run(opt Options, trial Trial) (Summary, error) {
+	if trial == nil {
+		return Summary{}, fmt.Errorf("montecarlo: nil trial")
+	}
+	n := opt.Samples
+	if n == 0 {
+		n = DefaultSamples
+	}
+	if n < 0 {
+		return Summary{}, fmt.Errorf("montecarlo: negative sample count %d", n)
+	}
+	outcomes := make([]Outcome, n)
+	if opt.Parallel {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				outcomes[i] = trial(i, sampleRNG(opt.Seed, i))
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < n; i++ {
+			outcomes[i] = trial(i, sampleRNG(opt.Seed, i))
+		}
+	}
+	s := Summary{Samples: n, Values: make([]float64, n)}
+	for i, o := range outcomes {
+		if o.Success {
+			s.Successes++
+		}
+		s.TotalTime += o.Elapsed
+		s.Values[i] = o.Value
+	}
+	if n > 0 {
+		s.SuccessRate = float64(s.Successes) / float64(n)
+		s.MeanTime = s.TotalTime / time.Duration(n)
+	}
+	return s, nil
+}
+
+// sampleRNG derives the per-sample random source.
+func sampleRNG(seed int64, sample int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(sample)*2_147_483_659))
+}

@@ -1,0 +1,85 @@
+package montecarlo
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestRunBasics(t *testing.T) {
+	s, err := Run(Options{Samples: 100, Seed: 1}, func(i int, rng *rand.Rand) Outcome {
+		return Outcome{Success: i%2 == 0, Elapsed: time.Millisecond, Value: float64(i)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Samples != 100 || s.Successes != 50 || s.SuccessRate != 0.5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.TotalTime != 100*time.Millisecond || s.MeanTime != time.Millisecond {
+		t.Errorf("timing = %v/%v", s.TotalTime, s.MeanTime)
+	}
+	if s.Values[7] != 7 {
+		t.Error("values must be in sample order")
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	s, err := Run(Options{}, func(i int, rng *rand.Rand) Outcome { return Outcome{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Samples != DefaultSamples {
+		t.Errorf("samples = %d, want %d", s.Samples, DefaultSamples)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Options{}, nil); err == nil {
+		t.Error("nil trial must fail")
+	}
+	if _, err := Run(Options{Samples: -1}, func(i int, rng *rand.Rand) Outcome { return Outcome{} }); err == nil {
+		t.Error("negative samples must fail")
+	}
+}
+
+func TestRunDeterministicRNG(t *testing.T) {
+	collect := func(parallel bool) []float64 {
+		s, err := Run(Options{Samples: 50, Seed: 42, Parallel: parallel},
+			func(i int, rng *rand.Rand) Outcome {
+				return Outcome{Value: rng.Float64()}
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Values
+	}
+	seq := collect(false)
+	par := collect(true)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("sample %d differs between sequential and parallel", i)
+		}
+	}
+	seq2 := collect(false)
+	for i := range seq {
+		if seq[i] != seq2[i] {
+			t.Fatal("reruns must be identical")
+		}
+	}
+}
+
+func TestRunSamplesIndependentOfNeighbours(t *testing.T) {
+	// The rng of sample i must not depend on how many samples run.
+	small, _ := Run(Options{Samples: 5, Seed: 7}, func(i int, rng *rand.Rand) Outcome {
+		return Outcome{Value: rng.Float64()}
+	})
+	big, _ := Run(Options{Samples: 50, Seed: 7}, func(i int, rng *rand.Rand) Outcome {
+		return Outcome{Value: rng.Float64()}
+	})
+	for i := 0; i < 5; i++ {
+		if small.Values[i] != big.Values[i] {
+			t.Fatalf("sample %d changed with batch size", i)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Package munkres implements Munkres' assignment algorithm (the Hungarian
+// method, O(n³)), the exact zero-cost row-assignment engine of the paper's
+// defect-tolerant mapping flow [Munkres 1957].
+//
+// The paper uses it in two places: the exact algorithm (EA) assigns every
+// function-matrix row to a crossbar row, and the hybrid algorithm (HBA)
+// assigns only the output rows after the heuristic has placed the products.
+package munkres
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solve finds a minimum-cost assignment of rows to columns of the cost
+// matrix. The matrix may be rectangular with rows <= cols; every row is
+// assigned a distinct column. It returns the column chosen for each row and
+// the total cost.
+//
+// All costs must be finite and non-negative.
+func Solve(cost [][]float64) (assignment []int, total float64, err error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	m := len(cost[0])
+	for i, row := range cost {
+		if len(row) != m {
+			return nil, 0, fmt.Errorf("munkres: ragged cost matrix at row %d", i)
+		}
+		for j, v := range row {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, 0, fmt.Errorf("munkres: invalid cost %v at (%d,%d)", v, i, j)
+			}
+		}
+	}
+	if n > m {
+		return nil, 0, fmt.Errorf("munkres: %d rows exceed %d columns; no complete assignment exists", n, m)
+	}
+
+	// Jonker-style O(n³) shortest augmenting path formulation of the
+	// Hungarian method with row/column potentials. Columns and rows are
+	// 1-indexed internally; index 0 is the virtual source.
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1) // row potentials
+	v := make([]float64, m+1) // column potentials
+	p := make([]int, m+1)     // p[j] = row assigned to column j (0 = none)
+	way := make([]int, m+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	assignment = make([]int, n)
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			assignment[p[j]-1] = j - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		total += cost[i][assignment[i]]
+	}
+	return assignment, total, nil
+}
+
+// SolveBinary runs Solve on a 0/1 matching matrix (false = a zero-cost valid
+// pairing, true = cost 1 / forbidden) and reports whether a complete
+// zero-cost assignment exists. This is exactly the validity test of the
+// paper's Fig. 8(d): cost 0 means every function row landed on a compatible
+// crossbar row.
+func SolveBinary(forbidden [][]bool) (assignment []int, ok bool, err error) {
+	cost := make([][]float64, len(forbidden))
+	for i, row := range forbidden {
+		cost[i] = make([]float64, len(row))
+		for j, bad := range row {
+			if bad {
+				cost[i][j] = 1
+			}
+		}
+	}
+	assignment, total, err := Solve(cost)
+	if err != nil {
+		return nil, false, err
+	}
+	return assignment, total == 0, nil
+}

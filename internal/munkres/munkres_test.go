@@ -1,0 +1,221 @@
+package munkres
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSolveKnown(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 { // 1 + 2 + 2
+		t.Errorf("total = %v, want 5 (assignment %v)", total, assign)
+	}
+	checkPermutation(t, assign, 3)
+}
+
+func TestSolveIdentity(t *testing.T) {
+	n := 6
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i != j {
+				cost[i][j] = 10
+			}
+		}
+	}
+	assign, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 0 {
+		t.Errorf("total = %v, want 0", total)
+	}
+	for i, j := range assign {
+		if i != j {
+			t.Errorf("assign[%d] = %d, want identity", i, j)
+		}
+	}
+}
+
+func TestSolveRectangular(t *testing.T) {
+	cost := [][]float64{
+		{5, 1, 9, 4},
+		{8, 7, 3, 2},
+	}
+	assign, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 { // columns 1 and 3
+		t.Errorf("total = %v, want 3 (assignment %v)", total, assign)
+	}
+	if assign[0] == assign[1] {
+		t.Error("columns must be distinct")
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	if _, _, err := Solve([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix should error")
+	}
+	if _, _, err := Solve([][]float64{{-1}}); err == nil {
+		t.Error("negative cost should error")
+	}
+	if _, _, err := Solve([][]float64{{1}, {2}}); err == nil {
+		t.Error("more rows than columns should error")
+	}
+	assign, total, err := Solve(nil)
+	if err != nil || assign != nil || total != 0 {
+		t.Error("empty problem should be trivially solved")
+	}
+}
+
+// TestSolveAgainstBruteForce cross-checks optimality on random instances.
+func TestSolveAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(6)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = float64(rng.Intn(20))
+			}
+		}
+		_, total, err := Solve(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best := bruteForce(cost); total != best {
+			t.Fatalf("n=%d: Solve=%v brute=%v cost=%v", n, total, best, cost)
+		}
+	}
+}
+
+func TestSolveBinaryFeasible(t *testing.T) {
+	forbidden := [][]bool{
+		{true, false, true},
+		{false, true, true},
+		{true, true, false},
+	}
+	assign, ok, err := SolveBinary(forbidden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("a zero-cost assignment exists")
+	}
+	want := []int{1, 0, 2}
+	for i := range want {
+		if assign[i] != want[i] {
+			t.Errorf("assign = %v, want %v", assign, want)
+			break
+		}
+	}
+}
+
+func TestSolveBinaryInfeasible(t *testing.T) {
+	// Two rows compete for the single allowed column 0.
+	forbidden := [][]bool{
+		{false, true},
+		{false, true},
+	}
+	_, ok, err := SolveBinary(forbidden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("no zero-cost assignment exists")
+	}
+}
+
+// Property: the result is always a permutation with distinct columns, and
+// perturbing any two rows' columns never improves the cost (local check).
+func TestSolvePermutationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(7)
+		m := n + rng.Intn(4)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = float64(rng.Intn(50))
+			}
+		}
+		assign, total, err := Solve(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]bool{}
+		var sum float64
+		for i, j := range assign {
+			if j < 0 || j >= m || seen[j] {
+				t.Fatalf("invalid assignment %v", assign)
+			}
+			seen[j] = true
+			sum += cost[i][j]
+		}
+		if sum != total {
+			t.Fatalf("reported total %v != recomputed %v", total, sum)
+		}
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				swapped := total - cost[a][assign[a]] - cost[b][assign[b]] +
+					cost[a][assign[b]] + cost[b][assign[a]]
+				if swapped < total {
+					t.Fatalf("2-swap improves cost: %v < %v", swapped, total)
+				}
+			}
+		}
+	}
+}
+
+func bruteForce(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := -1.0
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			var s float64
+			for i, j := range perm {
+				s += cost[i][j]
+			}
+			if best < 0 || s < best {
+				best = s
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+func checkPermutation(t *testing.T, assign []int, m int) {
+	t.Helper()
+	seen := map[int]bool{}
+	for _, j := range assign {
+		if j < 0 || j >= m || seen[j] {
+			t.Fatalf("assignment %v is not a valid selection of %d columns", assign, m)
+		}
+		seen[j] = true
+	}
+}

@@ -1,0 +1,68 @@
+package munkres
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the Munkres total never exceeds the cost of any random
+// permutation (optimality against arbitrary witnesses).
+func TestSolveNotWorseThanRandomPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	f := func(raw [16]uint8, permSeed int64) bool {
+		n := 4
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = float64(raw[i*n+j] % 50)
+			}
+		}
+		_, total, err := Solve(cost)
+		if err != nil {
+			return false
+		}
+		perm := rand.New(rand.NewSource(permSeed)).Perm(n)
+		var witness float64
+		for i, j := range perm {
+			witness += cost[i][j]
+		}
+		return total <= witness
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding a constant to one row shifts the optimal total by
+// exactly that constant (row potentials are gauge freedoms).
+func TestSolveRowShiftInvariance(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(607))}
+	f := func(raw [9]uint8, shift uint8) bool {
+		n := 3
+		base := make([][]float64, n)
+		shifted := make([][]float64, n)
+		for i := range base {
+			base[i] = make([]float64, n)
+			shifted[i] = make([]float64, n)
+			for j := range base[i] {
+				base[i][j] = float64(raw[i*n+j] % 30)
+				shifted[i][j] = base[i][j]
+				if i == 0 {
+					shifted[i][j] += float64(shift % 20)
+				}
+			}
+		}
+		_, t1, err1 := Solve(base)
+		_, t2, err2 := Solve(shifted)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return t2 == t1+float64(shift%20)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,303 @@
+// Package netlist models NAND-only gate networks, the multi-level
+// representation of the paper's Section III. The crossbar realizes one NAND
+// gate per horizontal line; gate outputs that feed other gates travel on
+// dedicated multi-level connection columns, so the network cost maps
+// directly onto crossbar geometry.
+//
+// Inputs are available in both polarities for free (the input latch drives
+// x and x̄ columns); gate outputs are available only in positive polarity,
+// exactly as on the fabric.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SignalKind distinguishes the three sources a NAND fan-in can come from.
+type SignalKind uint8
+
+const (
+	// InputPos is primary input i in positive polarity (column x_i).
+	InputPos SignalKind = iota
+	// InputNeg is primary input i complemented (column x̄_i).
+	InputNeg
+	// GateOut is the output of gate Index (a multi-level connection).
+	GateOut
+)
+
+// Signal references a value in the network.
+type Signal struct {
+	Kind  SignalKind
+	Index int
+}
+
+// String renders the signal for diagnostics, e.g. "x3", "~x3", "g7".
+func (s Signal) String() string {
+	switch s.Kind {
+	case InputPos:
+		return fmt.Sprintf("x%d", s.Index)
+	case InputNeg:
+		return fmt.Sprintf("~x%d", s.Index)
+	case GateOut:
+		return fmt.Sprintf("g%d", s.Index)
+	}
+	return "?"
+}
+
+// Input returns the signal for primary input i, complemented when neg.
+func Input(i int, neg bool) Signal {
+	if neg {
+		return Signal{Kind: InputNeg, Index: i}
+	}
+	return Signal{Kind: InputPos, Index: i}
+}
+
+// Gate is a single NAND gate.
+type Gate struct {
+	Fanins []Signal
+}
+
+// Network is a NAND-only DAG. Gates must be stored in topological order:
+// gate k may reference only gates with index < k.
+type Network struct {
+	NumIn   int
+	Gates   []Gate
+	Outputs []Signal // each must be a GateOut for crossbar realization
+
+	hash map[string]int // structural hashing: fanin key -> gate index
+}
+
+// New creates an empty network over n primary inputs.
+func New(n int) *Network {
+	return &Network{NumIn: n, hash: map[string]int{}}
+}
+
+// AddNAND appends a NAND gate with the given fan-ins (deduplicated and
+// canonically ordered) and returns its output signal. Structurally identical
+// gates are shared. A constant-like gate with no fan-ins is rejected.
+func (nw *Network) AddNAND(fanins ...Signal) (Signal, error) {
+	if len(fanins) == 0 {
+		return Signal{}, fmt.Errorf("netlist: NAND with no fan-ins")
+	}
+	canon := append([]Signal(nil), fanins...)
+	sort.Slice(canon, func(a, b int) bool {
+		if canon[a].Kind != canon[b].Kind {
+			return canon[a].Kind < canon[b].Kind
+		}
+		return canon[a].Index < canon[b].Index
+	})
+	dedup := canon[:1]
+	for _, s := range canon[1:] {
+		if s != dedup[len(dedup)-1] {
+			dedup = append(dedup, s)
+		}
+	}
+	for _, s := range dedup {
+		if err := nw.checkSignal(s, len(nw.Gates)); err != nil {
+			return Signal{}, err
+		}
+	}
+	key := signalsKey(dedup)
+	if nw.hash == nil {
+		nw.hash = map[string]int{}
+	}
+	if idx, ok := nw.hash[key]; ok {
+		return Signal{Kind: GateOut, Index: idx}, nil
+	}
+	idx := len(nw.Gates)
+	nw.Gates = append(nw.Gates, Gate{Fanins: dedup})
+	nw.hash[key] = idx
+	return Signal{Kind: GateOut, Index: idx}, nil
+}
+
+func (nw *Network) checkSignal(s Signal, gateLimit int) error {
+	switch s.Kind {
+	case InputPos, InputNeg:
+		if s.Index < 0 || s.Index >= nw.NumIn {
+			return fmt.Errorf("netlist: input %d out of range [0,%d)", s.Index, nw.NumIn)
+		}
+	case GateOut:
+		if s.Index < 0 || s.Index >= gateLimit {
+			return fmt.Errorf("netlist: gate reference %d breaks topological order (limit %d)", s.Index, gateLimit)
+		}
+	default:
+		return fmt.Errorf("netlist: unknown signal kind %d", s.Kind)
+	}
+	return nil
+}
+
+func signalsKey(ss []Signal) string {
+	var b strings.Builder
+	for _, s := range ss {
+		fmt.Fprintf(&b, "%d:%d;", s.Kind, s.Index)
+	}
+	return b.String()
+}
+
+// SetOutputs declares the network outputs; each must be a gate output.
+func (nw *Network) SetOutputs(outs ...Signal) error {
+	for j, s := range outs {
+		if s.Kind != GateOut {
+			return fmt.Errorf("netlist: output %d is %v; crossbar outputs must be gate outputs", j, s)
+		}
+		if err := nw.checkSignal(s, len(nw.Gates)); err != nil {
+			return err
+		}
+	}
+	nw.Outputs = append([]Signal(nil), outs...)
+	return nil
+}
+
+// NumGates reports the gate count G.
+func (nw *Network) NumGates() int { return len(nw.Gates) }
+
+// NumInternalWires reports W: the number of distinct gates whose output is
+// consumed by at least one other gate. Each such gate needs one multi-level
+// connection column on the crossbar.
+func (nw *Network) NumInternalWires() int {
+	used := make([]bool, len(nw.Gates))
+	for _, g := range nw.Gates {
+		for _, s := range g.Fanins {
+			if s.Kind == GateOut {
+				used[s.Index] = true
+			}
+		}
+	}
+	n := 0
+	for _, b := range used {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxFanin reports the largest gate fan-in in the network.
+func (nw *Network) MaxFanin() int {
+	m := 0
+	for _, g := range nw.Gates {
+		if len(g.Fanins) > m {
+			m = len(g.Fanins)
+		}
+	}
+	return m
+}
+
+// Eval computes all outputs for the input assignment x. Gate evaluation is a
+// single topological sweep, mirroring the fabric's one-gate-per-cycle
+// sequential schedule.
+func (nw *Network) Eval(x []bool) []bool {
+	vals := make([]bool, len(nw.Gates))
+	read := func(s Signal) bool {
+		switch s.Kind {
+		case InputPos:
+			return x[s.Index]
+		case InputNeg:
+			return !x[s.Index]
+		default:
+			return vals[s.Index]
+		}
+	}
+	for i, g := range nw.Gates {
+		and := true
+		for _, s := range g.Fanins {
+			if !read(s) {
+				and = false
+				break
+			}
+		}
+		vals[i] = !and
+	}
+	y := make([]bool, len(nw.Outputs))
+	for j, s := range nw.Outputs {
+		y[j] = vals[s.Index]
+	}
+	return y
+}
+
+// Levels returns the logic depth of each gate (inputs are level 0; a gate is
+// 1 + max level of its fan-ins) and the network depth.
+func (nw *Network) Levels() (perGate []int, depth int) {
+	perGate = make([]int, len(nw.Gates))
+	for i, g := range nw.Gates {
+		lv := 0
+		for _, s := range g.Fanins {
+			if s.Kind == GateOut && perGate[s.Index] >= lv {
+				lv = perGate[s.Index]
+			}
+		}
+		perGate[i] = lv + 1
+		if perGate[i] > depth {
+			depth = perGate[i]
+		}
+	}
+	return perGate, depth
+}
+
+// SweepDead removes gates not reachable from any output and compacts
+// indices. Outputs are re-pointed. Structural hash state is rebuilt.
+func (nw *Network) SweepDead() {
+	live := make([]bool, len(nw.Gates))
+	var mark func(i int)
+	mark = func(i int) {
+		if live[i] {
+			return
+		}
+		live[i] = true
+		for _, s := range nw.Gates[i].Fanins {
+			if s.Kind == GateOut {
+				mark(s.Index)
+			}
+		}
+	}
+	for _, s := range nw.Outputs {
+		mark(s.Index)
+	}
+	remap := make([]int, len(nw.Gates))
+	var kept []Gate
+	for i, g := range nw.Gates {
+		if !live[i] {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = len(kept)
+		ng := Gate{Fanins: append([]Signal(nil), g.Fanins...)}
+		for k, s := range ng.Fanins {
+			if s.Kind == GateOut {
+				ng.Fanins[k] = Signal{Kind: GateOut, Index: remap[s.Index]}
+			}
+		}
+		kept = append(kept, ng)
+	}
+	nw.Gates = kept
+	for j, s := range nw.Outputs {
+		nw.Outputs[j] = Signal{Kind: GateOut, Index: remap[s.Index]}
+	}
+	nw.hash = map[string]int{}
+	for i, g := range nw.Gates {
+		nw.hash[signalsKey(g.Fanins)] = i
+	}
+}
+
+// String renders the network in a readable single-line-per-gate form.
+func (nw *Network) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "inputs: %d\n", nw.NumIn)
+	for i, g := range nw.Gates {
+		fmt.Fprintf(&b, "g%d = NAND(", i)
+		for k, s := range g.Fanins {
+			if k > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(s.String())
+		}
+		b.WriteString(")\n")
+	}
+	fmt.Fprintf(&b, "outputs:")
+	for _, s := range nw.Outputs {
+		fmt.Fprintf(&b, " %s", s.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,208 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildFig5 constructs the paper's Fig. 5 network by hand:
+// h = NAND(x5,x6,x7,x8); f = NAND(x̄1,x̄2,x̄3,x̄4,h).
+func buildFig5(t *testing.T) *Network {
+	t.Helper()
+	nw := New(8)
+	h, err := nw.AddNAND(Input(4, false), Input(5, false), Input(6, false), Input(7, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := nw.AddNAND(Input(0, true), Input(1, true), Input(2, true), Input(3, true), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetOutputs(f); err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestFig5NetworkEval(t *testing.T) {
+	nw := buildFig5(t)
+	// f = x1+x2+x3+x4+x5x6x7x8.
+	ref := func(x []bool) bool {
+		return x[0] || x[1] || x[2] || x[3] || (x[4] && x[5] && x[6] && x[7])
+	}
+	for i := 0; i < 256; i++ {
+		x := make([]bool, 8)
+		for k := range x {
+			x[k] = i&(1<<uint(k)) != 0
+		}
+		if got := nw.Eval(x)[0]; got != ref(x) {
+			t.Fatalf("Eval(%v) = %v, want %v", x, got, ref(x))
+		}
+	}
+}
+
+func TestFig5Geometry(t *testing.T) {
+	nw := buildFig5(t)
+	if g := nw.NumGates(); g != 2 {
+		t.Errorf("gates = %d, want 2", g)
+	}
+	if w := nw.NumInternalWires(); w != 1 {
+		t.Errorf("internal wires = %d, want 1", w)
+	}
+	if m := nw.MaxFanin(); m != 5 {
+		t.Errorf("max fanin = %d, want 5", m)
+	}
+	_, depth := nw.Levels()
+	if depth != 2 {
+		t.Errorf("depth = %d, want 2", depth)
+	}
+}
+
+func TestStructuralHashing(t *testing.T) {
+	nw := New(2)
+	a, _ := nw.AddNAND(Input(0, false), Input(1, false))
+	b, _ := nw.AddNAND(Input(1, false), Input(0, false)) // same gate, reordered
+	if a != b {
+		t.Error("structurally identical gates must be shared")
+	}
+	if nw.NumGates() != 1 {
+		t.Errorf("gates = %d, want 1", nw.NumGates())
+	}
+	c, _ := nw.AddNAND(Input(0, false), Input(0, false)) // duplicate fanin collapses
+	d, _ := nw.AddNAND(Input(0, false))
+	if c != d {
+		t.Error("duplicate fan-ins must canonicalize")
+	}
+}
+
+func TestAddNANDErrors(t *testing.T) {
+	nw := New(2)
+	if _, err := nw.AddNAND(); err == nil {
+		t.Error("empty fanin list should fail")
+	}
+	if _, err := nw.AddNAND(Input(5, false)); err == nil {
+		t.Error("out-of-range input should fail")
+	}
+	if _, err := nw.AddNAND(Signal{Kind: GateOut, Index: 0}); err == nil {
+		t.Error("forward gate reference should fail")
+	}
+}
+
+func TestSetOutputsErrors(t *testing.T) {
+	nw := New(2)
+	if err := nw.SetOutputs(Input(0, false)); err == nil {
+		t.Error("input as output should fail (crossbar outputs are gates)")
+	}
+	if err := nw.SetOutputs(Signal{Kind: GateOut, Index: 3}); err == nil {
+		t.Error("dangling gate output should fail")
+	}
+}
+
+func TestInverterSemantics(t *testing.T) {
+	nw := New(1)
+	inv, _ := nw.AddNAND(Input(0, false))
+	if err := nw.SetOutputs(inv); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Eval([]bool{true})[0] != false || nw.Eval([]bool{false})[0] != true {
+		t.Error("single-fanin NAND must invert")
+	}
+}
+
+func TestSweepDead(t *testing.T) {
+	nw := New(3)
+	dead, _ := nw.AddNAND(Input(0, false), Input(1, false))
+	_ = dead
+	live1, _ := nw.AddNAND(Input(1, false), Input(2, false))
+	live2, _ := nw.AddNAND(live1, Input(0, true))
+	if err := nw.SetOutputs(live2); err != nil {
+		t.Fatal(err)
+	}
+	before := nw.Eval([]bool{true, true, false})
+	nw.SweepDead()
+	if nw.NumGates() != 2 {
+		t.Errorf("gates after sweep = %d, want 2", nw.NumGates())
+	}
+	after := nw.Eval([]bool{true, true, false})
+	if before[0] != after[0] {
+		t.Error("SweepDead changed the function")
+	}
+	// Hash state must be rebuilt: re-adding a kept gate shares it.
+	s, _ := nw.AddNAND(Input(1, false), Input(2, false))
+	if s.Index >= 2 {
+		t.Error("structural hash not rebuilt after sweep")
+	}
+}
+
+func TestSweepDeadRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 100; trial++ {
+		nw := New(4)
+		var sigs []Signal
+		for i := 0; i < 4; i++ {
+			sigs = append(sigs, Input(i, false), Input(i, true))
+		}
+		for g := 0; g < 8; g++ {
+			k := 1 + rng.Intn(3)
+			var fin []Signal
+			for i := 0; i < k; i++ {
+				fin = append(fin, sigs[rng.Intn(len(sigs))])
+			}
+			s, err := nw.AddNAND(fin...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sigs = append(sigs, s)
+		}
+		var outs []Signal
+		for _, s := range sigs {
+			if s.Kind == GateOut && rng.Intn(3) == 0 {
+				outs = append(outs, s)
+			}
+		}
+		if len(outs) == 0 {
+			continue
+		}
+		if err := nw.SetOutputs(outs...); err != nil {
+			t.Fatal(err)
+		}
+		x := make([]bool, 4)
+		for i := range x {
+			x[i] = rng.Intn(2) == 1
+		}
+		before := nw.Eval(x)
+		nw.SweepDead()
+		after := nw.Eval(x)
+		for j := range before {
+			if before[j] != after[j] {
+				t.Fatalf("SweepDead changed output %d", j)
+			}
+		}
+	}
+}
+
+func TestLevels(t *testing.T) {
+	nw := New(2)
+	g0, _ := nw.AddNAND(Input(0, false))
+	g1, _ := nw.AddNAND(g0, Input(1, false))
+	g2, _ := nw.AddNAND(g1, g0)
+	_ = nw.SetOutputs(g2)
+	per, depth := nw.Levels()
+	if depth != 3 {
+		t.Errorf("depth = %d, want 3", depth)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if per[i] != want[i] {
+			t.Errorf("level[%d] = %d, want %d", i, per[i], want[i])
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	nw := buildFig5(t)
+	s := nw.String()
+	if s == "" {
+		t.Error("String should render something")
+	}
+}

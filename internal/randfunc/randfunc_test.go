@@ -1,0 +1,89 @@
+package randfunc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	for trial := 0; trial < 200; trial++ {
+		p := Params{Inputs: 8}
+		c, err := Generate(p, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.NumProducts() < 2 || c.NumProducts() > 9 {
+			t.Fatalf("products = %d outside [2,9]", c.NumProducts())
+		}
+		for _, cube := range c.Cubes {
+			n := cube.NumLiterals()
+			if n < 1 || n > 4 { // default literal window for 8 inputs
+				t.Fatalf("literals = %d outside [1,4]", n)
+			}
+		}
+	}
+}
+
+func TestGenerateNoDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 100; trial++ {
+		c, err := Generate(Params{Inputs: 4, MaxProducts: 8, MaxLiterals: 4}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, cube := range c.Cubes {
+			key := cube.String()
+			if seen[key] {
+				t.Fatal("duplicate product generated")
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate(Params{Inputs: 1}, rng); err == nil {
+		t.Error("too few inputs must fail")
+	}
+	if _, err := Generate(Params{Inputs: 4, MinProducts: 5, MaxProducts: 3}, rng); err == nil {
+		t.Error("inverted product bounds must fail")
+	}
+	if _, err := Generate(Params{Inputs: 4, MaxLiterals: 9}, rng); err == nil {
+		t.Error("MaxLiterals above inputs must fail")
+	}
+	if _, err := Generate(Params{Inputs: 4}, nil); err == nil {
+		t.Error("nil rng must fail")
+	}
+}
+
+func TestGenerateBatchReproducible(t *testing.T) {
+	a, err := GenerateBatch(Params{Inputs: 8}, 20, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateBatch(Params{Inputs: 8}, 20, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("batch sample %d differs across runs", i)
+		}
+	}
+	c, err := GenerateBatch(Params{Inputs: 8}, 20, 54321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i].String() == c[i].String() {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds must give different batches")
+	}
+}

@@ -1,0 +1,119 @@
+// Package report renders the experiment outputs: fixed-width ASCII tables
+// matching the paper's table shapes and CSV series for the figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	var sep strings.Builder
+	for i, h := range t.Headers {
+		fmt.Fprintf(w, "%-*s  ", widths[i], h)
+		sep.WriteString(strings.Repeat("-", widths[i]))
+		sep.WriteString("  ")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.TrimRight(sep.String(), " "))
+	for _, row := range t.rows {
+		for i, cell := range row {
+			fmt.Fprintf(w, "%-*s  ", widths[i], cell)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// CSV writes rows of float64 series as comma-separated values with a header,
+// the format used for the figure data.
+func CSV(w io.Writer, headers []string, rows [][]float64) error {
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = fmt.Sprintf("%g", v)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sparkline renders a coarse text plot of a series, so figure shapes are
+// visible directly in terminal output.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	marks := []rune("▁▂▃▄▅▆▇█")
+	min, max := values[0], values[0]
+	for _, v := range values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if max > min {
+			idx = int((v - min) / (max - min) * float64(len(marks)-1))
+		}
+		b.WriteRune(marks[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "Name", "Area", "IR")
+	tb.AddRow("rd53", 544, 0.33)
+	tb.AddRow("longer-name", 12, 0.125)
+	s := tb.String()
+	if !strings.Contains(s, "Demo") || !strings.Contains(s, "rd53") {
+		t.Errorf("render missing content:\n%s", s)
+	}
+	if !strings.Contains(s, "0.330") {
+		t.Errorf("float formatting wrong:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("line count = %d, want 5:\n%s", len(lines), s)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b strings.Builder
+	err := CSV(&b, []string{"sample", "two", "multi"}, [][]float64{
+		{0, 108, 57},
+		{1, 126, 70},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "sample,two,multi\n0,108,57\n1,126,70\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty series should render empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Errorf("sparkline length = %d, want 4", len([]rune(s)))
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	if flat != "▁▁▁" {
+		t.Errorf("flat series = %q", flat)
+	}
+}

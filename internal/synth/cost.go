@@ -1,0 +1,130 @@
+// Package synth implements the paper's two synthesis styles for memristive
+// crossbars: the two-level NAND–AND mapping with its exact area model
+// (Section II-C) and the multi-level NAND-network design of Section III,
+// including the algebraic factoring that stands in for the Berkeley ABC
+// technology mapping used by the authors.
+package synth
+
+import (
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// TwoLevelCost describes the crossbar realization of a sum-of-products.
+//
+// The geometry follows the convention that reproduces every entry of the
+// paper's Table II exactly: one horizontal line per product plus one per
+// output (the inversion line that turns f̄ into f), and vertical lines for
+// both polarities of every input plus the (f̄, f) column pair of every
+// output.
+type TwoLevelCost struct {
+	Inputs   int
+	Outputs  int
+	Products int
+	Rows     int // Products + Outputs
+	Cols     int // 2*Inputs + 2*Outputs
+	Area     int // Rows * Cols
+	Devices  int // programmed-active memristors
+	IR       float64
+}
+
+// TwoLevel computes the crossbar cost of a cover.
+func TwoLevel(c *logic.Cover) TwoLevelCost {
+	cost := TwoLevelCost{
+		Inputs:   c.NumIn,
+		Outputs:  c.NumOut,
+		Products: c.NumProducts(),
+	}
+	cost.Rows = cost.Products + cost.Outputs
+	cost.Cols = 2*cost.Inputs + 2*cost.Outputs
+	cost.Area = cost.Rows * cost.Cols
+	// Active devices: one per literal on each product line, one per output
+	// the product participates in (its AND-plane connection), and two per
+	// output line (read f̄, drive f).
+	for _, cube := range c.Cubes {
+		cost.Devices += cube.NumLiterals() + cube.NumOutputs()
+	}
+	cost.Devices += 2 * cost.Outputs
+	if cost.Area > 0 {
+		cost.IR = float64(cost.Devices) / float64(cost.Area)
+	}
+	return cost
+}
+
+// MultiLevelCost describes the crossbar realization of a NAND network using
+// the multi-level connection scheme of Fig. 4/5.
+type MultiLevelCost struct {
+	Inputs  int
+	Outputs int
+	Gates   int // G: one horizontal line per NAND gate
+	Wires   int // W: multi-level connection columns (gates feeding gates)
+	Rows    int // G + Outputs
+	Cols    int // 2*Inputs + W + 2*Outputs
+	Area    int
+	Depth   int // logic depth = number of sequential EVM/CR rounds needed
+	Devices int
+	IR      float64
+}
+
+// MultiLevel computes the crossbar cost of a NAND network with the given
+// output count (len(nw.Outputs)).
+func MultiLevel(nw *netlist.Network) MultiLevelCost {
+	cost := MultiLevelCost{
+		Inputs:  nw.NumIn,
+		Outputs: len(nw.Outputs),
+		Gates:   nw.NumGates(),
+		Wires:   nw.NumInternalWires(),
+	}
+	cost.Rows = cost.Gates + cost.Outputs
+	cost.Cols = 2*cost.Inputs + cost.Wires + 2*cost.Outputs
+	cost.Area = cost.Rows * cost.Cols
+	_, cost.Depth = nw.Levels()
+	// Active devices: each gate line holds one device per fan-in; gates
+	// feeding other gates hold one device on their connection column; output
+	// lines hold two devices each, and each output's driving gate holds one
+	// device on the output column pair.
+	for _, g := range nw.Gates {
+		cost.Devices += len(g.Fanins)
+	}
+	cost.Devices += cost.Wires + 3*cost.Outputs
+	if cost.Area > 0 {
+		cost.IR = float64(cost.Devices) / float64(cost.Area)
+	}
+	return cost
+}
+
+// DualChoice records which of f and f̄ was selected for implementation, the
+// optimization of Section I ("considering both cases during mapping would
+// generate a potential optimization in terms of area cost").
+type DualChoice struct {
+	UseComplement bool
+	Direct        TwoLevelCost // cost of implementing f
+	Complement    TwoLevelCost // cost of implementing f̄
+	Chosen        TwoLevelCost
+	ChosenCover   *logic.Cover
+}
+
+// ChooseDual computes two-level costs for the cover and its complement and
+// selects the smaller implementation. The complement is minimized with the
+// same options before costing so the comparison is fair.
+func ChooseDual(c *logic.Cover, minimizeFn func(*logic.Cover) *logic.Cover) DualChoice {
+	direct := c
+	comp := c.ComplementAll()
+	if minimizeFn != nil {
+		direct = minimizeFn(c)
+		comp = minimizeFn(comp)
+	}
+	d := DualChoice{
+		Direct:     TwoLevel(direct),
+		Complement: TwoLevel(comp),
+	}
+	if d.Complement.Area < d.Direct.Area {
+		d.UseComplement = true
+		d.Chosen = d.Complement
+		d.ChosenCover = comp
+	} else {
+		d.Chosen = d.Direct
+		d.ChosenCover = direct
+	}
+	return d
+}

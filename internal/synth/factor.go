@@ -1,0 +1,330 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// Expr is a node of a factored Boolean formula: a literal, a product, or a
+// sum. Factored forms are the intermediate between the minimized SOP and
+// the NAND network.
+type Expr interface {
+	// evalExpr computes the node under the assignment.
+	evalExpr(x []bool) bool
+	// String renders the node in infix notation.
+	String() string
+}
+
+// Lit is a single literal.
+type Lit struct {
+	Var int
+	Neg bool
+}
+
+func (l Lit) evalExpr(x []bool) bool {
+	if l.Neg {
+		return !x[l.Var]
+	}
+	return x[l.Var]
+}
+
+func (l Lit) String() string {
+	if l.Neg {
+		return fmt.Sprintf("~x%d", l.Var)
+	}
+	return fmt.Sprintf("x%d", l.Var)
+}
+
+// And is the product of its children.
+type And struct{ Kids []Expr }
+
+func (a And) evalExpr(x []bool) bool {
+	for _, k := range a.Kids {
+		if !k.evalExpr(x) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a And) String() string { return joinExpr(a.Kids, "·") }
+
+// Or is the sum of its children.
+type Or struct{ Kids []Expr }
+
+func (o Or) evalExpr(x []bool) bool {
+	for _, k := range o.Kids {
+		if k.evalExpr(x) {
+			return true
+		}
+	}
+	return false
+}
+
+func (o Or) String() string { return "(" + joinExpr(o.Kids, " + ") + ")" }
+
+func joinExpr(kids []Expr, sep string) string {
+	parts := make([]string, len(kids))
+	for i, k := range kids {
+		parts[i] = k.String()
+	}
+	return strings.Join(parts, sep)
+}
+
+// EvalExpr evaluates a factored form under an input assignment.
+func EvalExpr(e Expr, x []bool) bool { return e.evalExpr(x) }
+
+// Factor converts a single-output cover into a factored form using
+// most-frequent-literal division (the "quick factor" style of algebraic
+// factoring): F = L·(F/L) + R, recursing on quotient and remainder, with
+// common-cube extraction at every level. An empty cover yields nil (constant
+// 0 has no factored form; callers special-case it).
+func Factor(c *logic.Cover) Expr {
+	if c.NumOut != 1 {
+		panic("synth: Factor requires a single-output cover")
+	}
+	if c.IsEmpty() {
+		return nil
+	}
+	return factorCubes(cubesOf(c), c.NumIn)
+}
+
+// cubeLits extracts the literal list of one cube.
+func cubeLits(cube logic.Cube) []Lit {
+	var lits []Lit
+	for i, v := range cube.In {
+		switch v {
+		case logic.LitPos:
+			lits = append(lits, Lit{Var: i})
+		case logic.LitNeg:
+			lits = append(lits, Lit{Var: i, Neg: true})
+		}
+	}
+	return lits
+}
+
+func cubesOf(c *logic.Cover) [][]Lit {
+	out := make([][]Lit, 0, len(c.Cubes))
+	for _, cube := range c.Cubes {
+		out = append(out, cubeLits(cube))
+	}
+	return out
+}
+
+func factorCubes(cubes [][]Lit, nIn int) Expr {
+	if len(cubes) == 0 {
+		return nil
+	}
+	if hasEmptyCube(cubes) {
+		// An empty product absorbs everything: the sum is constant 1,
+		// represented by the empty And. flattenAnd erases it inside
+		// products; a top-level tautology never reaches here (the
+		// synthesizer special-cases it).
+		return And{}
+	}
+	if len(cubes) == 1 {
+		return productExpr(cubes[0])
+	}
+	// Common-cube extraction: literals present in every cube factor out.
+	if common := commonLits(cubes); len(common) > 0 {
+		rest := removeLits(cubes, common)
+		inner := factorCubes(rest, nIn)
+		kids := make([]Expr, 0, len(common)+1)
+		for _, l := range common {
+			kids = append(kids, l)
+		}
+		if inner != nil {
+			kids = append(kids, inner)
+		}
+		return flattenAnd(kids)
+	}
+	// Divide by the most frequent literal.
+	best, count := mostFrequentLit(cubes)
+	if count < 2 {
+		// No sharing opportunity: plain sum of products.
+		kids := make([]Expr, len(cubes))
+		for i, cu := range cubes {
+			kids[i] = productExpr(cu)
+		}
+		return Or{Kids: kids}
+	}
+	var quotient, remainder [][]Lit
+	for _, cu := range cubes {
+		if idx := indexOfLit(cu, best); idx >= 0 {
+			q := append([]Lit(nil), cu[:idx]...)
+			q = append(q, cu[idx+1:]...)
+			quotient = append(quotient, q)
+		} else {
+			remainder = append(remainder, cu)
+		}
+	}
+	// An empty quotient cube means the literal itself is a term (L + R):
+	// L·(1 + Q') + R = L + R, handled naturally because productExpr of an
+	// empty cube is the constant-1 marker: we special-case it.
+	var lTerm Expr
+	if hasEmptyCube(quotient) {
+		lTerm = best // L·1 absorbs every other quotient term
+	} else {
+		inner := factorCubes(quotient, nIn)
+		lTerm = flattenAnd([]Expr{best, inner})
+	}
+	if len(remainder) == 0 {
+		return lTerm
+	}
+	rTerm := factorCubes(remainder, nIn)
+	return flattenOr([]Expr{lTerm, rTerm})
+}
+
+func productExpr(lits []Lit) Expr {
+	if len(lits) == 0 {
+		// The universe cube: constant 1. Callers above guarantee this only
+		// happens via hasEmptyCube handling; a bare tautology cover is
+		// handled by the synthesizer before factoring.
+		return And{}
+	}
+	if len(lits) == 1 {
+		return lits[0]
+	}
+	kids := make([]Expr, len(lits))
+	for i, l := range lits {
+		kids[i] = l
+	}
+	return And{Kids: kids}
+}
+
+func commonLits(cubes [][]Lit) []Lit {
+	counts := map[Lit]int{}
+	for _, cu := range cubes {
+		for _, l := range cu {
+			counts[l]++
+		}
+	}
+	var common []Lit
+	for l, c := range counts {
+		if c == len(cubes) {
+			common = append(common, l)
+		}
+	}
+	sort.Slice(common, func(a, b int) bool {
+		if common[a].Var != common[b].Var {
+			return common[a].Var < common[b].Var
+		}
+		return !common[a].Neg && common[b].Neg
+	})
+	return common
+}
+
+func removeLits(cubes [][]Lit, drop []Lit) [][]Lit {
+	dropSet := map[Lit]bool{}
+	for _, l := range drop {
+		dropSet[l] = true
+	}
+	out := make([][]Lit, len(cubes))
+	for i, cu := range cubes {
+		for _, l := range cu {
+			if !dropSet[l] {
+				out[i] = append(out[i], l)
+			}
+		}
+	}
+	return out
+}
+
+func mostFrequentLit(cubes [][]Lit) (Lit, int) {
+	counts := map[Lit]int{}
+	for _, cu := range cubes {
+		for _, l := range cu {
+			counts[l]++
+		}
+	}
+	var best Lit
+	bestCount := 0
+	for l, c := range counts {
+		if c > bestCount || (c == bestCount && litLess(l, best)) {
+			best, bestCount = l, c
+		}
+	}
+	return best, bestCount
+}
+
+func litLess(a, b Lit) bool {
+	if a.Var != b.Var {
+		return a.Var < b.Var
+	}
+	return !a.Neg && b.Neg
+}
+
+func indexOfLit(cu []Lit, l Lit) int {
+	for i, x := range cu {
+		if x == l {
+			return i
+		}
+	}
+	return -1
+}
+
+func hasEmptyCube(cubes [][]Lit) bool {
+	for _, cu := range cubes {
+		if len(cu) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func flattenAnd(kids []Expr) Expr {
+	var flat []Expr
+	for _, k := range kids {
+		if a, ok := k.(And); ok {
+			flat = append(flat, a.Kids...)
+		} else if k != nil {
+			flat = append(flat, k)
+		}
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return And{Kids: flat}
+}
+
+func flattenOr(kids []Expr) Expr {
+	var flat []Expr
+	for _, k := range kids {
+		if o, ok := k.(Or); ok {
+			flat = append(flat, o.Kids...)
+		} else if k != nil {
+			flat = append(flat, k)
+		}
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return Or{Kids: flat}
+}
+
+// ExprLiterals counts literal occurrences in a factored form, the standard
+// factored-form cost metric.
+func ExprLiterals(e Expr) int {
+	switch v := e.(type) {
+	case nil:
+		return 0
+	case Lit:
+		return 1
+	case And:
+		n := 0
+		for _, k := range v.Kids {
+			n += ExprLiterals(k)
+		}
+		return n
+	case Or:
+		n := 0
+		for _, k := range v.Kids {
+			n += ExprLiterals(k)
+		}
+		return n
+	}
+	return 0
+}

@@ -1,0 +1,164 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/minimize"
+	"repro/internal/netlist"
+)
+
+// MultiLevelOptions configures NAND-network synthesis.
+type MultiLevelOptions struct {
+	// MaxFanin bounds gate fan-in. Zero means "number of inputs", matching
+	// the paper's "NAND gates which have fan-in sizes 2 to n".
+	MaxFanin int
+	// Minimize runs the two-level minimizer on each output before factoring.
+	Minimize bool
+	// MinimizeOptions tunes the minimizer when Minimize is set.
+	MinimizeOptions minimize.Options
+}
+
+// SynthesizeMultiLevel maps a multi-output cover to a NAND-only network
+// realizable on the multi-level crossbar: minimize (optionally), factor each
+// output algebraically, convert the factored forms to NAND gates with
+// bounded fan-in, and share structurally identical gates across outputs.
+func SynthesizeMultiLevel(c *logic.Cover, opt MultiLevelOptions) (*netlist.Network, error) {
+	maxFanin := opt.MaxFanin
+	if maxFanin == 0 {
+		maxFanin = c.NumIn
+	}
+	if maxFanin < 2 {
+		maxFanin = 2
+	}
+	nw := netlist.New(c.NumIn)
+	b := &nandBuilder{nw: nw, maxFanin: maxFanin}
+	outs := make([]netlist.Signal, c.NumOut)
+	for j := 0; j < c.NumOut; j++ {
+		oc := c.OutputCover(j)
+		if opt.Minimize {
+			oc = minimize.MinimizeSingle(oc, opt.MinimizeOptions)
+		}
+		sig, err := b.outputGate(oc)
+		if err != nil {
+			return nil, fmt.Errorf("synth: output %d: %v", j, err)
+		}
+		outs[j] = sig
+	}
+	if err := nw.SetOutputs(outs...); err != nil {
+		return nil, err
+	}
+	nw.SweepDead()
+	return nw, nil
+}
+
+// nandBuilder lowers factored forms into a shared NAND network.
+type nandBuilder struct {
+	nw       *netlist.Network
+	maxFanin int
+}
+
+// outputGate produces a gate-output signal computing the cover, inserting
+// the single-fanin NAND (inverter) tricks needed when the function
+// degenerates to a constant or a bare literal.
+func (b *nandBuilder) outputGate(oc *logic.Cover) (netlist.Signal, error) {
+	if oc.IsEmpty() {
+		// Constant 0: NAND(const1). const1 = NAND(x0, x̄0) if an input
+		// exists; a zero-input function cannot be realized on the fabric.
+		if b.nw.NumIn == 0 {
+			return netlist.Signal{}, fmt.Errorf("constant function with no inputs")
+		}
+		one, err := b.nand([]netlist.Signal{netlist.Input(0, false), netlist.Input(0, true)})
+		if err != nil {
+			return netlist.Signal{}, err
+		}
+		return b.nand([]netlist.Signal{one})
+	}
+	if oc.IsTautology() {
+		if b.nw.NumIn == 0 {
+			return netlist.Signal{}, fmt.Errorf("constant function with no inputs")
+		}
+		return b.nand([]netlist.Signal{netlist.Input(0, false), netlist.Input(0, true)})
+	}
+	e := Factor(oc)
+	if lit, ok := e.(Lit); ok {
+		// f = literal: one inverter from the opposite-polarity column.
+		return b.nand([]netlist.Signal{netlist.Input(lit.Var, !lit.Neg)})
+	}
+	return b.signal(e, false)
+}
+
+// signal returns a network signal computing e (or its complement). The
+// polarity-aware lowering exploits the crossbar's free input complements:
+//
+//	NAND(a1..ak)        = ¬(a1·…·ak)    → ¬AND is one gate, AND is two
+//	OR(a1..ak)          = NAND(ā1..āk)  → OR is one gate, ¬OR is two
+func (b *nandBuilder) signal(e Expr, complement bool) (netlist.Signal, error) {
+	switch v := e.(type) {
+	case Lit:
+		return netlist.Input(v.Var, v.Neg != complement), nil
+	case And:
+		kids, err := b.signals(v.Kids, false)
+		if err != nil {
+			return netlist.Signal{}, err
+		}
+		nandSig, err := b.nand(kids)
+		if err != nil {
+			return netlist.Signal{}, err
+		}
+		if complement {
+			return nandSig, nil
+		}
+		return b.nand([]netlist.Signal{nandSig})
+	case Or:
+		kids, err := b.signals(v.Kids, true)
+		if err != nil {
+			return netlist.Signal{}, err
+		}
+		orSig, err := b.nand(kids)
+		if err != nil {
+			return netlist.Signal{}, err
+		}
+		if !complement {
+			return orSig, nil
+		}
+		return b.nand([]netlist.Signal{orSig})
+	}
+	return netlist.Signal{}, fmt.Errorf("unknown expression node %T", e)
+}
+
+func (b *nandBuilder) signals(kids []Expr, complement bool) ([]netlist.Signal, error) {
+	out := make([]netlist.Signal, len(kids))
+	for i, k := range kids {
+		if lit, ok := k.(Lit); ok {
+			out[i] = netlist.Input(lit.Var, lit.Neg != complement)
+			continue
+		}
+		s, err := b.signal(k, complement)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// nand emits a NAND gate, splitting fan-ins beyond the bound into AND
+// subtrees (AND = inverter after NAND): NAND(a1..ak) =
+// NAND(AND(a1..am), a(m+1)..ak) applied repeatedly.
+func (b *nandBuilder) nand(fanins []netlist.Signal) (netlist.Signal, error) {
+	for len(fanins) > b.maxFanin {
+		group := fanins[:b.maxFanin]
+		inner, err := b.nw.AddNAND(group...)
+		if err != nil {
+			return netlist.Signal{}, err
+		}
+		andSig, err := b.nw.AddNAND(inner)
+		if err != nil {
+			return netlist.Signal{}, err
+		}
+		rest := append([]netlist.Signal{andSig}, fanins[b.maxFanin:]...)
+		fanins = rest
+	}
+	return b.nw.AddNAND(fanins...)
+}

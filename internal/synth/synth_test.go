@@ -1,0 +1,296 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/minimize"
+)
+
+// fig3 is the paper's running example f = x1+x2+x3+x4+x5x6x7x8.
+func fig3() *logic.Cover {
+	return logic.MustParseCover(8, 1,
+		"1-------",
+		"-1------",
+		"--1-----",
+		"---1----",
+		"----1111",
+	)
+}
+
+func TestTwoLevelCostFig3(t *testing.T) {
+	cost := TwoLevel(fig3())
+	// Table II convention: (P+O)(2I+2O) = 6*18 = 108.
+	if cost.Rows != 6 || cost.Cols != 18 || cost.Area != 108 {
+		t.Errorf("cost = %dx%d=%d, want 6x18=108", cost.Rows, cost.Cols, cost.Area)
+	}
+	// Devices: 8 literals + 5 product-output links + 2 output-line devices.
+	if cost.Devices != 15 {
+		t.Errorf("devices = %d, want 15", cost.Devices)
+	}
+}
+
+func TestTwoLevelCostTable2Formula(t *testing.T) {
+	// Spot-check the paper's Table II geometry on synthetic dimensions.
+	cases := []struct {
+		i, o, p, area int
+		name          string
+	}{
+		{5, 3, 31, 544, "rd53"},
+		{5, 8, 25, 858, "squar5"},
+		{7, 9, 30, 1248, "inc"},
+		{8, 7, 12, 570, "misex1"},
+		{10, 4, 58, 1736, "sao2"},
+		{7, 3, 127, 2600, "rd73"},
+		{9, 5, 120, 3500, "clip"},
+		{8, 4, 255, 6216, "rd84"},
+		{10, 10, 284, 11760, "ex1010"},
+		{14, 14, 175, 10584, "table3"},
+		{8, 63, 74, 19454, "exp5"},
+		{9, 19, 436, 25480, "apex4"},
+		{14, 8, 575, 25652, "alu4"},
+	}
+	for _, tc := range cases {
+		c := logic.NewCover(tc.i, tc.o)
+		for k := 0; k < tc.p; k++ {
+			cube := logic.NewCube(tc.i, tc.o)
+			cube.Out[0] = true
+			c.Cubes = append(c.Cubes, cube)
+		}
+		if got := TwoLevel(c).Area; got != tc.area {
+			t.Errorf("%s: area = %d, want %d", tc.name, got, tc.area)
+		}
+	}
+}
+
+func TestFactorEvaluates(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(6)
+		c := randomSingle(rng, n, 1+rng.Intn(8))
+		if c.IsEmpty() {
+			continue
+		}
+		e := Factor(c)
+		for i := uint64(0); i < 1<<uint(n); i++ {
+			x := logic.AssignmentFromIndex(i, n)
+			if EvalExpr(e, x) != c.EvalOutput(0, x) {
+				t.Fatalf("factored form differs at %v\ncover:\n%v\nexpr: %v", x, c, e)
+			}
+		}
+	}
+}
+
+func TestFactorSharesCommonCube(t *testing.T) {
+	// x1x2x3 + x1x2x4 should factor as x1·x2·(x3+x4): 4 literals, not 6.
+	c := logic.MustParseCover(4, 1, "111-", "11-1")
+	e := Factor(c)
+	if n := ExprLiterals(e); n != 4 {
+		t.Errorf("factored literals = %d, want 4 (%v)", n, e)
+	}
+}
+
+func TestFactorPanicsOnMultiOutput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Factor must panic on multi-output cover")
+		}
+	}()
+	Factor(logic.NewCover(2, 2))
+}
+
+func TestSynthesizeFig5Geometry(t *testing.T) {
+	nw, err := SynthesizeMultiLevel(fig3(), MultiLevelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := MultiLevel(nw)
+	// The paper's Fig. 5: 2 gates, 1 connection column, rows=3, cols=19.
+	if cost.Gates != 2 || cost.Wires != 1 {
+		t.Fatalf("gates=%d wires=%d, want 2,1\n%v", cost.Gates, cost.Wires, nw)
+	}
+	if cost.Rows != 3 || cost.Cols != 19 || cost.Area != 57 {
+		t.Errorf("geometry = %dx%d=%d, want 3x19=57", cost.Rows, cost.Cols, cost.Area)
+	}
+	if cost.Depth != 2 {
+		t.Errorf("depth = %d, want 2", cost.Depth)
+	}
+}
+
+func TestSynthesizeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + rng.Intn(6)
+		c := randomMulti(rng, n, 1+rng.Intn(3), 1+rng.Intn(8))
+		nw, err := SynthesizeMultiLevel(c, MultiLevelOptions{Minimize: trial%2 == 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 1<<uint(n); i++ {
+			x := logic.AssignmentFromIndex(i, n)
+			want := c.Eval(x)
+			got := nw.Eval(x)
+			for j := range want {
+				if want[j] != got[j] {
+					t.Fatalf("output %d differs at %v\ncover:\n%v\nnet:\n%v", j, x, c, nw)
+				}
+			}
+		}
+	}
+}
+
+func TestSynthesizeConstants(t *testing.T) {
+	zero := logic.NewCover(3, 1)
+	nw, err := SynthesizeMultiLevel(zero, MultiLevelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 8; i++ {
+		if nw.Eval(logic.AssignmentFromIndex(i, 3))[0] {
+			t.Fatal("constant 0 output is wrong")
+		}
+	}
+	one := logic.MustParseCover(3, 1, "---")
+	nw, err = SynthesizeMultiLevel(one, MultiLevelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 8; i++ {
+		if !nw.Eval(logic.AssignmentFromIndex(i, 3))[0] {
+			t.Fatal("constant 1 output is wrong")
+		}
+	}
+}
+
+func TestSynthesizeLiteralOutput(t *testing.T) {
+	f := logic.MustParseCover(2, 1, "1-")
+	nw, err := SynthesizeMultiLevel(f, MultiLevelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumGates() != 1 {
+		t.Errorf("literal output should use exactly one inverter gate, got %d", nw.NumGates())
+	}
+	if !nw.Eval([]bool{true, false})[0] || nw.Eval([]bool{false, true})[0] {
+		t.Error("literal output mis-evaluates")
+	}
+}
+
+func TestSynthesizeFaninBound(t *testing.T) {
+	// A 10-literal product with MaxFanin 3 must split into a tree.
+	c := logic.MustParseCover(10, 1, "1111111111")
+	nw, err := SynthesizeMultiLevel(c, MultiLevelOptions{MaxFanin: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := nw.MaxFanin(); m > 3 {
+		t.Errorf("max fanin = %d, want <= 3", m)
+	}
+	x := make([]bool, 10)
+	for i := range x {
+		x[i] = true
+	}
+	if !nw.Eval(x)[0] {
+		t.Error("all-ones must evaluate to 1")
+	}
+	x[4] = false
+	if nw.Eval(x)[0] {
+		t.Error("one zero must evaluate to 0")
+	}
+}
+
+func TestSynthesizeSharesAcrossOutputs(t *testing.T) {
+	// Two identical outputs must share the entire network.
+	c := logic.MustParseCover(4, 2,
+		"11-- 11",
+		"--11 11",
+	)
+	nw, err := SynthesizeMultiLevel(c, MultiLevelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Outputs[0] != nw.Outputs[1] {
+		t.Errorf("identical outputs should share the driving gate:\n%v", nw)
+	}
+}
+
+func TestChooseDual(t *testing.T) {
+	// f with 5 products whose complement has 4: the dual must win.
+	f := fig3()
+	min := func(c *logic.Cover) *logic.Cover { return minimize.Minimize(c, minimize.Options{}) }
+	d := ChooseDual(f, min)
+	if !d.UseComplement {
+		t.Errorf("complement (4 products) should beat direct (5 products): %+v", d)
+	}
+	if d.Chosen.Area >= d.Direct.Area {
+		t.Error("chosen area must be the smaller one")
+	}
+	// And the chosen cover must compute f̄.
+	for i := uint64(0); i < 256; i++ {
+		x := logic.AssignmentFromIndex(i, 8)
+		if d.ChosenCover.EvalOutput(0, x) == f.EvalOutput(0, x) {
+			t.Fatal("chosen dual cover is not the complement")
+		}
+	}
+}
+
+func TestMultiLevelCostDevices(t *testing.T) {
+	nw, err := SynthesizeMultiLevel(fig3(), MultiLevelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := MultiLevel(nw)
+	// Gate fan-ins: 4 (h) + 5 (f) = 9; + 1 wire device + 3 output devices.
+	if cost.Devices != 13 {
+		t.Errorf("devices = %d, want 13", cost.Devices)
+	}
+	if cost.IR <= 0 || cost.IR > 1 {
+		t.Errorf("IR = %v out of range", cost.IR)
+	}
+}
+
+func randomSingle(rng *rand.Rand, nIn, nCubes int) *logic.Cover {
+	c := logic.NewCover(nIn, 1)
+	for k := 0; k < nCubes; k++ {
+		cube := logic.NewCube(nIn, 1)
+		cube.Out[0] = true
+		for i := range cube.In {
+			switch rng.Intn(4) {
+			case 0:
+				cube.In[i] = logic.LitNeg
+			case 1:
+				cube.In[i] = logic.LitPos
+			default:
+				cube.In[i] = logic.LitDC
+			}
+		}
+		c.Cubes = append(c.Cubes, cube)
+	}
+	return c
+}
+
+func randomMulti(rng *rand.Rand, nIn, nOut, nCubes int) *logic.Cover {
+	c := logic.NewCover(nIn, nOut)
+	for k := 0; k < nCubes; k++ {
+		cube := logic.NewCube(nIn, nOut)
+		for i := range cube.In {
+			switch rng.Intn(4) {
+			case 0:
+				cube.In[i] = logic.LitNeg
+			case 1:
+				cube.In[i] = logic.LitPos
+			default:
+				cube.In[i] = logic.LitDC
+			}
+		}
+		for j := range cube.Out {
+			cube.Out[j] = rng.Intn(2) == 1
+		}
+		if cube.NumOutputs() == 0 {
+			cube.Out[rng.Intn(nOut)] = true
+		}
+		c.Cubes = append(c.Cubes, cube)
+	}
+	return c
+}

@@ -1,0 +1,114 @@
+package xbar
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+)
+
+// Property: the two-level layout always satisfies the paper's geometry
+// formula rows = P+O, cols = 2I+2O, and its device count decomposes as
+// literals + product-output links + 2 per output.
+func TestTwoLevelGeometryProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(701))}
+	f := func(rawIn [4][5]uint8, rawOut [4]uint8) bool {
+		nIn, nOut := 5, 2
+		c := logic.NewCover(nIn, nOut)
+		for k := 0; k < 4; k++ {
+			cube := logic.NewCube(nIn, nOut)
+			for i := 0; i < nIn; i++ {
+				cube.In[i] = logic.LitVal(rawIn[k][i] % 3)
+			}
+			cube.Out[0] = rawOut[k]&1 != 0
+			cube.Out[1] = rawOut[k]&2 != 0
+			if !cube.Out[0] && !cube.Out[1] {
+				cube.Out[0] = true
+			}
+			c.Cubes = append(c.Cubes, cube)
+		}
+		l, err := NewTwoLevel(c)
+		if err != nil {
+			return false
+		}
+		if l.Rows != c.NumProducts()+nOut || l.Cols != 2*nIn+2*nOut {
+			return false
+		}
+		devices := 2 * nOut
+		for _, cube := range c.Cubes {
+			devices += cube.NumLiterals() + cube.NumOutputs()
+		}
+		return l.Devices() == devices
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: simulation of a freshly placed two-level layout always agrees
+// with direct cover evaluation, for arbitrary cube sets and inputs.
+func TestTwoLevelSimulationProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(709))}
+	f := func(rawIn [3][4]uint8, x [4]bool) bool {
+		nIn := 4
+		c := logic.NewCover(nIn, 1)
+		for k := 0; k < 3; k++ {
+			cube := logic.NewCube(nIn, 1)
+			cube.Out[0] = true
+			for i := 0; i < nIn; i++ {
+				cube.In[i] = logic.LitVal(rawIn[k][i] % 3)
+			}
+			c.Cubes = append(c.Cubes, cube)
+		}
+		l, err := NewTwoLevel(c)
+		if err != nil {
+			return false
+		}
+		res, err := l.Simulate(x[:])
+		if err != nil {
+			return false
+		}
+		want := c.EvalOutput(0, x[:])
+		return res.F[0] == want && res.FBar[0] == !want
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the inclusion ratio is always in (0, 1] for non-empty layouts,
+// and rendering never panics and reflects the device count.
+func TestLayoutInvariantsProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(719))}
+	f := func(rawIn [2][3]uint8) bool {
+		c := logic.NewCover(3, 1)
+		for k := 0; k < 2; k++ {
+			cube := logic.NewCube(3, 1)
+			cube.Out[0] = true
+			for i := 0; i < 3; i++ {
+				cube.In[i] = logic.LitVal(rawIn[k][i] % 3)
+			}
+			c.Cubes = append(c.Cubes, cube)
+		}
+		l, err := NewTwoLevel(c)
+		if err != nil {
+			return false
+		}
+		ir := l.InclusionRatio()
+		if ir <= 0 || ir > 1 {
+			return false
+		}
+		rendered := l.Render()
+		hashes := 0
+		for _, r := range rendered {
+			if r == '#' {
+				hashes++
+			}
+		}
+		return hashes == l.Devices()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,299 @@
+package xbar
+
+import (
+	"fmt"
+
+	"repro/internal/defect"
+)
+
+// State is one step of the controller state machine (Fig. 2b / Fig. 4b).
+type State uint8
+
+const (
+	// StateINA initializes every memristor to R_OFF.
+	StateINA State = iota
+	// StateRI latches inputs from the CMOS controller or a previous OL.
+	StateRI
+	// StateCFM copies the input latch values onto the minterm lines.
+	StateCFM
+	// StateEVM evaluates minterm/gate NANDs.
+	StateEVM
+	// StateCR copies a gate result onto its multi-level connection column
+	// (multi-level designs only).
+	StateCR
+	// StateEVR evaluates the AND plane, producing f̄ (two-level only).
+	StateEVR
+	// StateINR inverts f̄ to recover f.
+	StateINR
+	// StateSO sends outputs to the output latch.
+	StateSO
+)
+
+// String names the state.
+func (s State) String() string {
+	names := [...]string{"INA", "RI", "CFM", "EVM", "CR", "EVR", "INR", "SO"}
+	if int(s) < len(names) {
+		return names[s]
+	}
+	return "?"
+}
+
+// Trace records the state sequence of one computation, so tests can verify
+// the schedule matches the paper's state machines.
+type Trace struct {
+	States []State
+	// Cycles is the total number of controller steps.
+	Cycles int
+}
+
+// SimResult is the outcome of one crossbar computation.
+type SimResult struct {
+	F     []bool // output values f_j
+	FBar  []bool // complemented outputs f̄_j
+	Trace Trace
+}
+
+// Simulate runs the layout on a defect-free fabric with the identity row
+// placement.
+func (l *Layout) Simulate(x []bool) (SimResult, error) {
+	return l.SimulateMapped(x, nil, nil)
+}
+
+// SimulateMapped runs the layout on a fabric with the given defect map and
+// row assignment (layout row r is placed on physical row assignment[r]).
+// A nil assignment means identity placement; a nil defect map means a
+// perfect fabric.
+//
+// Defect semantics follow Section IV-A: a stuck-open device where the
+// layout wants an active device silently fails to sense its column (the
+// connection is missing); a stuck-closed device forces its NAND line to
+// logic 1 and poisons its column (the column reads logic 0, R_ON).
+func (l *Layout) SimulateMapped(x []bool, dm *defect.Map, assignment []int) (SimResult, error) {
+	if len(x) != l.NumIn {
+		return SimResult{}, fmt.Errorf("xbar: %d inputs supplied, layout has %d", len(x), l.NumIn)
+	}
+	physRow, err := l.physRows(dm, assignment)
+	if err != nil {
+		return SimResult{}, err
+	}
+
+	trace := Trace{States: []State{StateINA, StateRI, StateCFM}}
+
+	deviceActive := func(r, c int) bool {
+		if !l.Active[r][c] {
+			return false
+		}
+		if dm == nil {
+			return true
+		}
+		return dm.Functional(physRow[r], c)
+	}
+	colPoisoned := make([]bool, l.Cols)
+	rowForced := make([]bool, l.Rows)
+	if dm != nil {
+		for c := 0; c < l.Cols; c++ {
+			colPoisoned[c] = dm.ColHasClosed(c)
+		}
+		for r := 0; r < l.Rows; r++ {
+			rowForced[r] = dm.RowHasClosed(physRow[r])
+		}
+	}
+
+	// Column values for input columns; logic 0 when the line is poisoned.
+	colVal := func(c int) bool {
+		if colPoisoned[c] {
+			return false
+		}
+		switch l.ColKinds[c] {
+		case ColInputPos:
+			return x[l.ColIndex[c]]
+		case ColInputNeg:
+			return !x[l.ColIndex[c]]
+		}
+		return false
+	}
+
+	rowVal := make([]bool, l.Rows)
+	wireVal := make([]bool, len(l.WireDriver))
+
+	// EVM: evaluate product/gate rows. Two-level evaluates all lines in one
+	// step; multi-level evaluates sequentially, with a CR copy after each
+	// gate that drives a connection column.
+	for _, r := range l.GateOrder {
+		and := true
+		for c := 0; c < l.Cols; c++ {
+			if !deviceActive(r, c) {
+				continue
+			}
+			switch l.ColKinds[c] {
+			case ColInputPos, ColInputNeg:
+				if !colVal(c) {
+					and = false
+				}
+			case ColWire:
+				w := l.ColIndex[c]
+				if l.WireDriver[w] == r {
+					continue // this device writes the wire, it is not a fan-in
+				}
+				v := wireVal[w]
+				if colPoisoned[c] {
+					v = false
+				}
+				if !v {
+					and = false
+				}
+			}
+		}
+		rowVal[r] = !and
+		if rowForced[r] {
+			rowVal[r] = true // a stuck-closed device holds the line at logic 1
+		}
+		if l.MultiLevel {
+			trace.States = append(trace.States, StateEVM)
+			for w, driver := range l.WireDriver {
+				if driver == r && deviceActive(r, 2*l.NumIn+w) {
+					wireVal[w] = rowVal[r]
+					trace.States = append(trace.States, StateCR)
+				}
+			}
+		}
+	}
+	if !l.MultiLevel {
+		trace.States = append(trace.States, StateEVM, StateEVR)
+	}
+
+	res := SimResult{
+		F:    make([]bool, l.NumOut),
+		FBar: make([]bool, l.NumOut),
+	}
+	if l.MultiLevel {
+		// The driving gate wrote f onto the f column; the output row
+		// inverts it onto f̄.
+		nW := len(l.WireDriver)
+		for j := 0; j < l.NumOut; j++ {
+			fbarCol := 2*l.NumIn + nW + j
+			fCol := 2*l.NumIn + nW + l.NumOut + j
+			driver := l.OutputDriver[j][0]
+			v := false
+			if deviceActive(driver, fCol) && !colPoisoned[fCol] {
+				v = rowVal[driver]
+			}
+			res.F[j] = v
+			outRow := l.outputRow(j)
+			fb := !v
+			if !deviceActive(outRow, fCol) || rowForced[outRow] {
+				fb = true // broken inversion line reads R_OFF / forced 1
+			}
+			if !deviceActive(outRow, fbarCol) || colPoisoned[fbarCol] {
+				fb = true // the f̄ column cannot be driven; it stays at R_OFF
+			}
+			res.FBar[j] = fb
+		}
+	} else {
+		// EVR: f̄_j is the wired AND of the product rows connected to the
+		// f̄ column. INR: the output row inverts it.
+		for j := 0; j < l.NumOut; j++ {
+			fbarCol := 2*l.NumIn + j
+			and := true
+			for _, r := range l.OutputDriver[j] {
+				if !deviceActive(r, fbarCol) {
+					continue // open defect: this product silently drops out
+				}
+				if !rowVal[r] {
+					and = false
+				}
+			}
+			fbar := and
+			if colPoisoned[fbarCol] {
+				fbar = false
+			}
+			res.FBar[j] = fbar
+			outRow := l.outputRow(j)
+			f := !fbar
+			if !deviceActive(outRow, fbarCol) || rowForced[outRow] {
+				f = false // the inversion line cannot read f̄
+			}
+			fCol := 2*l.NumIn + l.NumOut + j
+			if !deviceActive(outRow, fCol) || colPoisoned[fCol] {
+				f = false // the inversion line cannot drive f
+			}
+			res.F[j] = f
+		}
+	}
+	trace.States = append(trace.States, StateINR, StateSO)
+	trace.Cycles = len(trace.States)
+	res.Trace = trace
+	return res, nil
+}
+
+// outputRow returns the layout row index of output j's inversion line.
+func (l *Layout) outputRow(j int) int {
+	return l.Rows - l.NumOut + j
+}
+
+// physRows resolves the layout-row → physical-row map and validates it.
+func (l *Layout) physRows(dm *defect.Map, assignment []int) ([]int, error) {
+	phys := make([]int, l.Rows)
+	if assignment == nil {
+		for r := range phys {
+			phys[r] = r
+		}
+	} else {
+		if len(assignment) != l.Rows {
+			return nil, fmt.Errorf("xbar: assignment covers %d rows, layout has %d", len(assignment), l.Rows)
+		}
+		copy(phys, assignment)
+	}
+	if dm != nil {
+		if dm.Cols != l.Cols {
+			return nil, fmt.Errorf("xbar: defect map has %d columns, layout %d", dm.Cols, l.Cols)
+		}
+		seen := make(map[int]bool, l.Rows)
+		for r, p := range phys {
+			if p < 0 || p >= dm.Rows {
+				return nil, fmt.Errorf("xbar: row %d assigned to physical row %d outside [0,%d)", r, p, dm.Rows)
+			}
+			if seen[p] {
+				return nil, fmt.Errorf("xbar: physical row %d assigned twice", p)
+			}
+			seen[p] = true
+		}
+	}
+	return phys, nil
+}
+
+// Verify exhaustively (or for the provided assignments) checks that the
+// mapped, possibly defective crossbar computes the same outputs as eval.
+// It returns the first failing assignment, if any.
+func (l *Layout) Verify(eval func(x []bool) []bool, dm *defect.Map, assignment []int, inputs [][]bool) ([]bool, error) {
+	for _, x := range inputs {
+		res, err := l.SimulateMapped(x, dm, assignment)
+		if err != nil {
+			return nil, err
+		}
+		want := eval(x)
+		for j := range want {
+			if res.F[j] != want[j] {
+				return x, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+// AllAssignments enumerates all 2^n input vectors for n <= 20, for
+// exhaustive verification of small layouts.
+func AllAssignments(n int) [][]bool {
+	if n > 20 {
+		panic("xbar: refusing to enumerate more than 2^20 assignments")
+	}
+	out := make([][]bool, 0, 1<<uint(n))
+	for i := 0; i < 1<<uint(n); i++ {
+		x := make([]bool, n)
+		for k := 0; k < n; k++ {
+			x[k] = i&(1<<uint(k)) != 0
+		}
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package xbar
+
+// Timing and energy estimation for crossbar designs. The paper's multi-level
+// design trades area for computation cycles ("minterm dependent computation
+// cycles": gates evaluate one by one, with an extra CR state per multi-level
+// connection), so a fair comparison needs the schedule length alongside the
+// area. Energy is a first-order device-event count: every programmed switch
+// toggles at most twice per computation (initialize + configure/evaluate).
+
+// TimingModel carries per-state controller costs in arbitrary time units.
+// The zero value is not useful; DefaultTimingModel matches a uniform-cost
+// controller (every state takes one cycle).
+type TimingModel struct {
+	INA float64 // initialize all devices to R_OFF
+	RI  float64 // receive inputs into the input latch
+	CFM float64 // configure minterms (copy latch values)
+	EVM float64 // evaluate one NAND line (two-level: all lines at once)
+	CR  float64 // copy one gate result to its connection column
+	EVR float64 // evaluate the AND plane
+	INR float64 // invert results
+	SO  float64 // send outputs
+}
+
+// DefaultTimingModel charges one cycle per controller state.
+func DefaultTimingModel() TimingModel {
+	return TimingModel{INA: 1, RI: 1, CFM: 1, EVM: 1, CR: 1, EVR: 1, INR: 1, SO: 1}
+}
+
+// Schedule describes the controller schedule of one computation.
+type Schedule struct {
+	// Cycles is the number of controller states executed.
+	Cycles int
+	// Time is the weighted schedule length under the timing model.
+	Time float64
+	// EVMSteps counts NAND evaluation states (1 for two-level; one per gate
+	// for multi-level).
+	EVMSteps int
+	// CRSteps counts copy-result states (multi-level only).
+	CRSteps int
+}
+
+// ScheduleFor computes the schedule the layout needs for one computation.
+// Two-level designs follow the 7-state machine of Fig. 2(b); multi-level
+// designs follow Fig. 4(b), evaluating gates sequentially with a CR state
+// after every gate that feeds a connection column.
+func (l *Layout) ScheduleFor(m TimingModel) Schedule {
+	s := Schedule{}
+	add := func(w float64) {
+		s.Cycles++
+		s.Time += w
+	}
+	add(m.INA)
+	add(m.RI)
+	add(m.CFM)
+	if l.MultiLevel {
+		wires := 0
+		for _, d := range l.WireDriver {
+			if d >= 0 {
+				wires++
+			}
+		}
+		for range l.GateOrder {
+			add(m.EVM)
+			s.EVMSteps++
+		}
+		for i := 0; i < wires; i++ {
+			add(m.CR)
+			s.CRSteps++
+		}
+	} else {
+		add(m.EVM)
+		s.EVMSteps++
+		add(m.EVR)
+	}
+	add(m.INR)
+	add(m.SO)
+	return s
+}
+
+// EnergyModel carries per-event device energies in arbitrary energy units.
+type EnergyModel struct {
+	// Reset is the cost of initializing one device to R_OFF (INA touches
+	// every device in the array, defective or not).
+	Reset float64
+	// Program is the cost of configuring one active device.
+	Program float64
+	// Evaluate is the cost of one device participating in a NAND/AND
+	// evaluation.
+	Evaluate float64
+}
+
+// DefaultEnergyModel charges one unit per device event.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{Reset: 1, Program: 1, Evaluate: 1}
+}
+
+// Energy estimates the per-computation energy of the layout: a reset for
+// every crosspoint, programming for every active device, and an evaluation
+// event for every active device read during EVM/EVR.
+func (l *Layout) Energy(m EnergyModel) float64 {
+	devices := float64(l.Devices())
+	return m.Reset*float64(l.Area()) + m.Program*devices + m.Evaluate*devices
+}
+
+// AreaDelayProduct is the classical area×delay figure of merit under the
+// default timing model, letting the two design styles be ranked on a single
+// axis (the paper compares area only and flags latency as the multi-level
+// disadvantage).
+func (l *Layout) AreaDelayProduct() float64 {
+	s := l.ScheduleFor(DefaultTimingModel())
+	return float64(l.Area()) * s.Time
+}

@@ -1,0 +1,85 @@
+package xbar
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestScheduleTwoLevel(t *testing.T) {
+	l, err := NewTwoLevel(fig3Cover())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := l.ScheduleFor(DefaultTimingModel())
+	// INA RI CFM EVM EVR INR SO = 7 states, exactly Fig. 2(b).
+	if s.Cycles != 7 || s.Time != 7 {
+		t.Errorf("two-level schedule = %+v, want 7 cycles", s)
+	}
+	if s.EVMSteps != 1 || s.CRSteps != 0 {
+		t.Errorf("two-level steps = %+v", s)
+	}
+}
+
+func TestScheduleMultiLevel(t *testing.T) {
+	nw, err := synth.SynthesizeMultiLevel(fig3Cover(), synth.MultiLevelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewMultiLevel(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := l.ScheduleFor(DefaultTimingModel())
+	// Fig. 5 network: 2 gates (2 EVM) + 1 wire (1 CR) + INA RI CFM INR SO.
+	if s.EVMSteps != 2 || s.CRSteps != 1 {
+		t.Errorf("multi-level steps = %+v, want 2 EVM + 1 CR", s)
+	}
+	if s.Cycles != 8 {
+		t.Errorf("cycles = %d, want 8", s.Cycles)
+	}
+	two, _ := NewTwoLevel(fig3Cover())
+	if s.Cycles <= two.ScheduleFor(DefaultTimingModel()).Cycles {
+		t.Error("multi-level must cost more cycles than two-level (the paper's latency tradeoff)")
+	}
+}
+
+func TestScheduleWeights(t *testing.T) {
+	l, _ := NewTwoLevel(fig3Cover())
+	m := DefaultTimingModel()
+	m.EVM = 10
+	s := l.ScheduleFor(m)
+	if s.Time != 6+10 {
+		t.Errorf("weighted time = %v, want 16", s.Time)
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	l, _ := NewTwoLevel(fig3Cover())
+	e := l.Energy(DefaultEnergyModel())
+	want := float64(l.Area() + 2*l.Devices())
+	if e != want {
+		t.Errorf("energy = %v, want %v", e, want)
+	}
+	cheapReset := EnergyModel{Reset: 0, Program: 1, Evaluate: 1}
+	if l.Energy(cheapReset) != float64(2*l.Devices()) {
+		t.Error("energy model weights not applied")
+	}
+}
+
+func TestAreaDelayProduct(t *testing.T) {
+	two, _ := NewTwoLevel(fig3Cover())
+	nw, _ := synth.SynthesizeMultiLevel(fig3Cover(), synth.MultiLevelOptions{})
+	multi, _ := NewMultiLevel(nw)
+	adTwo, adMulti := two.AreaDelayProduct(), multi.AreaDelayProduct()
+	if adTwo != 108*7 {
+		t.Errorf("two-level ADP = %v, want 756", adTwo)
+	}
+	if adMulti != 57*8 {
+		t.Errorf("multi-level ADP = %v, want 456", adMulti)
+	}
+	// For this function the multi-level design wins even on area×delay.
+	if adMulti >= adTwo {
+		t.Error("multi-level should win on ADP for the Fig. 5 function")
+	}
+}

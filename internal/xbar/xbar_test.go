@@ -1,0 +1,316 @@
+package xbar
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/defect"
+	"repro/internal/logic"
+	"repro/internal/synth"
+)
+
+func fig3Cover() *logic.Cover {
+	return logic.MustParseCover(8, 1,
+		"1-------",
+		"-1------",
+		"--1-----",
+		"---1----",
+		"----1111",
+	)
+}
+
+func TestTwoLevelLayoutGeometry(t *testing.T) {
+	l, err := NewTwoLevel(fig3Cover())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Rows != 6 || l.Cols != 18 || l.Area() != 108 {
+		t.Errorf("geometry %dx%d=%d, want 6x18=108", l.Rows, l.Cols, l.Area())
+	}
+	if got := l.Devices(); got != 15 {
+		t.Errorf("devices = %d, want 15", got)
+	}
+	if len(l.ProductRows()) != 5 || len(l.OutputRows()) != 1 {
+		t.Error("row partition wrong")
+	}
+}
+
+func TestTwoLevelSimulation(t *testing.T) {
+	f := fig3Cover()
+	l, err := NewTwoLevel(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range AllAssignments(8) {
+		res, err := l.Simulate(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := f.EvalOutput(0, x)
+		if res.F[0] != want {
+			t.Fatalf("F(%v) = %v, want %v", x, res.F[0], want)
+		}
+		if res.FBar[0] != !want {
+			t.Fatalf("FBar(%v) = %v, want %v", x, res.FBar[0], !want)
+		}
+	}
+}
+
+func TestTwoLevelMultiOutputSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(5)
+		f := randomMulti(rng, n, 1+rng.Intn(3), 1+rng.Intn(7))
+		l, err := NewTwoLevel(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range AllAssignments(n) {
+			res, err := l.Simulate(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := f.Eval(x)
+			for j := range want {
+				if res.F[j] != want[j] {
+					t.Fatalf("output %d differs at %v\n%v", j, x, l.Render())
+				}
+			}
+		}
+	}
+}
+
+func TestTwoLevelStateMachineTrace(t *testing.T) {
+	l, _ := NewTwoLevel(fig3Cover())
+	res, err := l.Simulate(make([]bool, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []State{StateINA, StateRI, StateCFM, StateEVM, StateEVR, StateINR, StateSO}
+	if len(res.Trace.States) != len(want) {
+		t.Fatalf("trace = %v, want %v", res.Trace.States, want)
+	}
+	for i := range want {
+		if res.Trace.States[i] != want[i] {
+			t.Fatalf("trace[%d] = %v, want %v", i, res.Trace.States[i], want[i])
+		}
+	}
+}
+
+func TestMultiLevelLayoutFig5(t *testing.T) {
+	nw, err := synth.SynthesizeMultiLevel(fig3Cover(), synth.MultiLevelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewMultiLevel(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Rows != 3 || l.Cols != 19 || l.Area() != 57 {
+		t.Errorf("geometry %dx%d=%d, want 3x19=57\n%s", l.Rows, l.Cols, l.Area(), l.Render())
+	}
+}
+
+func TestMultiLevelSimulation(t *testing.T) {
+	f := fig3Cover()
+	nw, err := synth.SynthesizeMultiLevel(f, synth.MultiLevelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewMultiLevel(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawCR := false
+	for _, x := range AllAssignments(8) {
+		res, err := l.Simulate(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := f.EvalOutput(0, x)
+		if res.F[0] != want || res.FBar[0] == want {
+			t.Fatalf("F(%v) = %v/%v, want %v/%v", x, res.F[0], res.FBar[0], want, !want)
+		}
+		for _, s := range res.Trace.States {
+			if s == StateCR {
+				sawCR = true
+			}
+		}
+	}
+	if !sawCR {
+		t.Error("multi-level trace must contain CR states")
+	}
+}
+
+func TestMultiLevelRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(5)
+		f := randomMulti(rng, n, 1+rng.Intn(3), 1+rng.Intn(6))
+		nw, err := synth.SynthesizeMultiLevel(f, synth.MultiLevelOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := NewMultiLevel(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range AllAssignments(n) {
+			res, err := l.Simulate(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := f.Eval(x)
+			for j := range want {
+				if res.F[j] != want[j] {
+					t.Fatalf("trial %d output %d differs at %v\n%v\n%s", trial, j, x, nw, l.Render())
+				}
+			}
+		}
+	}
+}
+
+func TestStuckClosedForcesRow(t *testing.T) {
+	f := logic.MustParseCover(2, 1, "11")
+	l, err := NewTwoLevel(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := defect.NewMap(l.Rows, l.Cols)
+	// Poison the product row: a stuck-closed device anywhere on it forces
+	// the NAND output to logic 1 (the minterm always reads as absent), so
+	// f becomes constant 0.
+	dm.Set(0, 5, defect.StuckClosed)
+	for _, x := range AllAssignments(2) {
+		res, err := l.SimulateMapped(x, dm, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Column 5 is the f column; poisoning it also kills the output
+		// drive, so f must read 0 everywhere.
+		if res.F[0] {
+			t.Fatalf("poisoned crossbar computed f=1 at %v", x)
+		}
+	}
+}
+
+func TestStuckOpenOnActiveDeviceBreaksFunction(t *testing.T) {
+	f := fig3Cover()
+	l, _ := NewTwoLevel(f)
+	dm := defect.NewMap(l.Rows, l.Cols)
+	dm.Set(0, 0, defect.StuckOpen) // the x1 literal of product x1
+	bad, err := l.Verify(func(x []bool) []bool { return f.Eval(x) }, dm, nil, AllAssignments(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad == nil {
+		t.Error("an open defect on a required-active device must corrupt some input")
+	}
+}
+
+func TestStuckOpenOnDisabledDeviceIsHarmless(t *testing.T) {
+	f := fig3Cover()
+	l, _ := NewTwoLevel(f)
+	dm := defect.NewMap(l.Rows, l.Cols)
+	// Product row 0 only uses column 0 (x1) and the f̄ column; an open
+	// defect on x5's column of that row coincides with a disabled device.
+	dm.Set(0, 4, defect.StuckOpen)
+	bad, err := l.Verify(func(x []bool) []bool { return f.Eval(x) }, dm, nil, AllAssignments(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != nil {
+		t.Errorf("open defect on a disabled position corrupted input %v", bad)
+	}
+}
+
+func TestSimulateMappedPermutation(t *testing.T) {
+	f := fig3Cover()
+	l, _ := NewTwoLevel(f)
+	dm := defect.NewMap(l.Rows, l.Cols)
+	// Reverse the rows: function must be unchanged on a clean fabric.
+	assign := make([]int, l.Rows)
+	for r := range assign {
+		assign[r] = l.Rows - 1 - r
+	}
+	bad, err := l.Verify(func(x []bool) []bool { return f.Eval(x) }, dm, assign, AllAssignments(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != nil {
+		t.Errorf("row permutation broke the function at %v", bad)
+	}
+}
+
+func TestSimulateMappedValidation(t *testing.T) {
+	l, _ := NewTwoLevel(fig3Cover())
+	dm := defect.NewMap(l.Rows, l.Cols)
+	x := make([]bool, 8)
+	if _, err := l.SimulateMapped(x[:4], dm, nil); err == nil {
+		t.Error("wrong input arity must fail")
+	}
+	if _, err := l.SimulateMapped(x, dm, []int{0}); err == nil {
+		t.Error("short assignment must fail")
+	}
+	dup := []int{0, 0, 1, 2, 3, 4}
+	if _, err := l.SimulateMapped(x, dm, dup); err == nil {
+		t.Error("duplicate physical rows must fail")
+	}
+	oob := []int{0, 1, 2, 3, 4, 99}
+	if _, err := l.SimulateMapped(x, dm, oob); err == nil {
+		t.Error("out-of-range physical row must fail")
+	}
+	wrongCols := defect.NewMap(l.Rows, l.Cols+1)
+	if _, err := l.SimulateMapped(x, wrongCols, nil); err == nil {
+		t.Error("column mismatch must fail")
+	}
+}
+
+func TestInclusionRatioFig3(t *testing.T) {
+	l, _ := NewTwoLevel(fig3Cover())
+	ir := l.InclusionRatio()
+	want := 15.0 / 108.0
+	if ir < want-1e-9 || ir > want+1e-9 {
+		t.Errorf("IR = %v, want %v", ir, want)
+	}
+}
+
+func TestFunctionMatrixIsCopy(t *testing.T) {
+	l, _ := NewTwoLevel(fig3Cover())
+	fm := l.FunctionMatrix()
+	fm[0][0] = !fm[0][0]
+	if fm[0][0] == l.Active[0][0] {
+		t.Error("FunctionMatrix must return a copy")
+	}
+}
+
+func TestNewTwoLevelErrors(t *testing.T) {
+	if _, err := NewTwoLevel(logic.NewCover(0, 1)); err == nil {
+		t.Error("zero-input cover must fail")
+	}
+}
+
+func randomMulti(rng *rand.Rand, nIn, nOut, nCubes int) *logic.Cover {
+	c := logic.NewCover(nIn, nOut)
+	for k := 0; k < nCubes; k++ {
+		cube := logic.NewCube(nIn, nOut)
+		for i := range cube.In {
+			switch rng.Intn(4) {
+			case 0:
+				cube.In[i] = logic.LitNeg
+			case 1:
+				cube.In[i] = logic.LitPos
+			default:
+				cube.In[i] = logic.LitDC
+			}
+		}
+		for j := range cube.Out {
+			cube.Out[j] = rng.Intn(2) == 1
+		}
+		if cube.NumOutputs() == 0 {
+			cube.Out[rng.Intn(nOut)] = true
+		}
+		c.Cubes = append(c.Cubes, cube)
+	}
+	return c
+}
