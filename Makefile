@@ -1,0 +1,15 @@
+GO ?= go
+
+.PHONY: build test bench vet
+
+build: vet
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=XXX ./...

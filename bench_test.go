@@ -10,10 +10,13 @@ package memxbar
 // benches time the same code paths via internal/experiments.
 
 import (
+	"context"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/defect"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/faultsim"
 	"repro/internal/logic"
@@ -275,6 +278,71 @@ func BenchmarkColumnAware(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// engineMixedBatch builds a 64-job mixed workload: synthesis of both
+// styles, single defect mappings, and Monte Carlo yield batches, all with
+// distinct identities so no job dedupes against another.
+func engineMixedBatch() []engine.JobSpec {
+	var specs []engine.JobSpec
+	benches := []string{"rd53", "squar5", "misex1", "sqrt8", "inc", "bw", "rd73", "sao2"}
+	for i := 0; i < 8; i++ {
+		specs = append(specs,
+			engine.JobSpec{Kind: engine.SynthTwoLevel, Benchmark: benches[i]},
+			engine.JobSpec{Kind: engine.SynthMultiLevel, Benchmark: benches[i%4], MaxFanin: 2 + i})
+	}
+	for i := 0; i < 16; i++ {
+		specs = append(specs, engine.JobSpec{
+			Kind: engine.MapHBA, Benchmark: "rd53", Minimize: true,
+			OpenRate: 0.10, Seed: int64(i),
+		})
+	}
+	for i := 0; i < 16; i++ {
+		algo := "HBA"
+		if i%2 == 1 {
+			algo = "EA"
+		}
+		specs = append(specs, engine.JobSpec{
+			Kind: engine.MonteCarloYield, Benchmark: "rd53",
+			OpenRate: 0.10, Samples: 20, Seed: int64(i), Algorithm: algo,
+		})
+	}
+	for i := 0; i < 16; i++ {
+		specs = append(specs, engine.JobSpec{
+			Kind: engine.MonteCarloYield, Benchmark: "misex1",
+			OpenRate: 0.10, Samples: 20, Seed: int64(i), Algorithm: "HBA",
+		})
+	}
+	return specs
+}
+
+// BenchmarkEngineMixedBatch64 is the engine's headline number: a 64-job
+// mixed batch through a single-worker pool versus a full-width pool. On a
+// machine with >= 4 cores the parallel variant completes the batch at least
+// 2x faster; the result cache is disabled so both variants do all the work.
+func BenchmarkEngineMixedBatch64(b *testing.B) {
+	specs := engineMixedBatch()
+	if len(specs) != 64 {
+		b.Fatalf("batch has %d jobs, want 64", len(specs))
+	}
+	run := func(b *testing.B, workers int) {
+		e := engine.New(engine.Options{Workers: workers, CacheSize: -1})
+		defer e.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			results, err := e.Run(context.Background(), specs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range results {
+				if r.Err != "" {
+					b.Fatalf("job %s: %s", r.ID, r.Err)
+				}
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, runtime.GOMAXPROCS(0)) })
 }
 
 // ---------------------------------------------------------------------------

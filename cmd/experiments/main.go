@@ -10,6 +10,11 @@
 //
 // Use -samples to trade fidelity for speed (the paper uses 200) and -csv to
 // dump figure series as CSV files into the given directory.
+//
+// The Monte Carlo studies (table2, yield, ml) run through the parallel
+// compilation engine by default, one job per (circuit, algorithm) or sweep
+// point, scheduled across -workers cores; -parallel=false forces the serial
+// reference path. Both produce identical tables.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/defect"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/faultsim"
 	"repro/internal/logic"
@@ -36,8 +42,15 @@ func main() {
 	seed := flag.Int64("seed", 2018, "random seed")
 	rate := flag.Float64("rate", 0.10, "stuck-open defect rate for table2 (paper: 0.10)")
 	csvDir := flag.String("csv", "", "directory to write figure CSV series into")
-	parallel := flag.Bool("parallel", true, "parallelize Monte Carlo trials")
+	parallel := flag.Bool("parallel", true, "run Monte Carlo studies through the parallel engine")
+	workers := flag.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	var eng *engine.Engine
+	if *parallel {
+		eng = engine.New(engine.Options{Workers: *workers})
+		defer eng.Close()
+	}
 
 	run := func(name string) bool { return *only == "" || *only == name }
 	ok := true
@@ -54,13 +67,13 @@ func main() {
 		ok = fig8() && ok
 	}
 	if run("table2") {
-		ok = table2(*samples, *rate, *seed, *parallel) && ok
+		ok = table2(*samples, *rate, *seed, eng) && ok
 	}
 	if run("yield") {
-		ok = yield(*samples, *seed, *csvDir) && ok
+		ok = yield(*samples, *seed, *csvDir, eng) && ok
 	}
 	if run("ml") {
-		ok = mlMapping(*samples, *rate, *seed, *parallel) && ok
+		ok = mlMapping(*samples, *rate, *seed, eng) && ok
 	}
 	if run("ablation") {
 		ok = ablation(*samples, *seed) && ok
@@ -141,10 +154,10 @@ func closedTolerance(samples int, seed int64) bool {
 
 // mlMapping runs the multi-level defect-mapping extension (the future-work
 // integration of Section VI).
-func mlMapping(samples int, rate float64, seed int64, parallel bool) bool {
+func mlMapping(samples int, rate float64, seed int64, eng *engine.Engine) bool {
 	fmt.Printf("== Extension: defect-tolerant mapping of multi-level designs (%.0f%% open) ==\n", rate*100)
 	rows, err := experiments.MultiLevelMapping(experiments.MLOptions{
-		Samples: samples, DefectRate: rate, Seed: seed, Parallel: parallel,
+		Samples: samples, DefectRate: rate, Seed: seed, Engine: eng,
 	})
 	if err != nil {
 		return fail(err)
@@ -323,11 +336,11 @@ func fig8() bool {
 }
 
 // table2 reproduces the HBA vs EA study.
-func table2(samples int, rate float64, seed int64, parallel bool) bool {
+func table2(samples int, rate float64, seed int64, eng *engine.Engine) bool {
 	fmt.Printf("== Table II: HBA vs EA, %d samples, %.0f%% stuck-open ==\n", samples, rate*100)
 	start := time.Now()
 	rows, err := experiments.Table2(experiments.Table2Options{
-		Samples: samples, DefectRate: rate, Seed: seed, Parallel: parallel,
+		Samples: samples, DefectRate: rate, Seed: seed, Engine: eng,
 	})
 	if err != nil {
 		return fail(err)
@@ -347,11 +360,17 @@ func table2(samples int, rate float64, seed int64, parallel bool) bool {
 }
 
 // yield sweeps redundancy against defect rate (Section VI).
-func yield(samples int, seed int64, csvDir string) bool {
+func yield(samples int, seed int64, csvDir string, eng *engine.Engine) bool {
 	fmt.Println("== Section VI: redundancy vs yield (HBA on rd53) ==")
 	spares := []int{0, 1, 2, 4, 8}
 	rates := []float64{0.05, 0.10, 0.15, 0.20}
-	points, err := experiments.Yield("rd53", spares, rates, samples, seed)
+	var points []experiments.YieldPoint
+	var err error
+	if eng != nil {
+		points, err = experiments.YieldEngine(eng, "rd53", spares, rates, samples, seed)
+	} else {
+		points, err = experiments.Yield("rd53", spares, rates, samples, seed)
+	}
 	if err != nil {
 		return fail(err)
 	}

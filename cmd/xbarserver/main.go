@@ -1,0 +1,71 @@
+// Command xbarserver serves the parallel crossbar compilation engine as a
+// batch HTTP service.
+//
+//	xbarserver -addr :8080 -workers 0 -cache 1024 -timeout 30s
+//
+// API:
+//
+//	POST /v1/jobs      submit a batch: {"jobs":[{"kind":"synthesize-two-level",
+//	                   "benchmark":"rd53"}, ...]} -> {"job_ids":["j00000001",...]}
+//	GET  /v1/jobs/{id} poll one job: {"id","status","result"?}
+//	GET  /healthz      liveness plus engine counters
+//
+// Job kinds: synthesize-two-level, synthesize-multilevel, map-hba, map-ea,
+// monte-carlo-yield. Functions come from a built-in "benchmark" name or
+// PLA-style "rows" with "inputs"/"outputs". Identical jobs are deduplicated
+// through the engine's result cache, so re-submitting a batch is cheap.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", engine.DefaultCacheSize, "result cache entries (negative disables)")
+	timeout := flag.Duration("timeout", 0, "default per-job timeout (0 = none)")
+	flag.Parse()
+
+	e := engine.New(engine.Options{
+		Workers:        *workers,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *timeout,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           engine.NewHTTPHandler(e),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("xbarserver listening on %s (workers=%d cache=%d)", *addr, *workers, *cacheSize)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		log.Printf("received %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		e.Close()
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+}

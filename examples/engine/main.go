@@ -1,0 +1,55 @@
+// Example engine: compile a mixed batch through the parallel compilation
+// engine and stream results as they finish.
+//
+// The batch mixes the paper's workloads — two-level and multi-level
+// synthesis of Table I circuits, one defect mapping, and a Table II-style
+// Monte Carlo yield job — and includes a duplicate job to show the result
+// cache deduplicating identical work.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	memxbar "repro"
+)
+
+func main() {
+	eng := memxbar.NewEngine(memxbar.EngineOptions{DefaultTimeout: time.Minute})
+	defer eng.Close()
+
+	jobs := []memxbar.Job{
+		{Kind: memxbar.JobSynthTwoLevel, Benchmark: "rd53"},
+		{Kind: memxbar.JobSynthMultiLevel, Benchmark: "rd53"},
+		{Kind: memxbar.JobSynthTwoLevel, Benchmark: "sqrt8", Minimize: true},
+		{Kind: memxbar.JobMapHBA, Benchmark: "rd53", OpenRate: 0.10, Seed: 7},
+		{Kind: memxbar.JobMonteCarloYield, Benchmark: "rd53",
+			OpenRate: 0.10, Samples: 50, Seed: 2018, Algorithm: "HBA"},
+		// Identical to the previous job: served from the cache.
+		{Kind: memxbar.JobMonteCarloYield, Benchmark: "rd53",
+			OpenRate: 0.10, Samples: 50, Seed: 2018, Algorithm: "HBA"},
+	}
+
+	batch, err := eng.Submit(context.Background(), jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for r := range batch.Results {
+		switch {
+		case r.Err != "":
+			fmt.Printf("%s %-22s error: %s\n", r.ID, r.Kind, r.Err)
+		case r.Kind == memxbar.JobMonteCarloYield:
+			fmt.Printf("%s %-22s Psucc=%.0f%% over %d samples (cache hit: %v)\n",
+				r.ID, r.Kind, 100*r.Psucc, r.Samples, r.CacheHit)
+		case r.Kind == memxbar.JobMapHBA:
+			fmt.Printf("%s %-22s valid=%v backtracks=%d\n", r.ID, r.Kind, r.Valid, r.Backtracks)
+		default:
+			fmt.Printf("%s %-22s %dx%d area=%d\n", r.ID, r.Kind, r.Rows, r.Cols, r.Area)
+		}
+	}
+	st := eng.Stats()
+	fmt.Printf("engine: %d jobs, %d cache hits, peak concurrency %d\n",
+		st.Completed, st.CacheHits, st.MaxConcurrent)
+}

@@ -1,0 +1,395 @@
+// Package engine is the parallel crossbar compilation engine: a job-oriented
+// layer over the synthesis, defect-mapping, and Monte Carlo kernels that runs
+// batches on a bounded worker pool, enforces per-job timeouts and
+// cancellation through context.Context, deduplicates identical work through
+// a sharded LRU result cache keyed by a canonical function/defect hash, and
+// streams per-job results as they finish.
+//
+// The engine is what cmd/xbarserver serves over HTTP, what memxbar.NewEngine
+// exposes as a library API, and what cmd/experiments uses to parallelize the
+// paper's table reproductions across cores.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/workpool"
+)
+
+// Options tunes an engine.
+type Options struct {
+	// Workers bounds concurrent job execution; zero means GOMAXPROCS.
+	Workers int
+	// CacheSize is the result cache entry budget: zero means
+	// DefaultCacheSize, negative disables caching.
+	CacheSize int
+	// CacheShards splits the cache (zero means 16).
+	CacheShards int
+	// DefaultTimeout bounds each job's execution when the job doesn't set
+	// its own; zero means no limit. Cooperative kernels (Monte Carlo)
+	// abort at the deadline; the uninterruptible synthesis/map kernels
+	// run to completion on their worker and report a late result, so
+	// concurrent compute never exceeds Workers.
+	DefaultTimeout time.Duration
+	// StatusLimit bounds the in-memory job status store used by the HTTP
+	// service; the oldest finished jobs are evicted first. Zero means
+	// 16384.
+	StatusLimit int
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	StatusPending Status = "pending"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+)
+
+// JobStatus is the queryable state of one submitted job.
+type JobStatus struct {
+	ID     string     `json:"id"`
+	Status Status     `json:"status"`
+	Result *JobResult `json:"result,omitempty"`
+}
+
+// Stats is a snapshot of engine counters.
+type Stats struct {
+	Workers       int   `json:"workers"`
+	Submitted     int64 `json:"submitted"`
+	Completed     int64 `json:"completed"`
+	CacheHits     int64 `json:"cache_hits"`
+	Errors        int64 `json:"errors"`
+	MaxConcurrent int64 `json:"max_concurrent"`
+	CacheEntries  int   `json:"cache_entries"`
+}
+
+// Batch is one submitted group of jobs. Results carries each job's outcome
+// as it finishes (no ordering guarantee) and closes when the batch is done;
+// IDs lists the assigned job ids in spec order.
+type Batch struct {
+	IDs     []string
+	Results <-chan JobResult
+}
+
+// Engine runs job batches on a bounded worker pool.
+type Engine struct {
+	opt   Options
+	queue chan *task
+	cache *resultCache
+
+	workerWG sync.WaitGroup
+	submitWG sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	status   map[string]*JobStatus
+	order    []string
+	inflight map[string]*flight
+
+	nextID      atomic.Int64
+	stSubmitted atomic.Int64
+	stCompleted atomic.Int64
+	stCacheHits atomic.Int64
+	stErrors    atomic.Int64
+	stActive    atomic.Int64
+	stMaxActive atomic.Int64
+}
+
+// flight is one in-progress execution of a job identity, shared by every
+// concurrent job with the same hash (singleflight).
+type flight struct {
+	done chan struct{}
+	res  JobResult
+	// ctxFailed marks a failure caused by the leader's own context
+	// (cancellation or deadline): followers should retry rather than
+	// inherit it. Deterministic job errors are inherited.
+	ctxFailed bool
+}
+
+type task struct {
+	id   string
+	spec JobSpec
+	ctx  context.Context
+	out  chan JobResult
+	wg   *sync.WaitGroup
+}
+
+// New starts an engine. Callers must Close it to release the workers.
+func New(opt Options) *Engine {
+	if opt.Workers <= 0 {
+		opt.Workers = workpool.DefaultWorkers()
+	}
+	if opt.StatusLimit <= 0 {
+		opt.StatusLimit = 16384
+	}
+	e := &Engine{
+		opt:      opt,
+		queue:    make(chan *task, 4*opt.Workers),
+		status:   make(map[string]*JobStatus),
+		inflight: make(map[string]*flight),
+	}
+	if opt.CacheSize >= 0 {
+		e.cache = newResultCache(opt.CacheSize, opt.CacheShards)
+	}
+	for i := 0; i < opt.Workers; i++ {
+		e.workerWG.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Submit enqueues a batch and returns immediately. Jobs not yet started
+// when ctx is cancelled complete with the context error in their result;
+// running Monte Carlo jobs abort cooperatively. An empty batch is valid
+// and yields an immediately closed Results channel.
+func (e *Engine) Submit(ctx context.Context, specs []JobSpec) (*Batch, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, errors.New("engine: closed")
+	}
+	if len(specs) == 0 {
+		e.mu.Unlock()
+		out := make(chan JobResult)
+		close(out)
+		return &Batch{Results: out}, nil
+	}
+	ids := make([]string, len(specs))
+	for i := range specs {
+		ids[i] = fmt.Sprintf("j%08d", e.nextID.Add(1))
+		e.recordLocked(ids[i])
+	}
+	e.submitWG.Add(1)
+	e.mu.Unlock()
+	e.stSubmitted.Add(int64(len(specs)))
+
+	out := make(chan JobResult, len(specs))
+	var wg sync.WaitGroup
+	wg.Add(len(specs))
+	go func() {
+		defer e.submitWG.Done()
+		for i := range specs {
+			t := &task{id: ids[i], spec: specs[i], ctx: ctx, out: out, wg: &wg}
+			select {
+			case e.queue <- t:
+			case <-ctx.Done():
+				e.finish(t, errResult(t, ctx.Err()))
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return &Batch{IDs: ids, Results: out}, nil
+}
+
+// Run submits the batch and blocks until every job finishes (or is
+// cancelled), returning results in spec order.
+func (e *Engine) Run(ctx context.Context, specs []JobSpec) ([]JobResult, error) {
+	b, err := e.Submit(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	pos := make(map[string]int, len(b.IDs))
+	for i, id := range b.IDs {
+		pos[id] = i
+	}
+	out := make([]JobResult, len(specs))
+	for r := range b.Results {
+		out[pos[r.ID]] = r
+	}
+	return out, nil
+}
+
+// Job reports the status of a submitted job by id.
+func (e *Engine) Job(id string) (JobStatus, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.status[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	cp := *st
+	if st.Result != nil {
+		r := *st.Result
+		cp.Result = &r
+	}
+	return cp, true
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Workers:       e.opt.Workers,
+		Submitted:     e.stSubmitted.Load(),
+		Completed:     e.stCompleted.Load(),
+		CacheHits:     e.stCacheHits.Load(),
+		Errors:        e.stErrors.Load(),
+		MaxConcurrent: e.stMaxActive.Load(),
+	}
+	if e.cache != nil {
+		s.CacheEntries = e.cache.Len()
+	}
+	return s
+}
+
+// Close stops accepting work, waits for queued jobs to drain, and releases
+// the workers. Safe to call more than once.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.submitWG.Wait()
+	close(e.queue)
+	e.workerWG.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// Internals.
+
+func (e *Engine) worker() {
+	defer e.workerWG.Done()
+	for t := range e.queue {
+		a := e.stActive.Add(1)
+		for {
+			p := e.stMaxActive.Load()
+			if a <= p || e.stMaxActive.CompareAndSwap(p, a) {
+				break
+			}
+		}
+		e.setRunning(t.id)
+		res := e.runTask(t)
+		e.stActive.Add(-1)
+		e.finish(t, res)
+	}
+}
+
+// runTask executes one job: deadline setup, cache lookup, singleflight
+// dedup, then the kernel.
+func (e *Engine) runTask(t *task) JobResult {
+	ctx := t.ctx
+	if d := t.spec.timeout(e.opt.DefaultTimeout); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	key := t.spec.hashKey()
+	for {
+		if err := ctx.Err(); err != nil {
+			return errResult(t, err)
+		}
+		if e.cache != nil {
+			if r, ok := e.cache.Get(key); ok {
+				e.stCacheHits.Add(1)
+				r.ID, r.CacheHit, r.Elapsed = t.id, true, 0
+				return r
+			}
+		}
+		e.mu.Lock()
+		fl, ok := e.inflight[key]
+		if ok {
+			// Identical work is already running on another worker: wait
+			// for it instead of computing it twice.
+			e.mu.Unlock()
+			select {
+			case <-fl.done:
+				if fl.res.Err == "" {
+					e.stCacheHits.Add(1)
+					r := fl.res
+					r.ID, r.CacheHit, r.Elapsed = t.id, true, 0
+					return r
+				}
+				if fl.ctxFailed {
+					// The leader died of its own cancellation or
+					// deadline; retry through the cache/flight path so
+					// exactly one follower re-runs the kernel.
+					continue
+				}
+				// Deterministic job error: same spec, same failure.
+				r := fl.res
+				r.ID = t.id
+				return r
+			case <-ctx.Done():
+				return errResult(t, ctx.Err())
+			}
+		}
+		fl = &flight{done: make(chan struct{})}
+		e.inflight[key] = fl
+		e.mu.Unlock()
+		// The leader runs the kernel on this worker goroutine, so
+		// concurrent compute never exceeds the Workers cap: cancellation
+		// and deadlines reach cooperative kernels (Monte Carlo) through
+		// ctx, while the uninterruptible synthesis/map kernels run to
+		// completion and report their (possibly late) result.
+		fl.res = Execute(ctx, t.spec)
+		fl.ctxFailed = fl.res.Err != "" && ctx.Err() != nil
+		if fl.res.Err == "" && e.cache != nil {
+			e.cache.Put(key, fl.res)
+		}
+		e.mu.Lock()
+		delete(e.inflight, key)
+		e.mu.Unlock()
+		close(fl.done)
+		r := fl.res
+		r.ID = t.id
+		return r
+	}
+}
+
+func (e *Engine) finish(t *task, r JobResult) {
+	if r.Err != "" {
+		e.stErrors.Add(1)
+	}
+	e.stCompleted.Add(1)
+	e.mu.Lock()
+	if st, ok := e.status[t.id]; ok {
+		st.Status = StatusDone
+		rc := r
+		st.Result = &rc
+	}
+	e.mu.Unlock()
+	t.out <- r
+	t.wg.Done()
+}
+
+func (e *Engine) setRunning(id string) {
+	e.mu.Lock()
+	if st, ok := e.status[id]; ok && st.Status == StatusPending {
+		st.Status = StatusRunning
+	}
+	e.mu.Unlock()
+}
+
+// recordLocked registers a pending job in the status store and evicts the
+// oldest finished jobs beyond the limit. Caller holds e.mu.
+func (e *Engine) recordLocked(id string) {
+	e.status[id] = &JobStatus{ID: id, Status: StatusPending}
+	e.order = append(e.order, id)
+	for len(e.order) > e.opt.StatusLimit {
+		oldest := e.order[0]
+		st, ok := e.status[oldest]
+		if ok && st.Status != StatusDone {
+			break // never drop live jobs; the store shrinks as they finish
+		}
+		delete(e.status, oldest)
+		e.order = e.order[1:]
+	}
+}
+
+func errResult(t *task, err error) JobResult {
+	return JobResult{ID: t.id, Kind: t.spec.Kind, Err: err.Error()}
+}

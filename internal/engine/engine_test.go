@@ -1,0 +1,329 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fig8Rows is the paper's Figs. 7/8 walkthrough function (3 inputs, 2
+// outputs), small enough that every kernel is fast.
+var fig8Rows = []string{"11- 10", "-01 10", "0-0 01", "-11 01"}
+
+func fig8Spec(kind Kind) JobSpec {
+	return JobSpec{Kind: kind, Inputs: 3, Outputs: 2, Rows: fig8Rows}
+}
+
+// mcSpec is a Monte Carlo job that takes long enough to observe scheduling.
+func mcSpec(seed int64) JobSpec {
+	s := fig8Spec(MonteCarloYield)
+	s.OpenRate = 0.10
+	s.Samples = 40
+	s.Seed = seed
+	return s
+}
+
+func TestExecuteSynthesisKinds(t *testing.T) {
+	two := Execute(context.Background(), fig8Spec(SynthTwoLevel))
+	if two.Err != "" {
+		t.Fatalf("two-level: %s", two.Err)
+	}
+	// Geometry: (P+O) x (2I+2O) = 6 x 10.
+	if two.Rows != 6 || two.Cols != 10 || two.Area != 60 {
+		t.Fatalf("two-level geometry = %dx%d (%d)", two.Rows, two.Cols, two.Area)
+	}
+	multi := Execute(context.Background(), fig8Spec(SynthMultiLevel))
+	if multi.Err != "" {
+		t.Fatalf("multi-level: %s", multi.Err)
+	}
+	if multi.Gates == 0 || multi.Area == 0 {
+		t.Fatalf("multi-level result = %+v", multi)
+	}
+	bench := Execute(context.Background(), JobSpec{Kind: SynthTwoLevel, Benchmark: "rd53"})
+	if bench.Err != "" {
+		t.Fatalf("benchmark: %s", bench.Err)
+	}
+	// rd53: (31+3) x (2*5+2*3) = 34 x 16 = 544, the paper's Table I area.
+	if bench.Area != 544 {
+		t.Fatalf("rd53 area = %d, want 544", bench.Area)
+	}
+}
+
+func TestExecuteMapWithExplicitDefects(t *testing.T) {
+	// The Fig. 8 walkthrough fabric: HBA must find a valid mapping.
+	spec := fig8Spec(MapHBA)
+	spec.DefectMap = []string{
+		"o.o.....o.", "..........", "oo........",
+		".o..o.....", "..o.......", "...o...o..",
+	}
+	r := Execute(context.Background(), spec)
+	if r.Err != "" {
+		t.Fatal(r.Err)
+	}
+	if !r.Valid || len(r.Assignment) == 0 {
+		t.Fatalf("HBA on Fig. 8 fabric = %+v", r)
+	}
+	ea := spec
+	ea.Kind = MapEA
+	if r := Execute(context.Background(), ea); r.Err != "" || !r.Valid {
+		t.Fatalf("EA on Fig. 8 fabric = %+v", r)
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	cases := []JobSpec{
+		{Kind: "bogus", Benchmark: "rd53"},
+		{Kind: SynthTwoLevel},                                          // no function source
+		{Kind: SynthTwoLevel, Benchmark: "no-such-circuit"},            // unknown benchmark
+		{Kind: MapHBA, Benchmark: "rd53", Style: "bogus"},              // unknown style
+		{Kind: MonteCarloYield, Benchmark: "rd53", Algorithm: "bogus"}, // unknown algorithm
+		{Kind: MapHBA, Inputs: 3, Outputs: 2, Rows: fig8Rows,
+			DefectMap: []string{"?........."}}, // bad defect cell
+	}
+	for _, spec := range cases {
+		if r := Execute(context.Background(), spec); r.Err == "" {
+			t.Errorf("spec %+v must fail", spec)
+		}
+	}
+}
+
+func TestHashKeyIdentity(t *testing.T) {
+	a, b := mcSpec(1), mcSpec(1)
+	if a.hashKey() != b.hashKey() {
+		t.Fatal("identical specs must hash identically")
+	}
+	b.TimeoutMS = 500
+	if a.hashKey() != b.hashKey() {
+		t.Fatal("timeout must not change the identity hash")
+	}
+	for _, mutate := range []func(*JobSpec){
+		func(s *JobSpec) { s.Seed++ },
+		func(s *JobSpec) { s.Kind = MapHBA },
+		func(s *JobSpec) { s.OpenRate = 0.15 },
+		func(s *JobSpec) { s.Samples++ },
+		func(s *JobSpec) { s.Algorithm = "EA" },
+		func(s *JobSpec) { s.Style = StyleMultiLevel },
+		func(s *JobSpec) { s.SpareRows = 2 },
+		func(s *JobSpec) { s.Minimize = true },
+		func(s *JobSpec) { s.Rows = append([]string{}, "111 11") },
+	} {
+		c := mcSpec(1)
+		mutate(&c)
+		if c.hashKey() == a.hashKey() {
+			t.Errorf("mutated spec %+v must hash differently", c)
+		}
+	}
+}
+
+func TestEngineRunsBatchAndSaturatesPool(t *testing.T) {
+	const workers = 2
+	e := New(Options{Workers: workers, CacheSize: -1})
+	defer e.Close()
+	specs := make([]JobSpec, 16)
+	for i := range specs {
+		specs[i] = mcSpec(int64(i)) // distinct seeds: no dedup
+	}
+	results, err := e.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != "" {
+			t.Fatalf("job %d: %s", i, r.Err)
+		}
+		if r.Samples != 40 {
+			t.Fatalf("job %d ran %d samples", i, r.Samples)
+		}
+	}
+	st := e.Stats()
+	if st.Completed != 16 || st.Submitted != 16 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MaxConcurrent > workers {
+		t.Fatalf("max concurrency %d exceeds %d workers", st.MaxConcurrent, workers)
+	}
+}
+
+func TestEngineResultsStreamInSpecOrderViaRun(t *testing.T) {
+	e := New(Options{Workers: 4})
+	defer e.Close()
+	specs := []JobSpec{
+		fig8Spec(SynthTwoLevel),
+		{Kind: SynthTwoLevel, Benchmark: "rd53"},
+		fig8Spec(SynthMultiLevel),
+	}
+	results, err := e.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Area != 60 || results[1].Area != 544 || results[2].Gates == 0 {
+		t.Fatalf("results out of order: %+v", results)
+	}
+}
+
+func TestEngineCacheHitAndSharedDedup(t *testing.T) {
+	e := New(Options{Workers: 4})
+	defer e.Close()
+	spec := mcSpec(7)
+	first, err := e.Run(context.Background(), []JobSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first[0].CacheHit {
+		t.Fatal("first run cannot be a cache hit")
+	}
+	// Second run of the identical spec must come from the cache with the
+	// same Psucc.
+	second, err := e.Run(context.Background(), []JobSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second[0].CacheHit {
+		t.Fatal("identical re-run must hit the cache")
+	}
+	if second[0].Psucc != first[0].Psucc || second[0].Samples != first[0].Samples {
+		t.Fatalf("cached result drifted: %+v vs %+v", second[0], first[0])
+	}
+	// A batch full of the same job computes it once (cache + singleflight).
+	dup := make([]JobSpec, 8)
+	for i := range dup {
+		dup[i] = mcSpec(7)
+	}
+	results, err := e.Run(context.Background(), dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != "" || !r.CacheHit {
+			t.Fatalf("dup job %d: %+v", i, r)
+		}
+	}
+}
+
+func TestEngineCacheEviction(t *testing.T) {
+	// One shard of capacity 2, single worker for deterministic LRU order.
+	e := New(Options{Workers: 1, CacheSize: 2, CacheShards: 1})
+	defer e.Close()
+	run := func(seed int64) JobResult {
+		r, err := e.Run(context.Background(), []JobSpec{mcSpec(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r[0]
+	}
+	run(1)
+	run(2)
+	run(3) // evicts seed 1
+	if got := e.Stats().CacheEntries; got != 2 {
+		t.Fatalf("cache entries = %d, want 2", got)
+	}
+	if r := run(1); r.CacheHit {
+		t.Fatal("seed 1 must have been evicted (LRU)")
+	}
+	// Seed 3 was just re-inserted... seed 1's re-run evicted seed 2; 3 stays.
+	if r := run(3); !r.CacheHit {
+		t.Fatal("seed 3 must still be cached")
+	}
+}
+
+func TestEngineCancellationMidBatch(t *testing.T) {
+	e := New(Options{Workers: 2, CacheSize: -1})
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	specs := make([]JobSpec, 32)
+	for i := range specs {
+		specs[i] = mcSpec(int64(100 + i))
+		specs[i].Samples = 200
+	}
+	b, err := e.Submit(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok, cancelled int
+	first := true
+	for r := range b.Results {
+		if first {
+			cancel()
+			first = false
+		}
+		if r.Err == "" {
+			ok++
+		} else if strings.Contains(r.Err, "context canceled") {
+			cancelled++
+		} else {
+			t.Fatalf("unexpected error: %s", r.Err)
+		}
+	}
+	if ok+cancelled != len(specs) {
+		t.Fatalf("accounted for %d of %d jobs", ok+cancelled, len(specs))
+	}
+	if cancelled == 0 {
+		t.Fatal("cancellation must abort at least the queued jobs")
+	}
+	// The engine must remain usable after a cancelled batch.
+	after, err := e.Run(context.Background(), []JobSpec{fig8Spec(SynthTwoLevel)})
+	if err != nil || after[0].Err != "" {
+		t.Fatalf("engine unusable after cancel: %v %+v", err, after)
+	}
+}
+
+func TestEnginePerJobTimeout(t *testing.T) {
+	e := New(Options{Workers: 1, CacheSize: -1})
+	defer e.Close()
+	slow := mcSpec(5)
+	slow.Samples = 100_000
+	slow.TimeoutMS = 30
+	start := time.Now()
+	r, err := e.Run(context.Background(), []JobSpec{slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[0].Err == "" {
+		t.Fatal("a 30ms deadline on a 100k-sample job must expire")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v to fire", elapsed)
+	}
+}
+
+func TestEngineSubmitValidation(t *testing.T) {
+	e := New(Options{Workers: 1})
+	// An empty batch is valid (serial code paths return empty results for
+	// empty selections) and its channel closes immediately.
+	b, err := e.Submit(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if _, open := <-b.Results; open {
+		t.Fatal("empty batch channel must be closed")
+	}
+	if out, err := e.Run(context.Background(), nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty Run = %v, %v", out, err)
+	}
+	e.Close()
+	e.Close() // double close is safe
+	if _, err := e.Submit(context.Background(), []JobSpec{fig8Spec(SynthTwoLevel)}); err == nil {
+		t.Fatal("submit after close must fail")
+	}
+}
+
+func TestEngineJobStatusLifecycle(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	b, err := e.Submit(context.Background(), []JobSpec{fig8Spec(SynthTwoLevel)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := b.IDs[0]
+	for range b.Results {
+	}
+	st, ok := e.Job(id)
+	if !ok || st.Status != StatusDone || st.Result == nil || st.Result.Area != 60 {
+		t.Fatalf("status = %+v ok=%v", st, ok)
+	}
+	if _, ok := e.Job("j99999999"); ok {
+		t.Fatal("unknown id must not resolve")
+	}
+}

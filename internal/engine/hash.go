@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"math"
+)
+
+// hashKey is the canonical identity of a job: two specs with equal keys
+// compute the same result and may share one cache entry. The key covers
+// every field that influences the output — the function source (with the
+// in-memory cover rendered to its deterministic PLA form), synthesis
+// options, fabric parameters, and Monte Carlo parameters — and excludes
+// scheduling-only fields (TimeoutMS).
+func (s JobSpec) hashKey() string {
+	h := sha256.New()
+	hstr(h, string(s.Kind))
+	switch {
+	case s.Layout != nil:
+		hstr(h, "layout")
+		hint(h, int64(s.Layout.Rows))
+		hint(h, int64(s.Layout.Cols))
+		hbool(h, s.Layout.MultiLevel)
+		hstr(h, s.Layout.Render())
+	case s.Cover != nil:
+		hstr(h, "cover")
+		hint(h, int64(s.Cover.NumIn))
+		hint(h, int64(s.Cover.NumOut))
+		hstr(h, s.Cover.String())
+	case s.Benchmark != "":
+		hstr(h, "benchmark")
+		hstr(h, s.Benchmark)
+	default:
+		hstr(h, "rows")
+		hint(h, int64(s.Inputs))
+		hint(h, int64(s.Outputs))
+		hint(h, int64(len(s.Rows)))
+		for _, r := range s.Rows {
+			hstr(h, r)
+		}
+	}
+	hbool(h, s.Minimize)
+	hstr(h, s.Style)
+	hint(h, int64(s.MaxFanin))
+	hint(h, int64(len(s.DefectMap)))
+	for _, r := range s.DefectMap {
+		hstr(h, r)
+	}
+	hint(h, int64(s.SpareRows))
+	hint(h, int64(math.Float64bits(s.OpenRate)))
+	hint(h, int64(math.Float64bits(s.ClosedRate)))
+	hint(h, s.Seed)
+	hint(h, int64(s.Samples))
+	hstr(h, s.Algorithm)
+	return string(h.Sum(nil))
+}
+
+func hstr(h hash.Hash, s string) {
+	hint(h, int64(len(s)))
+	h.Write([]byte(s))
+}
+
+func hint(h hash.Hash, v int64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	h.Write(b[:])
+}
+
+func hbool(h hash.Hash, v bool) {
+	if v {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+}

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// MaxBatchJobs bounds one HTTP batch submission.
+const MaxBatchJobs = 4096
+
+// maxBodyBytes bounds the POST /v1/jobs request body so the job limit is
+// enforceable before the whole payload is buffered.
+const maxBodyBytes = 32 << 20
+
+// submitRequest is the POST /v1/jobs payload.
+type submitRequest struct {
+	Jobs []JobSpec `json:"jobs"`
+}
+
+// submitResponse acknowledges a batch with the assigned job ids, in
+// submission order.
+type submitResponse struct {
+	JobIDs []string `json:"job_ids"`
+}
+
+// healthResponse is the GET /healthz payload.
+type healthResponse struct {
+	Status string `json:"status"`
+	Stats  Stats  `json:"stats"`
+}
+
+// NewHTTPHandler exposes the engine as the xbarserver batch API:
+//
+//	POST /v1/jobs      {"jobs":[{...JobSpec...}]} -> 202 {"job_ids":[...]}
+//	GET  /v1/jobs/{id} -> {"id","status","result"?}
+//	GET  /healthz      -> {"status":"ok","stats":{...}}
+//
+// Submission is asynchronous: the response returns as soon as the batch is
+// queued, and clients poll job ids (or re-submit — identical jobs are
+// answered from the result cache).
+func NewHTTPHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req submitRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+			return
+		}
+		if len(req.Jobs) == 0 {
+			httpError(w, http.StatusBadRequest, "empty batch")
+			return
+		}
+		if len(req.Jobs) > MaxBatchJobs {
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("batch of %d jobs exceeds limit %d", len(req.Jobs), MaxBatchJobs))
+			return
+		}
+		// The batch must outlive this request, so it is detached from the
+		// request context; results land in the engine's status store.
+		b, err := e.Submit(context.Background(), req.Jobs)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		go func() {
+			for range b.Results {
+			}
+		}()
+		writeJSON(w, http.StatusAccepted, submitResponse{JobIDs: b.IDs})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := e.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown job id")
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Stats: e.Stats()})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestHTTPRoundTrip drives the full xbarserver API surface against a live
+// httptest server: batch submit, polling to completion, health.
+func TestHTTPRoundTrip(t *testing.T) {
+	e := New(Options{Workers: 2})
+	defer e.Close()
+	srv := httptest.NewServer(NewHTTPHandler(e))
+	defer srv.Close()
+
+	body, _ := json.Marshal(submitRequest{Jobs: []JobSpec{
+		{Kind: SynthTwoLevel, Benchmark: "rd53"},
+		{Kind: MapHBA, Inputs: 3, Outputs: 2, Rows: fig8Rows, OpenRate: 0.10, Seed: 4},
+		{Kind: MonteCarloYield, Benchmark: "rd53", OpenRate: 0.10, Samples: 20, Seed: 9},
+	}})
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(sub.JobIDs) != 3 {
+		t.Fatalf("job ids = %v", sub.JobIDs)
+	}
+
+	poll := func(id string) JobStatus {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			r, err := http.Get(srv.URL + "/v1/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st JobStatus
+			if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+				t.Fatal(err)
+			}
+			r.Body.Close()
+			if st.Status == StatusDone {
+				return st
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %s", id, st.Status)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if st := poll(sub.JobIDs[0]); st.Result.Err != "" || st.Result.Area != 544 {
+		t.Fatalf("synth result = %+v", st.Result)
+	}
+	if st := poll(sub.JobIDs[1]); st.Result.Err != "" {
+		t.Fatalf("map result = %+v", st.Result)
+	}
+	if st := poll(sub.JobIDs[2]); st.Result.Err != "" || st.Result.Samples != 20 {
+		t.Fatalf("monte carlo result = %+v", st.Result)
+	}
+
+	// Re-submitting an identical job is answered from the cache.
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if st := poll(sub.JobIDs[0]); !st.Result.CacheHit {
+		t.Fatalf("re-submitted job must hit the cache: %+v", st.Result)
+	}
+
+	hr, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health healthResponse
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if health.Status != "ok" || health.Stats.Submitted < 6 {
+		t.Fatalf("health = %+v", health)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	srv := httptest.NewServer(NewHTTPHandler(e))
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{`, http.StatusBadRequest},
+		{`{"jobs":[]}`, http.StatusBadRequest},
+		{fmt.Sprintf(`{"jobs":[%s]}`, bigBatch(MaxBatchJobs+1)), http.StatusBadRequest},
+	} {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("POST %q status = %d, want %d", tc.body[:min(20, len(tc.body))], resp.StatusCode, tc.want)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v1/jobs/j99999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func bigBatch(n int) string {
+	var b bytes.Buffer
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`{"kind":"synthesize-two-level","benchmark":"rd53"}`)
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestTable2EngineMatchesSerial is the acceptance check for the engine
+// rewiring: routing the Table II study through the parallel engine must
+// reproduce the serial path's Psucc columns exactly (timing columns are
+// wall-clock and may differ).
+func TestTable2EngineMatchesSerial(t *testing.T) {
+	e := engine.New(engine.Options{CacheSize: -1})
+	defer e.Close()
+	only := []string{"rd53", "misex1"}
+	opt := Table2Options{Samples: 20, Seed: 2018, Only: only}
+	serial, err := Table2(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Engine = e
+	parallel, err := Table2(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) || len(serial) != 2 {
+		t.Fatalf("row counts: serial=%d engine=%d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Name != p.Name || s.Inputs != p.Inputs || s.Outputs != p.Outputs ||
+			s.Products != p.Products || s.Area != p.Area || s.IR != p.IR {
+			t.Errorf("row %d geometry differs: %+v vs %+v", i, s, p)
+		}
+		if s.HBA.Psucc != p.HBA.Psucc || s.EA.Psucc != p.EA.Psucc {
+			t.Errorf("%s Psucc differs: HBA %v/%v EA %v/%v",
+				s.Name, s.HBA.Psucc, p.HBA.Psucc, s.EA.Psucc, p.EA.Psucc)
+		}
+	}
+	// An Only filter selecting nothing is benign on both paths.
+	empty, err := Table2(Table2Options{Samples: 5, Only: []string{"no-such"}, Engine: e})
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty selection through engine = %v, %v", empty, err)
+	}
+}
+
+func TestYieldEngineMatchesSerial(t *testing.T) {
+	e := engine.New(engine.Options{CacheSize: -1})
+	defer e.Close()
+	spares, rates := []int{0, 2}, []float64{0.05, 0.10}
+	serial, err := Yield("rd53", spares, rates, 15, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := YieldEngine(e, "rd53", spares, rates, 15, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("point counts: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("point %d differs: %+v vs %+v", i, serial[i], parallel[i])
+		}
+	}
+	if _, err := YieldEngine(e, "no-such-circuit", spares, rates, 5, 1); err == nil {
+		t.Error("unknown circuit must fail")
+	}
+}
+
+func TestMultiLevelMappingEngineMatchesSerial(t *testing.T) {
+	e := engine.New(engine.Options{CacheSize: -1})
+	defer e.Close()
+	opt := MLOptions{Samples: 10, Seed: 5, Circuits: []string{"rd53"}}
+	serial, err := MultiLevelMapping(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Engine = e
+	parallel, err := MultiLevelMapping(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 1 || len(parallel) != 1 {
+		t.Fatalf("row counts: %d vs %d", len(serial), len(parallel))
+	}
+	s, p := serial[0], parallel[0]
+	if s.Gates != p.Gates || s.Wires != p.Wires || s.Area != p.Area ||
+		s.HBA.Psucc != p.HBA.Psucc || s.EA.Psucc != p.EA.Psucc {
+		t.Errorf("rows differ: %+v vs %+v", s, p)
+	}
+}

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/defect"
+	"repro/internal/engine"
 	"repro/internal/logic"
 	"repro/internal/mapping"
 	"repro/internal/minimize"
@@ -239,6 +241,12 @@ type Table2Options struct {
 	Only []string
 	// Parallel distributes samples across cores.
 	Parallel bool
+	// Engine, when set, routes the study through the compilation engine:
+	// every (circuit, algorithm) Monte Carlo batch becomes one job and
+	// the rows fill in parallel across cores. Psucc columns are identical
+	// to the serial path because per-sample rng derivation depends only
+	// on the seed and sample index.
+	Engine *engine.Engine
 }
 
 func (o Table2Options) withDefaults() Table2Options {
@@ -256,14 +264,80 @@ func (o Table2Options) withDefaults() Table2Options {
 // reports success rates and mean per-sample algorithm runtime.
 func Table2(opt Table2Options) ([]Table2Row, error) {
 	opt = opt.withDefaults()
+	circuits := table2Selection(opt.Only)
+	if opt.Engine != nil {
+		return table2Engine(circuits, opt)
+	}
 	var rows []Table2Row
-	for _, c := range suite.Table2Circuits() {
-		if len(opt.Only) > 0 && !contains(opt.Only, c.Name) {
-			continue
-		}
+	for _, c := range circuits {
 		row, err := table2One(c, opt)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %v", c.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func table2Selection(only []string) []suite.Circuit {
+	var circuits []suite.Circuit
+	for _, c := range suite.Table2Circuits() {
+		if len(only) > 0 && !contains(only, c.Name) {
+			continue
+		}
+		circuits = append(circuits, c)
+	}
+	return circuits
+}
+
+// table2Engine runs the whole study as one engine batch: two Monte Carlo
+// jobs (HBA, EA) per benchmark, scheduled across the pool.
+func table2Engine(circuits []suite.Circuit, opt Table2Options) ([]Table2Row, error) {
+	specs := make([]engine.JobSpec, 0, 2*len(circuits))
+	for _, c := range circuits {
+		l, err := xbar.NewTwoLevel(table2Cover(c))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %v", c.Name, err)
+		}
+		base := engine.JobSpec{
+			Kind:     engine.MonteCarloYield,
+			Layout:   l, // synthesized once, shared by both algorithm jobs
+			OpenRate: opt.DefectRate,
+			Samples:  opt.Samples,
+			Seed:     opt.Seed + int64(len(c.Name)),
+		}
+		hba, ea := base, base
+		hba.Algorithm, ea.Algorithm = "HBA", "EA"
+		specs = append(specs, hba, ea)
+	}
+	results, err := opt.Engine.Run(context.Background(), specs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table2Row, 0, len(circuits))
+	for i, c := range circuits {
+		hba, ea := results[2*i], results[2*i+1]
+		if hba.Err != "" {
+			return nil, fmt.Errorf("experiments: %s (HBA): %s", c.Name, hba.Err)
+		}
+		if ea.Err != "" {
+			return nil, fmt.Errorf("experiments: %s (EA): %s", c.Name, ea.Err)
+		}
+		cov := table2Cover(c)
+		row := Table2Row{
+			Name:      c.Name,
+			Inputs:    cov.NumIn,
+			Outputs:   cov.NumOut,
+			Products:  cov.NumProducts(),
+			Area:      hba.Area,
+			IR:        hba.IR,
+			HBA:       AlgoStats{Psucc: hba.Psucc, MeanTime: hba.MeanTime},
+			EA:        AlgoStats{Psucc: ea.Psucc, MeanTime: ea.MeanTime},
+			PaperArea: (c.Products + c.Outputs) * (2*c.Inputs + 2*c.Outputs),
+			PaperIR:   c.IR,
+		}
+		if ps, ok := paperTable2[c.Name]; ok {
+			row.PaperPsHBA, row.PaperPsEA = ps[0], ps[1]
 		}
 		rows = append(rows, row)
 	}
@@ -388,6 +462,51 @@ func Yield(circuit string, spares []int, rates []float64, samples int, seed int6
 				return nil, err
 			}
 			points = append(points, YieldPoint{SpareRows: spare, DefectRate: rate, Psucc: summary.SuccessRate})
+		}
+	}
+	return points, nil
+}
+
+// YieldEngine runs the same sweep as Yield through the compilation engine:
+// one monte-carlo-yield job per (spare rows, defect rate) point, executed
+// across cores. Psucc values match Yield exactly (same seeds, same
+// per-sample rng derivation); points come back in sweep order.
+func YieldEngine(e *engine.Engine, circuit string, spares []int, rates []float64, samples int, seed int64) ([]YieldPoint, error) {
+	c, ok := suite.ByName(circuit)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown circuit %q", circuit)
+	}
+	l, err := xbar.NewTwoLevel(c.Build())
+	if err != nil {
+		return nil, err
+	}
+	var specs []engine.JobSpec
+	for _, spare := range spares {
+		for _, rate := range rates {
+			specs = append(specs, engine.JobSpec{
+				Kind:      engine.MonteCarloYield,
+				Layout:    l, // synthesized once, shared by every sweep point
+				SpareRows: spare,
+				OpenRate:  rate,
+				Samples:   samples,
+				Seed:      seed,
+				Algorithm: "HBA",
+			})
+		}
+	}
+	results, err := e.Run(context.Background(), specs)
+	if err != nil {
+		return nil, err
+	}
+	var points []YieldPoint
+	i := 0
+	for _, spare := range spares {
+		for _, rate := range rates {
+			if results[i].Err != "" {
+				return nil, fmt.Errorf("experiments: yield point (%d, %.2f): %s", spare, rate, results[i].Err)
+			}
+			points = append(points, YieldPoint{SpareRows: spare, DefectRate: rate, Psucc: results[i].Psucc})
+			i++
 		}
 	}
 	return points, nil

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"repro/internal/defect"
+	"repro/internal/engine"
 	"repro/internal/mapping"
 	"repro/internal/minimize"
 	"repro/internal/montecarlo"
@@ -42,6 +44,10 @@ type MLOptions struct {
 	// into very wide multi-level layouts).
 	Circuits []string
 	Parallel bool
+	// Engine, when set, routes the Monte Carlo batches through the
+	// compilation engine (one job per circuit and algorithm), with Psucc
+	// identical to the serial path.
+	Engine *engine.Engine
 }
 
 // DefaultMLCircuits is the default circuit set for the multi-level study.
@@ -60,7 +66,10 @@ func MultiLevelMapping(opt MLOptions) ([]MLRow, error) {
 	if circuits == nil {
 		circuits = DefaultMLCircuits
 	}
-	var rows []MLRow
+	// Phase 1: geometry. Build every circuit's multi-level layout and the
+	// static row columns; the Monte Carlo phase then runs either serially
+	// or as one engine batch.
+	var preps []mlPrepared
 	for _, name := range circuits {
 		c, ok := suite.ByName(name)
 		if !ok {
@@ -78,7 +87,7 @@ func MultiLevelMapping(opt MLOptions) ([]MLRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %v", name, err)
 		}
-		row := MLRow{
+		preps = append(preps, mlPrepared{name: name, l: l, row: MLRow{
 			Name:  name,
 			Gates: nw.NumGates(),
 			Wires: nw.NumInternalWires(),
@@ -86,7 +95,15 @@ func MultiLevelMapping(opt MLOptions) ([]MLRow, error) {
 			Cols:  l.Cols,
 			Area:  l.Area(),
 			IR:    l.InclusionRatio(),
-		}
+		}})
+	}
+	if opt.Engine != nil {
+		return mlEngine(preps, opt)
+	}
+	var rows []MLRow
+	for _, p := range preps {
+		name, l, row := p.name, p.l, p.row
+		var err error
 		run := func(algo func(*mapping.Problem) mapping.Result) (AlgoStats, error) {
 			summary, err := montecarlo.Run(montecarlo.Options{
 				Samples: opt.Samples, Seed: opt.Seed + int64(len(name)), Parallel: opt.Parallel,
@@ -114,6 +131,51 @@ func MultiLevelMapping(opt MLOptions) ([]MLRow, error) {
 		if row.EA, err = run(mapping.Exact); err != nil {
 			return nil, err
 		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// mlPrepared is one circuit with its multi-level layout and static columns
+// built, awaiting the Monte Carlo phase.
+type mlPrepared struct {
+	name string
+	l    *xbar.Layout
+	row  MLRow
+}
+
+// mlEngine runs the Monte Carlo phase of the multi-level study as one
+// engine batch: two jobs (HBA, EA) per circuit on multi-level layouts.
+func mlEngine(preps []mlPrepared, opt MLOptions) ([]MLRow, error) {
+	var specs []engine.JobSpec
+	for _, p := range preps {
+		base := engine.JobSpec{
+			Kind:     engine.MonteCarloYield,
+			Layout:   p.l, // already synthesized in phase 1
+			OpenRate: opt.DefectRate,
+			Samples:  opt.Samples,
+			Seed:     opt.Seed + int64(len(p.name)),
+		}
+		hba, ea := base, base
+		hba.Algorithm, ea.Algorithm = "HBA", "EA"
+		specs = append(specs, hba, ea)
+	}
+	results, err := opt.Engine.Run(context.Background(), specs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]MLRow, 0, len(preps))
+	for i, p := range preps {
+		hba, ea := results[2*i], results[2*i+1]
+		if hba.Err != "" {
+			return nil, fmt.Errorf("experiments: %s (HBA): %s", p.name, hba.Err)
+		}
+		if ea.Err != "" {
+			return nil, fmt.Errorf("experiments: %s (EA): %s", p.name, ea.Err)
+		}
+		row := p.row
+		row.HBA = AlgoStats{Psucc: hba.Psucc, MeanTime: hba.MeanTime}
+		row.EA = AlgoStats{Psucc: ea.Psucc, MeanTime: ea.MeanTime}
 		rows = append(rows, row)
 	}
 	return rows, nil

@@ -2,14 +2,21 @@
 // experiments: fixed-size batches (the paper uses 200 samples, "fluctuating
 // of parameter values stabilize nearly after this threshold value") with
 // per-sample derived random seeds, success-rate accounting, and timing.
+//
+// Parallel runs go through the shared internal/workpool pool: each worker
+// goroutine owns a private *rand.Rand that is reseeded deterministically for
+// every sample it claims, so no random state is ever shared between
+// goroutines and a batch produces bit-identical Values regardless of worker
+// count, scheduling order, or whether it ran serially.
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 	"time"
+
+	"repro/internal/workpool"
 )
 
 // DefaultSamples is the paper's Monte Carlo sample size.
@@ -47,9 +54,16 @@ type Options struct {
 	Samples int
 	// Seed drives the per-sample rngs.
 	Seed int64
-	// Parallel runs trials across GOMAXPROCS workers. Determinism is
-	// preserved because each sample owns an independent seed.
+	// Parallel runs trials across Workers goroutines. Determinism is
+	// preserved because each sample's rng state is derived from Seed and
+	// the sample index alone.
 	Parallel bool
+	// Workers bounds the parallel pool; zero means GOMAXPROCS. Ignored
+	// unless Parallel is set.
+	Workers int
+	// Context cancels the batch early; remaining samples are skipped and
+	// Run returns the context error. Nil means no cancellation.
+	Context context.Context
 }
 
 // Run executes the batch.
@@ -66,20 +80,32 @@ func Run(opt Options, trial Trial) (Summary, error) {
 	}
 	outcomes := make([]Outcome, n)
 	if opt.Parallel {
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-		for i := 0; i < n; i++ {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				outcomes[i] = trial(i, sampleRNG(opt.Seed, i))
-			}(i)
+		workers := opt.Workers
+		if workers <= 0 {
+			workers = workpool.DefaultWorkers()
 		}
-		wg.Wait()
+		if workers > n {
+			workers = n
+		}
+		// One private rng per worker: reseeded from (Seed, sample) before
+		// each trial, so results do not depend on which worker claims
+		// which sample.
+		rngs := make([]*rand.Rand, workers)
+		for w := range rngs {
+			rngs[w] = rand.New(rand.NewSource(0))
+		}
+		if err := workpool.Run(opt.Context, workers, n, func(w, i int) {
+			rng := rngs[w]
+			rng.Seed(sampleSeed(opt.Seed, i))
+			outcomes[i] = trial(i, rng)
+		}); err != nil {
+			return Summary{}, err
+		}
 	} else {
 		for i := 0; i < n; i++ {
+			if opt.Context != nil && opt.Context.Err() != nil {
+				return Summary{}, opt.Context.Err()
+			}
 			outcomes[i] = trial(i, sampleRNG(opt.Seed, i))
 		}
 	}
@@ -98,7 +124,12 @@ func Run(opt Options, trial Trial) (Summary, error) {
 	return s, nil
 }
 
+// sampleSeed derives the per-sample seed from the harness seed.
+func sampleSeed(seed int64, sample int) int64 {
+	return seed + int64(sample)*2_147_483_659
+}
+
 // sampleRNG derives the per-sample random source.
 func sampleRNG(seed int64, sample int) *rand.Rand {
-	return rand.New(rand.NewSource(seed + int64(sample)*2_147_483_659))
+	return rand.New(rand.NewSource(sampleSeed(seed, sample)))
 }

@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -65,6 +66,40 @@ func TestRunDeterministicRNG(t *testing.T) {
 	for i := range seq {
 		if seq[i] != seq2[i] {
 			t.Fatal("reruns must be identical")
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	collect := func(workers int) []float64 {
+		s, err := Run(Options{Samples: 64, Seed: 9, Parallel: true, Workers: workers},
+			func(i int, rng *rand.Rand) Outcome {
+				return Outcome{Value: rng.Float64()}
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Values
+	}
+	base := collect(1)
+	for _, workers := range []int{2, 3, 7, 64, 200} {
+		got := collect(workers)
+		for i := range base {
+			if base[i] != got[i] {
+				t.Fatalf("workers=%d: sample %d differs from workers=1", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, parallel := range []bool{false, true} {
+		_, err := Run(Options{Samples: 100, Seed: 1, Parallel: parallel, Context: ctx},
+			func(i int, rng *rand.Rand) Outcome { return Outcome{} })
+		if err != context.Canceled {
+			t.Fatalf("parallel=%v: err = %v, want context.Canceled", parallel, err)
 		}
 	}
 }

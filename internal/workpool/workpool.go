@@ -1,0 +1,73 @@
+// Package workpool provides the bounded fan-out primitive shared by the
+// compilation engine and the Monte Carlo harness: a fixed set of worker
+// goroutines draining an indexed task list, with cooperative cancellation
+// through a context. Keeping the pool in one place means every parallel
+// sweep in the repository saturates cores the same way and honours
+// cancellation the same way.
+package workpool
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the worker count used when a caller passes zero.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Run executes task(worker, index) for every index in [0, n) on `workers`
+// goroutines. Each worker has a stable identity in [0, workers), so callers
+// can give every worker private state (an RNG, a scratch buffer) without
+// locking. Indices are claimed from a shared atomic counter, so the
+// assignment of index to worker is scheduling dependent — tasks must not
+// rely on it.
+//
+// When ctx is cancelled, workers stop claiming new indices and Run returns
+// ctx.Err(); tasks already started run to completion. A nil ctx means no
+// cancellation.
+func Run(ctx context.Context, workers, n int, task func(worker, index int)) error {
+	if task == nil {
+		return fmt.Errorf("workpool: nil task")
+	}
+	if n < 0 {
+		return fmt.Errorf("workpool: negative task count %d", n)
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return ctxErr(ctx)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if ctxErr(ctx) != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ctxErr(ctx)
+}
+
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

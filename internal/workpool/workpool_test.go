@@ -1,0 +1,89 @@
+package workpool
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	n := 1000
+	counts := make([]atomic.Int32, n)
+	if err := Run(context.Background(), 8, n, func(w, i int) {
+		counts[i].Add(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var active, peak atomic.Int32
+	if err := Run(context.Background(), workers, 200, func(w, i int) {
+		a := active.Add(1)
+		for {
+			p := peak.Load()
+			if a <= p || peak.CompareAndSwap(p, a) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		active.Add(-1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestRunWorkerIdentityIsStable(t *testing.T) {
+	const workers = 4
+	seen := make([]atomic.Int32, workers)
+	if err := Run(context.Background(), workers, 100, func(w, i int) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker id %d out of range", w)
+		}
+		seen[w].Add(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int32
+	err := Run(ctx, 2, 10_000, func(w, i int) {
+		if done.Add(1) == 5 {
+			cancel()
+		}
+		time.Sleep(50 * time.Microsecond)
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := done.Load(); d >= 10_000 {
+		t.Fatalf("cancellation did not stop the pool (ran %d tasks)", d)
+	}
+}
+
+func TestRunEdgeCases(t *testing.T) {
+	if err := Run(context.Background(), 4, 0, func(w, i int) {}); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	if err := Run(nil, 0, 3, func(w, i int) {}); err != nil {
+		t.Fatalf("nil ctx, default workers: %v", err)
+	}
+	if err := Run(context.Background(), 4, -1, func(w, i int) {}); err == nil {
+		t.Fatal("negative n must fail")
+	}
+	if err := Run(context.Background(), 4, 1, nil); err == nil {
+		t.Fatal("nil task must fail")
+	}
+}

@@ -22,14 +22,38 @@
 //	    "1-------", "-1------", "--1-----", "---1----", "----1111")
 //	design, _ := memxbar.SynthesizeTwoLevel(f)
 //	fmt.Println(design.Area()) // 108
+//
+// # The compilation engine
+//
+// For batch workloads the library provides a parallel compilation engine:
+// jobs (synthesis, defect mapping, Monte Carlo yield studies) run on a
+// bounded worker pool with per-job timeouts and context cancellation, and
+// identical jobs are deduplicated through a sharded LRU result cache keyed
+// by a canonical function/defect hash. Results stream back as they finish:
+//
+//	eng := memxbar.NewEngine(memxbar.EngineOptions{})
+//	defer eng.Close()
+//	results, _ := eng.Run(ctx, []memxbar.Job{
+//	    {Kind: memxbar.JobSynthTwoLevel, Benchmark: "rd53"},
+//	    {Kind: memxbar.JobMonteCarloYield, Benchmark: "rd84",
+//	        OpenRate: 0.10, Samples: 200, Algorithm: "HBA"},
+//	})
+//
+// The same engine powers the cmd/xbarserver HTTP batch service
+// (POST /v1/jobs, GET /v1/jobs/{id}, GET /healthz) — Engine.Handler returns
+// the ready-made handler — and the cmd/experiments table reproductions.
 package memxbar
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
+	"time"
 
 	"repro/internal/defect"
+	"repro/internal/engine"
 	"repro/internal/logic"
 	"repro/internal/mapping"
 	"repro/internal/minimize"
@@ -313,6 +337,92 @@ func (d *Design) MapDefects(dm *DefectMap, algo Algorithm) (*Mapping, error) {
 		MatchChecks: res.Stats.MatchChecks,
 	}, nil
 }
+
+// ---------------------------------------------------------------------------
+// The compilation engine.
+
+// Job describes one unit of engine work. The function comes from an
+// in-memory Cover (see NewJob), a built-in Benchmark name, or PLA Rows.
+type Job = engine.JobSpec
+
+// JobResult is the outcome of one engine job.
+type JobResult = engine.JobResult
+
+// JobKind selects what a job computes.
+type JobKind = engine.Kind
+
+// Job kinds accepted by the engine.
+const (
+	JobSynthTwoLevel   = engine.SynthTwoLevel
+	JobSynthMultiLevel = engine.SynthMultiLevel
+	JobMapHBA          = engine.MapHBA
+	JobMapEA           = engine.MapEA
+	JobMonteCarloYield = engine.MonteCarloYield
+)
+
+// Batch is one submitted job group: assigned IDs plus a channel streaming
+// results as they finish.
+type Batch = engine.Batch
+
+// EngineStats snapshots engine counters (submissions, cache hits, peak
+// concurrency).
+type EngineStats = engine.Stats
+
+// EngineOptions tunes NewEngine.
+type EngineOptions struct {
+	// Workers bounds concurrent job execution; zero means GOMAXPROCS.
+	Workers int
+	// CacheSize is the result cache entry budget: zero means the default
+	// (1024), negative disables caching.
+	CacheSize int
+	// DefaultTimeout bounds each job unless the job sets its own; zero
+	// means no limit.
+	DefaultTimeout time.Duration
+}
+
+// Engine runs batches of synthesis, mapping, and Monte Carlo jobs on a
+// bounded worker pool with result caching. See the package documentation
+// for an overview.
+type Engine struct {
+	e *engine.Engine
+}
+
+// NewEngine starts an engine; Close it to release the workers.
+func NewEngine(opt EngineOptions) *Engine {
+	return &Engine{e: engine.New(engine.Options{
+		Workers:        opt.Workers,
+		CacheSize:      opt.CacheSize,
+		DefaultTimeout: opt.DefaultTimeout,
+	})}
+}
+
+// NewJob builds a job of the given kind computing on the function.
+func NewJob(kind JobKind, f *Function) Job {
+	return Job{Kind: kind, Cover: f.cover}
+}
+
+// Submit enqueues a batch and returns immediately; results stream over
+// Batch.Results as jobs finish.
+func (e *Engine) Submit(ctx context.Context, jobs []Job) (*Batch, error) {
+	return e.e.Submit(ctx, jobs)
+}
+
+// Run submits the batch and blocks until every job finishes, returning
+// results in job order. Individual failures (including per-job timeouts and
+// cancellation) are reported in JobResult.Err, not as a call error.
+func (e *Engine) Run(ctx context.Context, jobs []Job) ([]JobResult, error) {
+	return e.e.Run(ctx, jobs)
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() EngineStats { return e.e.Stats() }
+
+// Handler returns the xbarserver HTTP API (POST /v1/jobs, GET /v1/jobs/{id},
+// GET /healthz) backed by this engine, for embedding in any mux.
+func (e *Engine) Handler() http.Handler { return engine.NewHTTPHandler(e.e) }
+
+// Close stops accepting work, drains queued jobs, and releases the workers.
+func (e *Engine) Close() { e.e.Close() }
 
 // SimulateMapped runs the design on the defective fabric under the given
 // mapping and returns the outputs, so callers can verify the mapped

@@ -1,6 +1,7 @@
 package memxbar
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -211,5 +212,48 @@ func TestMapDefectsValidation(t *testing.T) {
 	m := &Mapping{Valid: false}
 	if _, err := d.SimulateMapped(make([]bool, 8), good, m); err == nil {
 		t.Error("simulating an invalid mapping must fail")
+	}
+}
+
+func TestEnginePublicAPI(t *testing.T) {
+	eng := NewEngine(EngineOptions{Workers: 2})
+	defer eng.Close()
+	f := fig3Function(t)
+	results, err := eng.Run(context.Background(), []Job{
+		NewJob(JobSynthTwoLevel, f),
+		{Kind: JobSynthTwoLevel, Benchmark: "rd53"},
+		{Kind: JobMonteCarloYield, Benchmark: "rd53", OpenRate: 0.10, Samples: 10, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != "" {
+			t.Fatalf("job %d: %s", i, r.Err)
+		}
+	}
+	// The running example's two-level geometry (Fig. 3) and rd53's Table I
+	// area anchor the engine to the one-shot API.
+	d, _ := SynthesizeTwoLevel(f)
+	if results[0].Area != d.Area() {
+		t.Errorf("engine area %d != design area %d", results[0].Area, d.Area())
+	}
+	if results[1].Area != 544 {
+		t.Errorf("rd53 area = %d, want 544", results[1].Area)
+	}
+	if results[2].Samples != 10 {
+		t.Errorf("monte carlo samples = %d", results[2].Samples)
+	}
+	if st := eng.Stats(); st.Completed != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Streaming submit: results arrive over the batch channel.
+	b, err := eng.Submit(context.Background(), []Job{NewJob(JobSynthMultiLevel, f)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-b.Results
+	if r.Err != "" || r.Gates == 0 {
+		t.Errorf("streamed result = %+v", r)
 	}
 }
