@@ -22,6 +22,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/mapping"
 	"repro/internal/minimize"
+	"repro/internal/montecarlo"
 	"repro/internal/munkres"
 	"repro/internal/randfunc"
 	"repro/internal/suite"
@@ -193,6 +194,53 @@ func BenchmarkFig8Example(b *testing.B) {
 		if !mapping.HBA(p).Valid {
 			b.Fatal("Fig. 8 instance must map")
 		}
+	}
+}
+
+// BenchmarkHBAMap times one hybrid-algorithm mapping attempt with reusable
+// scratch buffers on the rd84 Table II instance; allocs/op must stay 0 in
+// steady state (the scratch grows once, then every attempt reuses it).
+func BenchmarkHBAMap(b *testing.B) {
+	p := table2Problem(b, "rd84", 1)
+	scratch := mapping.NewScratch()
+	mapping.HBAScratch(p, scratch) // warm the scratch buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mapping.HBAScratch(p, scratch)
+	}
+}
+
+// BenchmarkYield200 times one steady-state Monte Carlo yield trial exactly
+// as the Table II / Section VI loops run it: the worker's preallocated
+// defect map is regenerated in place and HBA runs on reusable scratch,
+// cycling through a 200-sample seed schedule. The headline contract is
+// 0 allocs/op — the trial loop never touches the garbage collector.
+func BenchmarkYield200(b *testing.B) {
+	c, ok := suite.ByName("rd53")
+	if !ok {
+		b.Fatal("rd53 missing")
+	}
+	l, err := xbar.NewTwoLevel(c.Build())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dm := defect.NewMap(l.Rows+2, l.Cols)
+	p, err := mapping.NewProblem(l, dm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scratch := mapping.NewScratch()
+	params := defect.Params{POpen: 0.10}
+	rng := rand.New(rand.NewSource(0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng.Seed(montecarlo.SampleSeed(2018, i%200))
+		if err := dm.Regenerate(params, rng); err != nil {
+			b.Fatal(err)
+		}
+		mapping.HBAScratch(p, scratch)
 	}
 }
 

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+
+	"repro/internal/bitmat"
 )
 
 // Kind is the defect state of one crosspoint.
@@ -37,10 +39,26 @@ func (k Kind) String() string {
 }
 
 // Map is the defect map of one fabricated crossbar, the Crossbar Matrix (CM)
-// of the paper's Fig. 8(b).
+// of the paper's Fig. 8(b). Alongside the per-cell kinds it maintains, under
+// the packed-row contract of internal/bitmat, a word-packed functional mask
+// per row plus per-line stuck-closed caches; every mutation goes through Set,
+// which updates them incrementally, so RowHasClosed / ColHasClosed are O(1)
+// and the mapping hot path tests row compatibility with word operations.
 type Map struct {
 	Rows, Cols int
 	cells      []Kind
+
+	// functional packs Functional(r, c) row-major: bit c of row r is 1 when
+	// the device is programmable (the CM of Fig. 8(b)).
+	functional *bitmat.Matrix
+	// closedRow / closedCol count stuck-closed devices per line; the masks
+	// flag lines whose count is non-zero.
+	closedRow     []int32
+	closedCol     []int32
+	closedRowMask bitmat.Row
+	closedColMask bitmat.Row
+	// open / closed are whole-map defect totals for Summarize.
+	open, closed int
 }
 
 // NewMap returns an all-functional defect map.
@@ -48,7 +66,18 @@ func NewMap(rows, cols int) *Map {
 	if rows < 0 || cols < 0 {
 		panic("defect: negative dimensions")
 	}
-	return &Map{Rows: rows, Cols: cols, cells: make([]Kind, rows*cols)}
+	m := &Map{
+		Rows:          rows,
+		Cols:          cols,
+		cells:         make([]Kind, rows*cols),
+		functional:    bitmat.New(rows, cols),
+		closedRow:     make([]int32, rows),
+		closedCol:     make([]int32, cols),
+		closedRowMask: bitmat.NewRow(rows),
+		closedColMask: bitmat.NewRow(cols),
+	}
+	m.functional.Fill()
+	return m
 }
 
 // Params controls random defect injection.
@@ -62,60 +91,132 @@ type Params struct {
 	PClosed float64
 }
 
+func (p Params) validate(rng *rand.Rand) error {
+	if p.POpen < 0 || p.PClosed < 0 || p.POpen+p.PClosed > 1 {
+		return fmt.Errorf("defect: invalid probabilities POpen=%v PClosed=%v", p.POpen, p.PClosed)
+	}
+	if rng == nil {
+		return fmt.Errorf("defect: nil random source")
+	}
+	return nil
+}
+
 // Generate samples a defect map with independent uniform per-crosspoint
 // defect probabilities, the paper's Monte Carlo defect model.
 func Generate(rows, cols int, p Params, rng *rand.Rand) (*Map, error) {
-	if p.POpen < 0 || p.PClosed < 0 || p.POpen+p.PClosed > 1 {
-		return nil, fmt.Errorf("defect: invalid probabilities POpen=%v PClosed=%v", p.POpen, p.PClosed)
-	}
-	if rng == nil {
-		return nil, fmt.Errorf("defect: nil random source")
+	if err := p.validate(rng); err != nil {
+		return nil, err
 	}
 	m := NewMap(rows, cols)
+	m.sample(p, rng)
+	return m, nil
+}
+
+// Regenerate resamples the map in place with the same defect model as
+// Generate — identical draws from an identically-seeded rng produce an
+// identical map — without allocating. It is the scratch-buffer primitive of
+// the Monte Carlo yield loops: one preallocated map per worker, refilled per
+// trial.
+func (m *Map) Regenerate(p Params, rng *rand.Rand) error {
+	if err := p.validate(rng); err != nil {
+		return err
+	}
+	for i := range m.cells {
+		m.cells[i] = OK
+	}
+	m.functional.Fill()
+	for i := range m.closedRow {
+		m.closedRow[i] = 0
+	}
+	for i := range m.closedCol {
+		m.closedCol[i] = 0
+	}
+	m.closedRowMask.Zero()
+	m.closedColMask.Zero()
+	m.open, m.closed = 0, 0
+	m.sample(p, rng)
+	return nil
+}
+
+// sample draws every cell in row-major order (the rng consumption order is
+// part of the reproducibility contract: Generate, Regenerate, and any
+// identically-seeded rerun must agree bit for bit).
+func (m *Map) sample(p Params, rng *rand.Rand) {
 	for i := range m.cells {
 		u := rng.Float64()
 		switch {
 		case u < p.POpen:
-			m.cells[i] = StuckOpen
+			m.set(i/m.Cols, i%m.Cols, StuckOpen)
 		case u < p.POpen+p.PClosed:
-			m.cells[i] = StuckClosed
+			m.set(i/m.Cols, i%m.Cols, StuckClosed)
 		}
 	}
-	return m, nil
 }
 
 // At returns the defect kind at (r, c).
 func (m *Map) At(r, c int) Kind { return m.cells[r*m.Cols+c] }
 
-// Set stores a defect kind at (r, c); used by tests and fault injection.
-func (m *Map) Set(r, c int, k Kind) { m.cells[r*m.Cols+c] = k }
+// Set stores a defect kind at (r, c), updating the packed masks and the
+// per-line caches incrementally (O(1)); used by tests and fault injection.
+func (m *Map) Set(r, c int, k Kind) { m.set(r, c, k) }
+
+func (m *Map) set(r, c int, k Kind) {
+	old := m.cells[r*m.Cols+c]
+	if old == k {
+		return
+	}
+	switch old {
+	case StuckOpen:
+		m.open--
+	case StuckClosed:
+		m.closed--
+		if m.closedRow[r]--; m.closedRow[r] == 0 {
+			m.closedRowMask.Clear(r)
+		}
+		if m.closedCol[c]--; m.closedCol[c] == 0 {
+			m.closedColMask.Clear(c)
+		}
+	}
+	m.cells[r*m.Cols+c] = k
+	switch k {
+	case OK:
+		m.functional.Set(r, c)
+		return
+	case StuckOpen:
+		m.open++
+	case StuckClosed:
+		m.closed++
+		if m.closedRow[r]++; m.closedRow[r] == 1 {
+			m.closedRowMask.Set(r)
+		}
+		if m.closedCol[c]++; m.closedCol[c] == 1 {
+			m.closedColMask.Set(c)
+		}
+	}
+	m.functional.Clear(r, c)
+}
 
 // Functional reports whether the device at (r, c) is programmable.
 func (m *Map) Functional(r, c int) bool { return m.At(r, c) == OK }
 
+// FunctionalRow returns the packed functional mask of physical row r (bit c
+// set = programmable device). The view aliases the map's storage: callers
+// must treat it as read-only, and it is invalidated by Set/Regenerate.
+func (m *Map) FunctionalRow(r int) bitmat.Row { return m.functional.Row(r) }
+
+// ClosedCols returns the packed mask of columns containing at least one
+// stuck-at-closed device (read-only view, invalidated by Set/Regenerate).
+func (m *Map) ClosedCols() bitmat.Row { return m.closedColMask }
+
 // RowHasClosed reports whether row r contains a stuck-at-closed device, in
 // which case the paper's model renders the whole horizontal line unusable
-// (the NAND output is forced to logic 1).
-func (m *Map) RowHasClosed(r int) bool {
-	for c := 0; c < m.Cols; c++ {
-		if m.At(r, c) == StuckClosed {
-			return true
-		}
-	}
-	return false
-}
+// (the NAND output is forced to logic 1). O(1) via the incremental cache.
+func (m *Map) RowHasClosed(r int) bool { return m.closedRow[r] > 0 }
 
 // ColHasClosed reports whether column c contains a stuck-at-closed device,
 // which renders the vertical line unusable (it cannot be initialized to
-// R_OFF).
-func (m *Map) ColHasClosed(c int) bool {
-	for r := 0; r < m.Rows; r++ {
-		if m.At(r, c) == StuckClosed {
-			return true
-		}
-	}
-	return false
-}
+// R_OFF). O(1) via the incremental cache.
+func (m *Map) ColHasClosed(c int) bool { return m.closedCol[c] > 0 }
 
 // UsableRow reports whether row r can host any logic line at all.
 func (m *Map) UsableRow(r int) bool { return !m.RowHasClosed(r) }
@@ -131,30 +232,19 @@ type Stats struct {
 	PoisonedCol int
 }
 
-// Summarize computes defect statistics.
+// Summarize computes defect statistics from the incremental caches (no
+// rescan of the cells).
 func (m *Map) Summarize() Stats {
-	s := Stats{Devices: m.Rows * m.Cols}
-	for _, k := range m.cells {
-		switch k {
-		case StuckOpen:
-			s.Open++
-		case StuckClosed:
-			s.Closed++
-		}
+	s := Stats{
+		Devices:     m.Rows * m.Cols,
+		Open:        m.open,
+		Closed:      m.closed,
+		PoisonedRow: bitmat.PopCount(m.closedRowMask),
+		PoisonedCol: bitmat.PopCount(m.closedColMask),
 	}
 	if s.Devices > 0 {
 		s.OpenRate = float64(s.Open) / float64(s.Devices)
 		s.ClosedRate = float64(s.Closed) / float64(s.Devices)
-	}
-	for r := 0; r < m.Rows; r++ {
-		if m.RowHasClosed(r) {
-			s.PoisonedRow++
-		}
-	}
-	for c := 0; c < m.Cols; c++ {
-		if m.ColHasClosed(c) {
-			s.PoisonedCol++
-		}
 	}
 	return s
 }

@@ -1,0 +1,93 @@
+package defect
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRegenerateMatchesGenerate pins the scratch-reuse contract: Regenerate
+// on a dirty map with an identically-seeded rng reproduces Generate's map
+// exactly (same rng consumption order, same cells, same caches).
+func TestRegenerateMatchesGenerate(t *testing.T) {
+	p := Params{POpen: 0.15, PClosed: 0.03}
+	fresh, err := Generate(37, 21, p, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused := NewMap(37, 21)
+	// Dirty the scratch map first so the test proves Regenerate resets
+	// everything, not just that it fills an empty map.
+	if err := reused.Regenerate(Params{POpen: 0.5, PClosed: 0.3}, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := reused.Regenerate(p, rand.New(rand.NewSource(99))); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.String() != reused.String() {
+		t.Fatal("Regenerate diverged from Generate on the same seed")
+	}
+	fs, rs := fresh.Summarize(), reused.Summarize()
+	if fs != rs {
+		t.Fatalf("summaries diverged: %+v vs %+v", fs, rs)
+	}
+	if err := reused.Regenerate(Params{POpen: -1}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	if err := reused.Regenerate(p, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+// TestIncrementalCachesMatchRescan drives random Set transitions (including
+// overwrites and clears) and cross-checks every cached answer — the packed
+// functional rows, the O(1) line flags, and Summarize — against a full
+// rescan of the cells.
+func TestIncrementalCachesMatchRescan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewMap(13, 70) // spans a word boundary
+	kinds := []Kind{OK, StuckOpen, StuckClosed}
+	for step := 0; step < 2000; step++ {
+		m.Set(rng.Intn(m.Rows), rng.Intn(m.Cols), kinds[rng.Intn(3)])
+		if step%100 != 0 && step != 1999 {
+			continue
+		}
+		var wantOpen, wantClosed int
+		for r := 0; r < m.Rows; r++ {
+			rowClosed := false
+			for c := 0; c < m.Cols; c++ {
+				switch m.At(r, c) {
+				case StuckOpen:
+					wantOpen++
+				case StuckClosed:
+					wantClosed++
+					rowClosed = true
+				}
+				if m.FunctionalRow(r).Get(c) != m.Functional(r, c) {
+					t.Fatalf("step %d: packed functional bit (%d,%d) stale", step, r, c)
+				}
+			}
+			if m.RowHasClosed(r) != rowClosed {
+				t.Fatalf("step %d: RowHasClosed(%d) stale", step, r)
+			}
+		}
+		for c := 0; c < m.Cols; c++ {
+			colClosed := false
+			for r := 0; r < m.Rows; r++ {
+				if m.At(r, c) == StuckClosed {
+					colClosed = true
+				}
+			}
+			if m.ColHasClosed(c) != colClosed {
+				t.Fatalf("step %d: ColHasClosed(%d) stale", step, c)
+			}
+			if m.ClosedCols().Get(c) != colClosed {
+				t.Fatalf("step %d: ClosedCols mask stale at %d", step, c)
+			}
+		}
+		s := m.Summarize()
+		if s.Open != wantOpen || s.Closed != wantClosed {
+			t.Fatalf("step %d: Summarize counts %d/%d, want %d/%d",
+				step, s.Open, s.Closed, wantOpen, wantClosed)
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"hash"
 	"math"
+
+	"repro/internal/bitmat"
 )
 
 // hashKey is the canonical identity of a job: two specs with equal keys
@@ -18,11 +20,24 @@ func (s JobSpec) hashKey() string {
 	hstr(h, string(s.Kind))
 	switch {
 	case s.Layout != nil:
+		// The layout identity is its geometry, line kinds, and the packed
+		// active words — the canonical serialization of the device
+		// placement, hashed without rendering an intermediate string.
 		hstr(h, "layout")
 		hint(h, int64(s.Layout.Rows))
 		hint(h, int64(s.Layout.Cols))
 		hbool(h, s.Layout.MultiLevel)
-		hstr(h, s.Layout.Render())
+		for _, k := range s.Layout.RowKinds {
+			h.Write([]byte{byte(k)})
+		}
+		for _, k := range s.Layout.ColKinds {
+			h.Write([]byte{byte(k)})
+		}
+		s.Layout.PackedWords(func(row bitmat.Row) {
+			for _, w := range row {
+				hint(h, int64(w))
+			}
+		})
 	case s.Cover != nil:
 		hstr(h, "cover")
 		hint(h, int64(s.Cover.NumIn))

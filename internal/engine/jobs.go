@@ -271,11 +271,11 @@ func executeMap(spec JobSpec) (JobResult, error) {
 	if err != nil {
 		return JobResult{}, err
 	}
-	algo := mapping.HBA
+	algo := mapping.HBAScratch
 	if spec.Kind == MapEA {
-		algo = mapping.Exact
+		algo = mapping.ExactScratch
 	}
-	r := algo(p)
+	r := algo(p, nil)
 	return JobResult{
 		Rows: l.Rows, Cols: l.Cols, Area: l.Area(), IR: l.InclusionRatio(),
 		Valid: r.Valid, Assignment: r.Assignment, Reason: r.Reason,
@@ -295,23 +295,28 @@ func executeMonteCarlo(ctx context.Context, spec JobSpec) (JobResult, error) {
 	params := defect.Params{POpen: spec.OpenRate, PClosed: spec.ClosedRate}
 	// Samples run serially inside the job: the engine parallelizes across
 	// jobs, and serial per-sample rng derivation keeps Psucc identical to
-	// the one-shot experiment code paths.
-	sum, err := montecarlo.Run(montecarlo.Options{
+	// the one-shot experiment code paths. The job owns one preallocated
+	// defect map (regenerated in place per trial) and one mapping scratch,
+	// so the trial loop is allocation-free in steady state.
+	sum, err := montecarlo.RunFactory(montecarlo.Options{
 		Samples: spec.Samples,
 		Seed:    spec.Seed,
 		Context: ctx,
-	}, func(i int, rng *rand.Rand) montecarlo.Outcome {
-		dm, genErr := defect.Generate(l.Rows+spec.SpareRows, l.Cols, params, rng)
-		if genErr != nil {
-			return montecarlo.Outcome{}
-		}
+	}, func() montecarlo.Trial {
+		dm := defect.NewMap(l.Rows+spec.SpareRows, l.Cols)
+		scratch := mapping.NewScratch()
 		p, pErr := mapping.NewProblem(l, dm)
-		if pErr != nil {
-			return montecarlo.Outcome{}
+		return func(i int, rng *rand.Rand) montecarlo.Outcome {
+			if pErr != nil {
+				return montecarlo.Outcome{}
+			}
+			if genErr := dm.Regenerate(params, rng); genErr != nil {
+				return montecarlo.Outcome{}
+			}
+			start := time.Now()
+			r := algo(p, scratch)
+			return montecarlo.Outcome{Success: r.Valid, Elapsed: time.Since(start)}
 		}
-		start := time.Now()
-		r := algo(p)
-		return montecarlo.Outcome{Success: r.Valid, Elapsed: time.Since(start)}
 	})
 	if err != nil {
 		return JobResult{}, err
@@ -322,14 +327,14 @@ func executeMonteCarlo(ctx context.Context, spec JobSpec) (JobResult, error) {
 	}, nil
 }
 
-func algorithmByName(name string) (func(*mapping.Problem) mapping.Result, error) {
+func algorithmByName(name string) (func(*mapping.Problem, *mapping.Scratch) mapping.Result, error) {
 	switch strings.ToUpper(name) {
 	case "", "HBA":
-		return mapping.HBA, nil
+		return mapping.HBAScratch, nil
 	case "EA", "EXACT":
-		return mapping.Exact, nil
+		return mapping.ExactScratch, nil
 	case "NAIVE":
-		return mapping.Naive, nil
+		return mapping.NaiveScratch, nil
 	}
 	return nil, fmt.Errorf("engine: unknown algorithm %q", name)
 }

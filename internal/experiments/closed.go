@@ -56,26 +56,30 @@ func ClosedTolerance(circuit string, closedRates []float64, sparePairs, spareRow
 			OutputPairs: base.OutputPairs + sp,
 		}
 		for _, rate := range closedRates {
+			// fixed/col are summed by the trials; this study runs serially
+			// (no Parallel option), and the defect map lives in the factory
+			// so a future parallel switch gets one per worker.
 			fixed, col := 0, 0
-			summary, err := montecarlo.Run(montecarlo.Options{Samples: samples, Seed: seed},
-				func(i int, rng *rand.Rand) montecarlo.Outcome {
-					dm, genErr := defect.Generate(l.Rows+sr, spec.Cols(),
-						defect.Params{POpen: openRate, PClosed: rate}, rng)
-					if genErr != nil {
-						return montecarlo.Outcome{}
-					}
+			summary, err := montecarlo.RunFactory(montecarlo.Options{Samples: samples, Seed: seed},
+				func() montecarlo.Trial {
+					dm := defect.NewMap(l.Rows+sr, spec.Cols())
 					// Fixed wiring: the design occupies the leading columns
-					// of each block.
+					// of each block (trial-invariant, built once per worker).
 					fixedAssign := identityAssignment(l, base)
-					fdm := mapping.ProjectDefects(dm, spec, l, fixedAssign)
-					if p, pErr := mapping.NewProblem(l, fdm); pErr == nil && mapping.HBA(p).Valid {
-						fixed++
+					return func(i int, rng *rand.Rand) montecarlo.Outcome {
+						if genErr := dm.Regenerate(defect.Params{POpen: openRate, PClosed: rate}, rng); genErr != nil {
+							return montecarlo.Outcome{}
+						}
+						fdm := mapping.ProjectDefects(dm, spec, l, fixedAssign)
+						if p, pErr := mapping.NewProblem(l, fdm); pErr == nil && mapping.HBA(p).Valid {
+							fixed++
+						}
+						res, caErr := mapping.ColumnAware(l, dm, spec, mapping.ColumnOptions{Seed: int64(i)})
+						if caErr == nil && res.Valid {
+							col++
+						}
+						return montecarlo.Outcome{Success: caErr == nil && res.Valid}
 					}
-					res, caErr := mapping.ColumnAware(l, dm, spec, mapping.ColumnOptions{Seed: int64(i)})
-					if caErr == nil && res.Valid {
-						col++
-					}
-					return montecarlo.Outcome{Success: caErr == nil && res.Valid}
 				})
 			if err != nil {
 				return nil, err

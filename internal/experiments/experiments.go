@@ -369,6 +369,31 @@ var (
 	table2CoverCache = map[string]*logic.Cover{}
 )
 
+// yieldTrialFactory builds the Monte Carlo trial shared by the mapping
+// studies: per worker, one preallocated defect map regenerated in place per
+// trial plus mapping scratch buffers, so the steady-state trial loop is
+// allocation-free. Results are bit-identical to generating a fresh map per
+// trial because Regenerate consumes the rng exactly like Generate.
+func yieldTrialFactory(l *xbar.Layout, spareRows int, params defect.Params,
+	algo func(*mapping.Problem, *mapping.Scratch) mapping.Result) montecarlo.TrialFactory {
+	return func() montecarlo.Trial {
+		dm := defect.NewMap(l.Rows+spareRows, l.Cols)
+		scratch := mapping.NewScratch()
+		p, pErr := mapping.NewProblem(l, dm)
+		return func(i int, rng *rand.Rand) montecarlo.Outcome {
+			if pErr != nil {
+				return montecarlo.Outcome{}
+			}
+			if genErr := dm.Regenerate(params, rng); genErr != nil {
+				return montecarlo.Outcome{}
+			}
+			start := time.Now()
+			res := algo(p, scratch)
+			return montecarlo.Outcome{Success: res.Valid, Elapsed: time.Since(start)}
+		}
+	}
+}
+
 func table2One(c suite.Circuit, opt Table2Options) (Table2Row, error) {
 	cov := table2Cover(c)
 	l, err := xbar.NewTwoLevel(cov)
@@ -388,33 +413,21 @@ func table2One(c suite.Circuit, opt Table2Options) (Table2Row, error) {
 	if ps, ok := paperTable2[c.Name]; ok {
 		row.PaperPsHBA, row.PaperPsEA = ps[0], ps[1]
 	}
-	run := func(algo func(*mapping.Problem) mapping.Result) (AlgoStats, error) {
-		summary, err := montecarlo.Run(montecarlo.Options{
+	run := func(algo func(*mapping.Problem, *mapping.Scratch) mapping.Result) (AlgoStats, error) {
+		summary, err := montecarlo.RunFactory(montecarlo.Options{
 			Samples:  opt.Samples,
 			Seed:     opt.Seed + int64(len(c.Name)),
 			Parallel: opt.Parallel,
-		}, func(i int, rng *rand.Rand) montecarlo.Outcome {
-			dm, genErr := defect.Generate(l.Rows, l.Cols, defect.Params{POpen: opt.DefectRate}, rng)
-			if genErr != nil {
-				return montecarlo.Outcome{}
-			}
-			p, pErr := mapping.NewProblem(l, dm)
-			if pErr != nil {
-				return montecarlo.Outcome{}
-			}
-			start := time.Now()
-			res := algo(p)
-			return montecarlo.Outcome{Success: res.Valid, Elapsed: time.Since(start)}
-		})
+		}, yieldTrialFactory(l, 0, defect.Params{POpen: opt.DefectRate}, algo))
 		if err != nil {
 			return AlgoStats{}, err
 		}
 		return AlgoStats{Psucc: summary.SuccessRate, MeanTime: summary.MeanTime}, nil
 	}
-	if row.HBA, err = run(mapping.HBA); err != nil {
+	if row.HBA, err = run(mapping.HBAScratch); err != nil {
 		return Table2Row{}, err
 	}
-	if row.EA, err = run(mapping.Exact); err != nil {
+	if row.EA, err = run(mapping.ExactScratch); err != nil {
 		return Table2Row{}, err
 	}
 	return row, nil
@@ -446,18 +459,8 @@ func Yield(circuit string, spares []int, rates []float64, samples int, seed int6
 	var points []YieldPoint
 	for _, spare := range spares {
 		for _, rate := range rates {
-			summary, err := montecarlo.Run(montecarlo.Options{Samples: samples, Seed: seed},
-				func(i int, rng *rand.Rand) montecarlo.Outcome {
-					dm, genErr := defect.Generate(l.Rows+spare, l.Cols, defect.Params{POpen: rate}, rng)
-					if genErr != nil {
-						return montecarlo.Outcome{}
-					}
-					p, pErr := mapping.NewProblem(l, dm)
-					if pErr != nil {
-						return montecarlo.Outcome{}
-					}
-					return montecarlo.Outcome{Success: mapping.HBA(p).Valid}
-				})
+			summary, err := montecarlo.RunFactory(montecarlo.Options{Samples: samples, Seed: seed},
+				yieldTrialFactory(l, spare, defect.Params{POpen: rate}, mapping.HBAScratch))
 			if err != nil {
 				return nil, err
 			}

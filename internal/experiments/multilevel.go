@@ -104,31 +104,19 @@ func MultiLevelMapping(opt MLOptions) ([]MLRow, error) {
 	for _, p := range preps {
 		name, l, row := p.name, p.l, p.row
 		var err error
-		run := func(algo func(*mapping.Problem) mapping.Result) (AlgoStats, error) {
-			summary, err := montecarlo.Run(montecarlo.Options{
+		run := func(algo func(*mapping.Problem, *mapping.Scratch) mapping.Result) (AlgoStats, error) {
+			summary, err := montecarlo.RunFactory(montecarlo.Options{
 				Samples: opt.Samples, Seed: opt.Seed + int64(len(name)), Parallel: opt.Parallel,
-			}, func(i int, rng *rand.Rand) montecarlo.Outcome {
-				dm, genErr := defect.Generate(l.Rows, l.Cols, defect.Params{POpen: opt.DefectRate}, rng)
-				if genErr != nil {
-					return montecarlo.Outcome{}
-				}
-				p, pErr := mapping.NewProblem(l, dm)
-				if pErr != nil {
-					return montecarlo.Outcome{}
-				}
-				start := time.Now()
-				res := algo(p)
-				return montecarlo.Outcome{Success: res.Valid, Elapsed: time.Since(start)}
-			})
+			}, yieldTrialFactory(l, 0, defect.Params{POpen: opt.DefectRate}, algo))
 			if err != nil {
 				return AlgoStats{}, err
 			}
 			return AlgoStats{Psucc: summary.SuccessRate, MeanTime: summary.MeanTime}, nil
 		}
-		if row.HBA, err = run(mapping.HBA); err != nil {
+		if row.HBA, err = run(mapping.HBAScratch); err != nil {
 			return nil, err
 		}
-		if row.EA, err = run(mapping.Exact); err != nil {
+		if row.EA, err = run(mapping.ExactScratch); err != nil {
 			return nil, err
 		}
 		rows = append(rows, row)
@@ -215,19 +203,22 @@ func Ablation(circuit string, samples int, rate float64, seed int64) ([]Ablation
 	}
 	var rows []AblationRow
 	for _, v := range variants {
-		summary, err := montecarlo.Run(montecarlo.Options{Samples: samples, Seed: seed},
-			func(i int, rng *rand.Rand) montecarlo.Outcome {
-				dm, genErr := defect.Generate(l.Rows, l.Cols, defect.Params{POpen: rate}, rng)
-				if genErr != nil {
-					return montecarlo.Outcome{}
-				}
+		opt := v.opt
+		summary, err := montecarlo.RunFactory(montecarlo.Options{Samples: samples, Seed: seed},
+			func() montecarlo.Trial {
+				dm := defect.NewMap(l.Rows, l.Cols)
 				p, pErr := mapping.NewProblem(l, dm)
-				if pErr != nil {
-					return montecarlo.Outcome{}
+				return func(i int, rng *rand.Rand) montecarlo.Outcome {
+					if pErr != nil {
+						return montecarlo.Outcome{}
+					}
+					if genErr := dm.Regenerate(defect.Params{POpen: rate}, rng); genErr != nil {
+						return montecarlo.Outcome{}
+					}
+					start := time.Now()
+					res := mapping.HBAWith(p, opt)
+					return montecarlo.Outcome{Success: res.Valid, Elapsed: time.Since(start)}
 				}
-				start := time.Now()
-				res := mapping.HBAWith(p, v.opt)
-				return montecarlo.Outcome{Success: res.Valid, Elapsed: time.Since(start)}
 			})
 		if err != nil {
 			return nil, err

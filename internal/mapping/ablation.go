@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/bitmat"
 	"repro/internal/munkres"
 )
 
@@ -40,15 +41,7 @@ func HBAWith(p *Problem, opt HBAOptions) Result {
 	products := append([]int(nil), p.Layout.ProductRows()...)
 	outputs := p.Layout.OutputRows()
 	if opt.DensityOrder {
-		density := func(r int) int {
-			n := 0
-			for _, a := range p.Layout.Active[r] {
-				if a {
-					n++
-				}
-			}
-			return n
-		}
+		density := func(r int) int { return bitmat.PopCount(p.Layout.ActiveRow(r)) }
 		sort.SliceStable(products, func(a, b int) bool {
 			return density(products[a]) > density(products[b])
 		})

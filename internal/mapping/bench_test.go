@@ -1,0 +1,51 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/defect"
+	"repro/internal/randfunc"
+	"repro/internal/xbar"
+)
+
+// benchProblem builds a mid-size random instance (8-input two-level layout,
+// 10% stuck-open fabric) for the matcher micro-benches.
+func benchProblem(b *testing.B) *Problem {
+	b.Helper()
+	rng := rand.New(rand.NewSource(17))
+	cov, err := randfunc.Generate(randfunc.Params{Inputs: 8}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := xbar.NewTwoLevel(cov)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dm, err := defect.Generate(l.Rows, l.Cols, defect.Params{POpen: 0.10}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := NewProblem(l, dm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkRowMatch compares the word-packed compatibility test against the
+// retained scalar reference — the per-check speedup behind every mapping
+// algorithm's hot loop.
+func BenchmarkRowMatch(b *testing.B) {
+	p := benchProblem(b)
+	match := func(b *testing.B, fn func(int, int, *Stats) bool) {
+		b.ReportAllocs()
+		var stats Stats
+		for i := 0; i < b.N; i++ {
+			fm := i % p.Layout.Rows
+			fn(fm, (i*7)%p.Defects.Rows, &stats)
+		}
+	}
+	b.Run("packed", func(b *testing.B) { match(b, p.rowMatches) })
+	b.Run("scalar", func(b *testing.B) { match(b, p.scalarRowMatches) })
+}

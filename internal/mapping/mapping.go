@@ -10,11 +10,18 @@
 // (FM = 1) falls on a functional switch (CM = 1); stuck-open switches
 // (CM = 0) can only host disabled devices (FM = 0). Columns are fixed by
 // the fabric wiring, so only rows are permuted.
+//
+// The compatibility test runs on the word-packed rows of internal/bitmat:
+// an FM row fits a CM row iff fmRow &^ cmFunctional == 0, a handful of
+// AND-NOT word operations instead of a per-column scan. The pre-refactor
+// scalar matcher is retained (scalarRowMatches) as the reference
+// implementation the equivalence tests check the packed path against.
 package mapping
 
 import (
 	"fmt"
 
+	"repro/internal/bitmat"
 	"repro/internal/defect"
 	"repro/internal/munkres"
 	"repro/internal/xbar"
@@ -34,7 +41,9 @@ type Result struct {
 	// found.
 	Valid bool
 	// Assignment maps each layout (FM) row to a physical (CM) row; nil when
-	// Valid is false.
+	// Valid is false. When the algorithm ran with a non-nil Scratch, the
+	// slice aliases scratch storage and is only valid until the next call
+	// with the same Scratch.
 	Assignment []int
 	// Reason explains a failure for diagnostics.
 	Reason string
@@ -50,7 +59,9 @@ type Problem struct {
 	Defects *defect.Map
 }
 
-// NewProblem validates dimensions and pre-computes row usability.
+// NewProblem validates dimensions. The Problem holds only the two pointers,
+// so one Problem can be reused across trials that regenerate the defect map
+// in place (defect.Map.Regenerate).
 func NewProblem(l *xbar.Layout, dm *defect.Map) (*Problem, error) {
 	if dm.Cols != l.Cols {
 		return nil, fmt.Errorf("mapping: defect map has %d columns, layout needs %d", dm.Cols, l.Cols)
@@ -61,32 +72,95 @@ func NewProblem(l *xbar.Layout, dm *defect.Map) (*Problem, error) {
 	return &Problem{Layout: l, Defects: dm}, nil
 }
 
+// Scratch holds the reusable working storage of one mapping worker: the
+// assignment buffers, the forbidden matrix, and a Munkres solver. One
+// Scratch per goroutine makes the Monte Carlo yield trial loop
+// allocation-free in steady state. The zero value is ready; a Scratch must
+// not be shared between goroutines.
+type Scratch struct {
+	occupant, place, free []int
+	usable, assignment    []int
+	forbidden             [][]bool
+	forbiddenCells        []bool
+	solver                munkres.Solver
+}
+
+// NewScratch returns an empty Scratch (buffers grow on first use).
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Failure reasons are constant strings: the Monte Carlo yield loops discard
+// them (only Valid is read), and formatting an index into them would be the
+// one allocation left in an otherwise allocation-free trial loop. Callers
+// needing the exact failing line re-check with Validate.
+const (
+	reasonPoisonedColumn = "a used column is poisoned by a stuck-closed defect"
+	reasonRowCollision   = "a row collides with a defect"
+	reasonNoProductRow   = "a product row has no compatible crossbar row"
+	reasonRowShortage    = "not enough usable crossbar rows for the layout"
+	reasonNoAssignment   = "no zero-cost assignment exists"
+	reasonOutputShortage = "not enough free rows for outputs"
+	reasonOutputsBlocked = "outputs cannot be assigned defect-free"
+)
+
+// growInts resizes a scratch int slice without zeroing.
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// boolMatrix returns a rows × cols matrix over the scratch backing store;
+// callers overwrite every cell.
+func (s *Scratch) boolMatrix(rows, cols int) [][]bool {
+	if cap(s.forbidden) < rows {
+		s.forbidden = make([][]bool, rows)
+	}
+	f := s.forbidden[:rows]
+	if cap(s.forbiddenCells) < rows*cols {
+		s.forbiddenCells = make([]bool, rows*cols)
+	}
+	cells := s.forbiddenCells[:rows*cols]
+	for i := range f {
+		f[i] = cells[i*cols : (i+1)*cols]
+	}
+	return f
+}
+
 // ColumnFeasible reports whether every column the layout actually uses is
 // free of stuck-at-closed defects. A closed device poisons its entire
 // vertical line, and columns cannot be re-routed, so a used poisoned column
 // makes every mapping invalid regardless of row assignment (Section IV-A).
+// One word-AND pass over the layout's precomputed used-columns mask and the
+// defect map's cached closed-columns mask.
 func (p *Problem) ColumnFeasible() (bool, int) {
-	used := make([]bool, p.Layout.Cols)
-	for _, row := range p.Layout.Active {
-		for c, a := range row {
-			if a {
-				used[c] = true
-			}
-		}
-	}
-	for c, u := range used {
-		if u && p.Defects.ColHasClosed(c) {
-			return false, c
-		}
+	if c := bitmat.FirstAnd(p.Layout.UsedColumns(), p.Defects.ClosedCols()); c >= 0 {
+		return false, c
 	}
 	return true, -1
 }
 
-// rowMatches tests the paper's row-matching rule, counting the check.
+// rowMatches tests the paper's row-matching rule on the packed rows,
+// counting the check: CM row usable (no stuck-closed device, O(1) cached)
+// and fmRow &^ cmFunctional == 0.
 func (p *Problem) rowMatches(fmRow int, cmRow int, stats *Stats) bool {
 	stats.MatchChecks++
 	if p.Defects.RowHasClosed(cmRow) {
 		return false // forced-1 line cannot host any logic row
+	}
+	return bitmat.SubsetOf(p.Layout.ActiveRow(fmRow), p.Defects.FunctionalRow(cmRow))
+}
+
+// scalarRowMatches is the pre-refactor per-column matcher, kept as the
+// reference implementation for the packed/scalar equivalence tests. It
+// deliberately rescans the defect cells instead of using the cached masks.
+func (p *Problem) scalarRowMatches(fmRow int, cmRow int, stats *Stats) bool {
+	stats.MatchChecks++
+	for c := 0; c < p.Defects.Cols; c++ {
+		if p.Defects.At(cmRow, c) == defect.StuckClosed {
+			return false
+		}
 	}
 	active := p.Layout.Active[fmRow]
 	for c, a := range active {
@@ -100,18 +174,25 @@ func (p *Problem) rowMatches(fmRow int, cmRow int, stats *Stats) bool {
 // Naive places rows in identity order, ignoring defects, then validates.
 // This is the defect-blind flow of Fig. 7(a); it exists as the baseline the
 // defect-aware algorithms are compared against.
-func Naive(p *Problem) Result {
+func Naive(p *Problem) Result { return NaiveScratch(p, nil) }
+
+// NaiveScratch is Naive with reusable working storage (nil behaves like
+// Naive).
+func NaiveScratch(p *Problem, s *Scratch) Result {
+	if s == nil {
+		s = &Scratch{}
+	}
 	var stats Stats
-	assignment := make([]int, p.Layout.Rows)
+	assignment := growInts(&s.assignment, p.Layout.Rows)
 	for r := range assignment {
 		assignment[r] = r
 	}
-	if ok, c := p.ColumnFeasible(); !ok {
-		return Result{Reason: fmt.Sprintf("column %d poisoned by a stuck-closed defect", c), Stats: stats}
+	if ok, _ := p.ColumnFeasible(); !ok {
+		return Result{Reason: reasonPoisonedColumn, Stats: stats}
 	}
 	for r := range assignment {
 		if !p.rowMatches(r, r, &stats) {
-			return Result{Reason: fmt.Sprintf("row %d collides with a defect", r), Stats: stats}
+			return Result{Reason: reasonRowCollision, Stats: stats}
 		}
 	}
 	return Result{Valid: true, Assignment: assignment, Stats: stats}
@@ -121,27 +202,51 @@ func Naive(p *Problem) Result {
 // FM row and every usable CM row and runs Munkres' assignment; a zero-cost
 // complete assignment is a valid mapping. EA is exact: if any valid row
 // assignment exists, it finds one.
-func Exact(p *Problem) Result {
+func Exact(p *Problem) Result { return ExactScratch(p, nil) }
+
+// ExactScratch is Exact with reusable working storage (nil behaves like
+// Exact).
+func ExactScratch(p *Problem, s *Scratch) Result {
+	if s == nil {
+		s = &Scratch{}
+	}
 	var stats Stats
-	if ok, c := p.ColumnFeasible(); !ok {
-		return Result{Reason: fmt.Sprintf("column %d poisoned by a stuck-closed defect", c), Stats: stats}
+	if ok, _ := p.ColumnFeasible(); !ok {
+		return Result{Reason: reasonPoisonedColumn, Stats: stats}
 	}
 	nFM, nCM := p.Layout.Rows, p.Defects.Rows
-	forbidden := make([][]bool, nFM)
-	for i := 0; i < nFM; i++ {
-		forbidden[i] = make([]bool, nCM)
-		for t := 0; t < nCM; t++ {
-			forbidden[i][t] = !p.rowMatches(i, t, &stats)
+	// Prune unusable (stuck-closed) CM rows once up front: a poisoned row
+	// matches no FM row, so re-testing it per FM row only inflates the
+	// Munkres matrix. On instances without closed defects this is a no-op
+	// and the assignment is identical to the unpruned formulation.
+	usable := growInts(&s.usable, 0)
+	for t := 0; t < nCM; t++ {
+		if !p.Defects.RowHasClosed(t) {
+			usable = append(usable, t)
 		}
 	}
-	assign, ok, err := munkres.SolveBinary(forbidden)
+	s.usable = usable
+	if len(usable) < nFM {
+		return Result{Reason: reasonRowShortage, Stats: stats}
+	}
+	forbidden := s.boolMatrix(nFM, len(usable))
+	for i := 0; i < nFM; i++ {
+		for k, t := range usable {
+			forbidden[i][k] = !p.rowMatches(i, t, &stats)
+		}
+	}
+	assign, ok, err := s.solver.SolveBinary(forbidden)
 	if err != nil {
 		return Result{Reason: err.Error(), Stats: stats}
 	}
 	if !ok {
-		return Result{Reason: "no zero-cost assignment exists", Stats: stats}
+		return Result{Reason: reasonNoAssignment, Stats: stats}
 	}
-	return Result{Valid: true, Assignment: assign, Stats: stats}
+	out := growInts(&s.place, nFM)
+	for i, k := range assign {
+		out[i] = usable[k]
+	}
+	return Result{Valid: true, Assignment: out, Stats: stats}
 }
 
 // HBA is the paper's hybrid algorithm (Algorithm 1): a greedy top-to-bottom
@@ -149,21 +254,27 @@ func Exact(p *Problem) Result {
 // rows, then Munkres' algorithm assigns the output rows — the critical
 // resource, since a single defect can discard a whole output — onto the
 // remaining crossbar rows.
-func HBA(p *Problem) Result {
+func HBA(p *Problem) Result { return HBAScratch(p, nil) }
+
+// HBAScratch is HBA with reusable working storage (nil behaves like HBA).
+func HBAScratch(p *Problem, s *Scratch) Result {
+	if s == nil {
+		s = &Scratch{}
+	}
 	var stats Stats
-	if ok, c := p.ColumnFeasible(); !ok {
-		return Result{Reason: fmt.Sprintf("column %d poisoned by a stuck-closed defect", c), Stats: stats}
+	if ok, _ := p.ColumnFeasible(); !ok {
+		return Result{Reason: reasonPoisonedColumn, Stats: stats}
 	}
 	nCM := p.Defects.Rows
 	products := p.Layout.ProductRows()
 	outputs := p.Layout.OutputRows()
 
 	// occupant[t] = FM product row currently on CM row t, or -1.
-	occupant := make([]int, nCM)
+	occupant := growInts(&s.occupant, nCM)
 	for t := range occupant {
 		occupant[t] = -1
 	}
-	place := make([]int, p.Layout.Rows)
+	place := growInts(&s.place, p.Layout.Rows)
 	for r := range place {
 		place[r] = -1
 	}
@@ -209,36 +320,33 @@ func HBA(p *Problem) Result {
 			}
 		}
 		if !placed {
-			return Result{
-				Reason: fmt.Sprintf("product row %d has no compatible crossbar row", i),
-				Stats:  stats,
-			}
+			return Result{Reason: reasonNoProductRow, Stats: stats}
 		}
 	}
 
 	// Exact assignment of the output rows onto the unmatched CM rows.
-	var free []int
+	free := growInts(&s.free, 0)
 	for t := 0; t < nCM; t++ {
 		if occupant[t] == -1 {
 			free = append(free, t)
 		}
 	}
+	s.free = free
 	if len(free) < len(outputs) {
-		return Result{Reason: "not enough free rows for outputs", Stats: stats}
+		return Result{Reason: reasonOutputShortage, Stats: stats}
 	}
-	forbidden := make([][]bool, len(outputs))
+	forbidden := s.boolMatrix(len(outputs), len(free))
 	for k, i := range outputs {
-		forbidden[k] = make([]bool, len(free))
 		for u, t := range free {
 			forbidden[k][u] = !p.rowMatches(i, t, &stats)
 		}
 	}
-	assign, ok, err := munkres.SolveBinary(forbidden)
+	assign, ok, err := s.solver.SolveBinary(forbidden)
 	if err != nil {
 		return Result{Reason: err.Error(), Stats: stats}
 	}
 	if !ok {
-		return Result{Reason: "outputs cannot be assigned defect-free", Stats: stats}
+		return Result{Reason: reasonOutputsBlocked, Stats: stats}
 	}
 	for k, i := range outputs {
 		place[i] = free[assign[k]]

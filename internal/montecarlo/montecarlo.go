@@ -38,6 +38,14 @@ type Outcome struct {
 // independent.
 type Trial func(sample int, rng *rand.Rand) Outcome
 
+// TrialFactory builds one Trial per worker goroutine (one total for serial
+// runs), so a trial can own private scratch state — preallocated defect
+// maps, mapping buffers — that is reused across the samples that worker
+// claims. Because per-sample randomness is derived from the harness seed
+// and sample index alone, results are identical no matter how samples are
+// spread over workers.
+type TrialFactory func() Trial
+
 // Summary aggregates a batch.
 type Summary struct {
 	Samples     int
@@ -71,6 +79,16 @@ func Run(opt Options, trial Trial) (Summary, error) {
 	if trial == nil {
 		return Summary{}, fmt.Errorf("montecarlo: nil trial")
 	}
+	return RunFactory(opt, func() Trial { return trial })
+}
+
+// RunFactory executes the batch with one Trial per worker built by the
+// factory, enabling per-worker scratch state. Run is RunFactory with a
+// factory that shares one Trial everywhere.
+func RunFactory(opt Options, factory TrialFactory) (Summary, error) {
+	if factory == nil {
+		return Summary{}, fmt.Errorf("montecarlo: nil trial factory")
+	}
 	n := opt.Samples
 	if n == 0 {
 		n = DefaultSamples
@@ -87,26 +105,39 @@ func Run(opt Options, trial Trial) (Summary, error) {
 		if workers > n {
 			workers = n
 		}
-		// One private rng per worker: reseeded from (Seed, sample) before
-		// each trial, so results do not depend on which worker claims
-		// which sample.
+		// One private rng and trial per worker: the rng is reseeded from
+		// (Seed, sample) before each trial, so results do not depend on
+		// which worker claims which sample.
 		rngs := make([]*rand.Rand, workers)
+		trials := make([]Trial, workers)
 		for w := range rngs {
 			rngs[w] = rand.New(rand.NewSource(0))
+			if trials[w] = factory(); trials[w] == nil {
+				return Summary{}, fmt.Errorf("montecarlo: factory returned nil trial")
+			}
 		}
 		if err := workpool.Run(opt.Context, workers, n, func(w, i int) {
 			rng := rngs[w]
-			rng.Seed(sampleSeed(opt.Seed, i))
-			outcomes[i] = trial(i, rng)
+			rng.Seed(SampleSeed(opt.Seed, i))
+			outcomes[i] = trials[w](i, rng)
 		}); err != nil {
 			return Summary{}, err
 		}
 	} else {
+		// One rng for the whole serial batch, reseeded per sample exactly
+		// like the parallel workers' — bit-identical outcomes, no per-trial
+		// source allocation.
+		trial := factory()
+		if trial == nil {
+			return Summary{}, fmt.Errorf("montecarlo: factory returned nil trial")
+		}
+		rng := rand.New(rand.NewSource(0))
 		for i := 0; i < n; i++ {
 			if opt.Context != nil && opt.Context.Err() != nil {
 				return Summary{}, opt.Context.Err()
 			}
-			outcomes[i] = trial(i, sampleRNG(opt.Seed, i))
+			rng.Seed(SampleSeed(opt.Seed, i))
+			outcomes[i] = trial(i, rng)
 		}
 	}
 	s := Summary{Samples: n, Values: make([]float64, n)}
@@ -124,12 +155,9 @@ func Run(opt Options, trial Trial) (Summary, error) {
 	return s, nil
 }
 
-// sampleSeed derives the per-sample seed from the harness seed.
-func sampleSeed(seed int64, sample int) int64 {
+// SampleSeed derives the per-sample rng seed from the harness seed — the
+// schedule every trial's randomness comes from, exported so benchmarks and
+// external replays can reproduce individual samples exactly.
+func SampleSeed(seed int64, sample int) int64 {
 	return seed + int64(sample)*2_147_483_659
-}
-
-// sampleRNG derives the per-sample random source.
-func sampleRNG(seed int64, sample int) *rand.Rand {
-	return rand.New(rand.NewSource(sampleSeed(seed, sample)))
 }

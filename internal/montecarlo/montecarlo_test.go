@@ -104,6 +104,47 @@ func TestRunContextCancellation(t *testing.T) {
 	}
 }
 
+func TestRunFactoryPerWorkerState(t *testing.T) {
+	// The factory is invoked once per worker (once for serial runs), and a
+	// trial's private scratch state persists across the samples it claims.
+	factoryCalls := 0
+	s, err := RunFactory(Options{Samples: 20, Seed: 3}, func() Trial {
+		factoryCalls++
+		claimed := 0
+		return func(i int, rng *rand.Rand) Outcome {
+			claimed++
+			return Outcome{Value: rng.Float64(), Success: claimed > 0}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if factoryCalls != 1 {
+		t.Fatalf("serial run built %d trials, want 1", factoryCalls)
+	}
+	// Same seeds through Run must reproduce the same values.
+	plain, err := Run(Options{Samples: 20, Seed: 3}, func(i int, rng *rand.Rand) Outcome {
+		return Outcome{Value: rng.Float64()}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Values {
+		if s.Values[i] != plain.Values[i] {
+			t.Fatalf("sample %d: factory path diverged from plain Run", i)
+		}
+	}
+	if _, err := RunFactory(Options{Samples: 1}, nil); err == nil {
+		t.Error("nil factory must fail")
+	}
+	if _, err := RunFactory(Options{Samples: 1}, func() Trial { return nil }); err == nil {
+		t.Error("nil trial from factory must fail")
+	}
+	if _, err := RunFactory(Options{Samples: 1, Parallel: true}, func() Trial { return nil }); err == nil {
+		t.Error("nil trial from factory must fail (parallel)")
+	}
+}
+
 func TestRunSamplesIndependentOfNeighbours(t *testing.T) {
 	// The rng of sample i must not depend on how many samples run.
 	small, _ := Run(Options{Samples: 5, Seed: 7}, func(i int, rng *rand.Rand) Outcome {

@@ -12,6 +12,20 @@ import (
 	"math"
 )
 
+// Solver runs the assignment algorithm with reusable internal buffers, so a
+// hot loop (the Monte Carlo yield trials) can solve thousands of instances
+// without allocating. The zero value is ready to use; a Solver must not be
+// shared between goroutines. Results are identical to the package-level
+// Solve / SolveBinary, which are thin wrappers over a fresh Solver.
+type Solver struct {
+	u, v, minv []float64
+	p, way     []int
+	used       []bool
+	assignment []int
+	cost       [][]float64
+	costCells  []float64
+}
+
 // Solve finds a minimum-cost assignment of rows to columns of the cost
 // matrix. The matrix may be rectangular with rows <= cols; every row is
 // assigned a distinct column. It returns the column chosen for each row and
@@ -19,6 +33,14 @@ import (
 //
 // All costs must be finite and non-negative.
 func Solve(cost [][]float64) (assignment []int, total float64, err error) {
+	var s Solver
+	return s.Solve(cost)
+}
+
+// Solve is the buffer-reusing form of the package-level Solve. The returned
+// assignment aliases the Solver's scratch storage and is only valid until
+// the next call on the same Solver.
+func (s *Solver) Solve(cost [][]float64) (assignment []int, total float64, err error) {
 	n := len(cost)
 	if n == 0 {
 		return nil, 0, nil
@@ -42,18 +64,26 @@ func Solve(cost [][]float64) (assignment []int, total float64, err error) {
 	// Hungarian method with row/column potentials. Columns and rows are
 	// 1-indexed internally; index 0 is the virtual source.
 	const inf = math.MaxFloat64
-	u := make([]float64, n+1) // row potentials
-	v := make([]float64, m+1) // column potentials
-	p := make([]int, m+1)     // p[j] = row assigned to column j (0 = none)
-	way := make([]int, m+1)
+	u := growFloats(&s.u, n+1)   // row potentials
+	v := growFloats(&s.v, m+1)   // column potentials
+	p := growInts(&s.p, m+1)     // p[j] = row assigned to column j (0 = none)
+	way := growInts(&s.way, m+1) // augmenting-path predecessors
+	minv := growFloats(&s.minv, m+1)
+	used := s.growUsed(m + 1)
+	for j := range u {
+		u[j] = 0
+	}
+	for j := range v {
+		v[j] = 0
+		p[j] = 0
+	}
 
 	for i := 1; i <= n; i++ {
 		p[0] = i
 		j0 := 0
-		minv := make([]float64, m+1)
-		used := make([]bool, m+1)
 		for j := range minv {
 			minv[j] = inf
+			used[j] = false
 		}
 		for {
 			used[j0] = true
@@ -94,7 +124,10 @@ func Solve(cost [][]float64) (assignment []int, total float64, err error) {
 		}
 	}
 
-	assignment = make([]int, n)
+	assignment = growInts(&s.assignment, n)
+	for i := range assignment {
+		assignment[i] = 0
+	}
 	for j := 1; j <= m; j++ {
 		if p[j] > 0 {
 			assignment[p[j]-1] = j - 1
@@ -112,18 +145,68 @@ func Solve(cost [][]float64) (assignment []int, total float64, err error) {
 // paper's Fig. 8(d): cost 0 means every function row landed on a compatible
 // crossbar row.
 func SolveBinary(forbidden [][]bool) (assignment []int, ok bool, err error) {
-	cost := make([][]float64, len(forbidden))
+	var s Solver
+	return s.SolveBinary(forbidden)
+}
+
+// SolveBinary is the buffer-reusing form of the package-level SolveBinary;
+// the returned assignment aliases the Solver's scratch storage.
+func (s *Solver) SolveBinary(forbidden [][]bool) (assignment []int, ok bool, err error) {
+	n := len(forbidden)
+	m := 0
+	if n > 0 {
+		m = len(forbidden[0])
+	}
+	if cap(s.cost) < n {
+		s.cost = make([][]float64, n)
+	}
+	cost := s.cost[:n]
+	if cap(s.costCells) < n*m {
+		s.costCells = make([]float64, n*m)
+	}
+	cells := s.costCells[:n*m]
 	for i, row := range forbidden {
-		cost[i] = make([]float64, len(row))
+		if len(row) != m {
+			return nil, false, fmt.Errorf("munkres: ragged cost matrix at row %d", i)
+		}
+		cost[i] = cells[i*m : (i+1)*m]
 		for j, bad := range row {
 			if bad {
 				cost[i][j] = 1
+			} else {
+				cost[i][j] = 0
 			}
 		}
 	}
-	assignment, total, err := Solve(cost)
+	assignment, total, err := s.Solve(cost)
 	if err != nil {
 		return nil, false, err
 	}
 	return assignment, total == 0, nil
+}
+
+// growFloats / growInts / growUsed resize a scratch slice without zeroing
+// (callers reinitialize the prefix they use).
+func growFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func (s *Solver) growUsed(n int) []bool {
+	if cap(s.used) < n {
+		s.used = make([]bool, n)
+	}
+	s.used = s.used[:n]
+	return s.used
 }

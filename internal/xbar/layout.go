@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/bitmat"
 	"repro/internal/logic"
 	"repro/internal/netlist"
 )
@@ -75,6 +76,55 @@ type Layout struct {
 	OutputDriver [][]int
 	// MultiLevel marks the layout style.
 	MultiLevel bool
+
+	// packed mirrors Active under the packed-row contract of
+	// internal/bitmat; usedCols flags columns with at least one active
+	// device. Both are built once by pack() at the end of construction and
+	// never mutated afterwards, so concurrent readers (the engine shares one
+	// layout across jobs) need no synchronization.
+	packed   *bitmat.Matrix
+	usedCols bitmat.Row
+	// productRows / outputRows cache the row-kind partitions so the mapping
+	// hot path doesn't rebuild them per attempt.
+	productRows, outputRows []int
+}
+
+// pack builds the word-packed mirror of Active and the derived caches.
+// Constructors call it last; layouts must not be mutated after construction.
+func (l *Layout) pack() {
+	l.packed = bitmat.New(l.Rows, l.Cols)
+	l.usedCols = bitmat.NewRow(l.Cols)
+	for r, row := range l.Active {
+		for c, a := range row {
+			if a {
+				l.packed.Set(r, c)
+				l.usedCols.Set(c)
+			}
+		}
+	}
+	for r, k := range l.RowKinds {
+		if k == RowOutput {
+			l.outputRows = append(l.outputRows, r)
+		} else {
+			l.productRows = append(l.productRows, r)
+		}
+	}
+}
+
+// ActiveRow returns the packed required-active mask of layout row r (the FM
+// row of Fig. 8(a)). Read-only view: callers must not mutate it.
+func (l *Layout) ActiveRow(r int) bitmat.Row { return l.packed.Row(r) }
+
+// UsedColumns returns the packed mask of columns the layout actually uses
+// (read-only view).
+func (l *Layout) UsedColumns() bitmat.Row { return l.usedCols }
+
+// PackedWords returns the packed active matrix's backing words row by row,
+// the canonical serialization the engine hashes job specs from.
+func (l *Layout) PackedWords(fn func(row bitmat.Row)) {
+	for r := 0; r < l.Rows; r++ {
+		fn(l.packed.Row(r))
+	}
 }
 
 // colPos computes the canonical column layout
@@ -153,6 +203,7 @@ func NewTwoLevel(c *logic.Cover) (*Layout, error) {
 		l.Active[r][fbarCol(j)] = true
 		l.Active[r][fCol(j)] = true
 	}
+	l.pack()
 	return l, nil
 }
 
@@ -226,6 +277,7 @@ func NewMultiLevel(nw *netlist.Network) (*Layout, error) {
 		l.Active[s.Index][fCol(j)] = true
 		l.OutputDriver[j] = []int{s.Index}
 	}
+	l.pack()
 	return l, nil
 }
 
@@ -235,12 +287,8 @@ func (l *Layout) Area() int { return l.Rows * l.Cols }
 // Devices counts required-active devices.
 func (l *Layout) Devices() int {
 	n := 0
-	for _, row := range l.Active {
-		for _, b := range row {
-			if b {
-				n++
-			}
-		}
+	for r := 0; r < l.Rows; r++ {
+		n += bitmat.PopCount(l.packed.Row(r))
 	}
 	return n
 }
@@ -264,27 +312,12 @@ func (l *Layout) FunctionMatrix() [][]bool {
 }
 
 // ProductRows lists the indices of product/gate rows (FMm in the paper);
-// OutputRows lists inversion rows (FMo).
-func (l *Layout) ProductRows() []int {
-	var rows []int
-	for r, k := range l.RowKinds {
-		if k != RowOutput {
-			rows = append(rows, r)
-		}
-	}
-	return rows
-}
+// OutputRows lists inversion rows (FMo). Both return cached slices built at
+// construction time — callers must not mutate them.
+func (l *Layout) ProductRows() []int { return l.productRows }
 
 // OutputRows lists the inversion rows of the layout.
-func (l *Layout) OutputRows() []int {
-	var rows []int
-	for r, k := range l.RowKinds {
-		if k == RowOutput {
-			rows = append(rows, r)
-		}
-	}
-	return rows
-}
+func (l *Layout) OutputRows() []int { return l.outputRows }
 
 // Render draws the layout as ASCII art: '#' for an active device, '.' for a
 // disabled one, with column kind markers. Intended for examples and docs.

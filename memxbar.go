@@ -223,7 +223,11 @@ func (d *Design) Simulate(x []bool) ([]bool, error) {
 	return res.F, nil
 }
 
-// Layout exposes the underlying layout for advanced use.
+// Layout exposes the underlying layout for advanced use. Layouts are
+// immutable after synthesis: the mapping algorithms and the engine's result
+// cache read word-packed mirrors of the device placement built at
+// construction time, so mutating the returned layout's fields would desync
+// them. Treat it as read-only.
 func (d *Design) Layout() *xbar.Layout { return d.layout }
 
 // ---------------------------------------------------------------------------
