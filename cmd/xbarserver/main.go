@@ -1,19 +1,28 @@
 // Command xbarserver serves the parallel crossbar compilation engine as a
 // batch HTTP service.
 //
-//	xbarserver -addr :8080 -workers 0 -cache 1024 -timeout 30s
+//	xbarserver -addr :8080 -workers 0 -cache 1024 -timeout 30s \
+//	    -cache-file /var/lib/xbarserver/cache.json -max-queued-jobs 8192
 //
 // API:
 //
-//	POST /v1/jobs      submit a batch: {"jobs":[{"kind":"synthesize-two-level",
-//	                   "benchmark":"rd53"}, ...]} -> {"job_ids":["j00000001",...]}
-//	GET  /v1/jobs/{id} poll one job: {"id","status","result"?}
-//	GET  /healthz      liveness plus engine counters
+//	POST /v1/jobs                submit a batch: {"jobs":[{"kind":
+//	                             "synthesize-two-level","benchmark":"rd53"},
+//	                             ...]} -> {"batch_id":"b00000001",
+//	                             "job_ids":["j00000001",...]}; over-limit
+//	                             submissions get 429 + Retry-After
+//	GET  /v1/jobs/{id}           poll one job: {"id","status","result"?}
+//	GET  /v1/batches/{id}/events stream the batch's results as Server-Sent
+//	                             Events (one "result" event per job, then
+//	                             "done")
+//	GET  /healthz                liveness plus engine counters
 //
 // Job kinds: synthesize-two-level, synthesize-multilevel, map-hba, map-ea,
 // monte-carlo-yield. Functions come from a built-in "benchmark" name or
 // PLA-style "rows" with "inputs"/"outputs". Identical jobs are deduplicated
-// through the engine's result cache, so re-submitting a batch is cheap.
+// through the engine's result cache; with -cache-file the cache survives
+// restarts, so a rebooted server answers previously computed batches
+// without recomputing.
 package main
 
 import (
@@ -34,23 +43,35 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", engine.DefaultCacheSize, "result cache entries (negative disables)")
+	cacheFile := flag.String("cache-file", "", "persist the result cache to this file (loaded at startup, saved on interval and at shutdown)")
+	persistEvery := flag.Duration("persist-interval", 0, "cache snapshot period with -cache-file (0 = 30s, negative = only at shutdown)")
 	timeout := flag.Duration("timeout", 0, "default per-job timeout (0 = none)")
+	maxQueued := flag.Int("max-queued-jobs", 0, "admission control: reject batches beyond this many unfinished jobs with 429 (0 = unlimited)")
+	maxBatches := flag.Int("max-batches", 0, "admission control: reject submissions beyond this many open batches with 429 (0 = unlimited)")
 	flag.Parse()
 
 	e := engine.New(engine.Options{
-		Workers:        *workers,
-		CacheSize:      *cacheSize,
-		DefaultTimeout: *timeout,
+		Workers:              *workers,
+		CacheSize:            *cacheSize,
+		CacheFile:            *cacheFile,
+		CachePersistInterval: *persistEvery,
+		DefaultTimeout:       *timeout,
+		MaxQueuedJobs:        *maxQueued,
+		MaxBatches:           *maxBatches,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           engine.NewHTTPHandler(e),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	// Unblock live SSE streams when Shutdown starts, so graceful shutdown
+	// doesn't wait out its whole timeout on a subscriber to a slow batch.
+	srv.RegisterOnShutdown(e.StopStreams)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("xbarserver listening on %s (workers=%d cache=%d)", *addr, *workers, *cacheSize)
+	log.Printf("xbarserver listening on %s (workers=%d cache=%d cache-file=%q)",
+		*addr, *workers, *cacheSize, *cacheFile)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -64,6 +85,9 @@ func main() {
 		}
 		e.Close()
 	case err := <-errCh:
+		// Release the workers and write the final cache snapshot on the
+		// server-error path too, not just on signal-driven shutdown.
+		e.Close()
 		if !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}

@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,7 +41,36 @@ type Options struct {
 	// service; the oldest finished jobs are evicted first. Zero means
 	// 16384.
 	StatusLimit int
+	// CacheFile, when non-empty, makes the result cache persistent: the
+	// snapshot is loaded at New (warm start), written every
+	// CachePersistInterval while the engine runs, and written a final time
+	// at Close. Keys are the canonical spec hashes, so a reloaded cache
+	// answers exactly the jobs it would have answered before the restart.
+	CacheFile string
+	// CachePersistInterval is the background snapshot period when CacheFile
+	// is set: zero means DefaultCachePersistInterval, negative disables the
+	// background loop (the cache is still saved at Close).
+	CachePersistInterval time.Duration
+	// MaxQueuedJobs bounds jobs admitted but not yet finished across all
+	// batches; Submit fails with ErrOverloaded (retryable) beyond it, and
+	// with ErrBatchTooLarge (not retryable) for a single batch bigger than
+	// the limit. Zero means unlimited.
+	MaxQueuedJobs int
+	// MaxBatches bounds concurrently open (not fully finished) batches;
+	// Submit fails with ErrOverloaded beyond it. Zero means unlimited.
+	MaxBatches int
 }
+
+// ErrOverloaded is reported (wrapped) by Submit when admission control
+// rejects a batch that could be admitted later: the caller should back off
+// and retry. The HTTP layer maps it to 429 Too Many Requests with a
+// Retry-After header.
+var ErrOverloaded = errors.New("engine: overloaded")
+
+// ErrBatchTooLarge is reported (wrapped) by Submit for a batch bigger than
+// MaxQueuedJobs: such a batch can never be admitted, so retrying is
+// pointless — split it instead. The HTTP layer maps it to 413.
+var ErrBatchTooLarge = errors.New("engine: batch exceeds queue capacity")
 
 // Status is a job's lifecycle state.
 type Status string
@@ -71,8 +101,10 @@ type Stats struct {
 
 // Batch is one submitted group of jobs. Results carries each job's outcome
 // as it finishes (no ordering guarantee) and closes when the batch is done;
-// IDs lists the assigned job ids in spec order.
+// IDs lists the assigned job ids in spec order. ID names the batch for the
+// HTTP streaming endpoint (GET /v1/batches/{id}/events).
 type Batch struct {
+	ID      string
 	IDs     []string
 	Results <-chan JobResult
 }
@@ -86,13 +118,23 @@ type Engine struct {
 	workerWG sync.WaitGroup
 	submitWG sync.WaitGroup
 
-	mu       sync.Mutex
-	closed   bool
-	status   map[string]*JobStatus
-	order    []string
-	inflight map[string]*flight
+	mu          sync.Mutex
+	closed      bool
+	status      map[string]*JobStatus
+	order       []string
+	inflight    map[string]*flight
+	batches     map[string]*batchState
+	batchOrder  []string
+	openBatches int // batches submitted but not fully finished
+	queuedJobs  int // jobs admitted but not yet finished
+
+	persistStop chan struct{}
+	persistWG   sync.WaitGroup
+
+	streamStop chan struct{} // guarded by mu; closed and replaced by StopStreams
 
 	nextID      atomic.Int64
+	nextBatch   atomic.Int64
 	stSubmitted atomic.Int64
 	stCompleted atomic.Int64
 	stCacheHits atomic.Int64
@@ -113,11 +155,12 @@ type flight struct {
 }
 
 type task struct {
-	id   string
-	spec JobSpec
-	ctx  context.Context
-	out  chan JobResult
-	wg   *sync.WaitGroup
+	id    string
+	spec  JobSpec
+	ctx   context.Context
+	out   chan JobResult
+	wg    *sync.WaitGroup
+	batch *batchState
 }
 
 // New starts an engine. Callers must Close it to release the workers.
@@ -129,13 +172,27 @@ func New(opt Options) *Engine {
 		opt.StatusLimit = 16384
 	}
 	e := &Engine{
-		opt:      opt,
-		queue:    make(chan *task, 4*opt.Workers),
-		status:   make(map[string]*JobStatus),
-		inflight: make(map[string]*flight),
+		opt:        opt,
+		queue:      make(chan *task, 4*opt.Workers),
+		status:     make(map[string]*JobStatus),
+		inflight:   make(map[string]*flight),
+		batches:    make(map[string]*batchState),
+		streamStop: make(chan struct{}),
 	}
 	if opt.CacheSize >= 0 {
 		e.cache = newResultCache(opt.CacheSize, opt.CacheShards)
+	}
+	if e.cache != nil && opt.CacheFile != "" {
+		e.loadCacheFile()
+		interval := opt.CachePersistInterval
+		if interval == 0 {
+			interval = DefaultCachePersistInterval
+		}
+		if interval > 0 {
+			e.persistStop = make(chan struct{})
+			e.persistWG.Add(1)
+			go e.persistLoop(interval)
+		}
 	}
 	for i := 0; i < opt.Workers; i++ {
 		e.workerWG.Add(1)
@@ -147,7 +204,9 @@ func New(opt Options) *Engine {
 // Submit enqueues a batch and returns immediately. Jobs not yet started
 // when ctx is cancelled complete with the context error in their result;
 // running Monte Carlo jobs abort cooperatively. An empty batch is valid
-// and yields an immediately closed Results channel.
+// and yields an immediately closed Results channel. When Options bounds
+// admission (MaxQueuedJobs, MaxBatches), over-limit submissions fail with
+// an error wrapping ErrOverloaded instead of queuing without bound.
 func (e *Engine) Submit(ctx context.Context, specs []JobSpec) (*Batch, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -163,11 +222,31 @@ func (e *Engine) Submit(ctx context.Context, specs []JobSpec) (*Batch, error) {
 		close(out)
 		return &Batch{Results: out}, nil
 	}
+	if e.opt.MaxQueuedJobs > 0 && len(specs) > e.opt.MaxQueuedJobs {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: batch of %d jobs > queue limit %d (split the batch)",
+			ErrBatchTooLarge, len(specs), e.opt.MaxQueuedJobs)
+	}
+	if e.opt.MaxBatches > 0 && e.openBatches >= e.opt.MaxBatches {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d batches open (limit %d)",
+			ErrOverloaded, e.opt.MaxBatches, e.opt.MaxBatches)
+	}
+	if e.opt.MaxQueuedJobs > 0 && e.queuedJobs+len(specs) > e.opt.MaxQueuedJobs {
+		queued := e.queuedJobs
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d jobs queued and batch adds %d (limit %d)",
+			ErrOverloaded, queued, len(specs), e.opt.MaxQueuedJobs)
+	}
 	ids := make([]string, len(specs))
 	for i := range specs {
 		ids[i] = fmt.Sprintf("j%08d", e.nextID.Add(1))
 		e.recordLocked(ids[i])
 	}
+	bs := newBatchState(fmt.Sprintf("b%08d", e.nextBatch.Add(1)), ids)
+	e.registerBatchLocked(bs)
+	e.openBatches++
+	e.queuedJobs += len(specs)
 	e.submitWG.Add(1)
 	e.mu.Unlock()
 	e.stSubmitted.Add(int64(len(specs)))
@@ -178,7 +257,7 @@ func (e *Engine) Submit(ctx context.Context, specs []JobSpec) (*Batch, error) {
 	go func() {
 		defer e.submitWG.Done()
 		for i := range specs {
-			t := &task{id: ids[i], spec: specs[i], ctx: ctx, out: out, wg: &wg}
+			t := &task{id: ids[i], spec: specs[i], ctx: ctx, out: out, wg: &wg, batch: bs}
 			select {
 			case e.queue <- t:
 			case <-ctx.Done():
@@ -188,9 +267,12 @@ func (e *Engine) Submit(ctx context.Context, specs []JobSpec) (*Batch, error) {
 	}()
 	go func() {
 		wg.Wait()
+		e.mu.Lock()
+		e.openBatches--
+		e.mu.Unlock()
 		close(out)
 	}()
-	return &Batch{IDs: ids, Results: out}, nil
+	return &Batch{ID: bs.id, IDs: ids, Results: out}, nil
 }
 
 // Run submits the batch and blocks until every job finishes (or is
@@ -243,8 +325,9 @@ func (e *Engine) Stats() Stats {
 	return s
 }
 
-// Close stops accepting work, waits for queued jobs to drain, and releases
-// the workers. Safe to call more than once.
+// Close stops accepting work, waits for queued jobs to drain, releases the
+// workers, and — when Options.CacheFile is set — writes a final cache
+// snapshot. Safe to call more than once.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -253,9 +336,17 @@ func (e *Engine) Close() {
 	}
 	e.closed = true
 	e.mu.Unlock()
+	e.StopStreams()
 	e.submitWG.Wait()
 	close(e.queue)
 	e.workerWG.Wait()
+	if e.persistStop != nil {
+		close(e.persistStop)
+		e.persistWG.Wait()
+	}
+	if err := e.saveCacheFile(); err != nil {
+		log.Printf("engine: saving cache at close: %v", err)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -361,7 +452,11 @@ func (e *Engine) finish(t *task, r JobResult) {
 		rc := r
 		st.Result = &rc
 	}
+	e.queuedJobs--
 	e.mu.Unlock()
+	if t.batch != nil {
+		t.batch.publish(r)
+	}
 	t.out <- r
 	t.wg.Done()
 }
@@ -375,19 +470,47 @@ func (e *Engine) setRunning(id string) {
 }
 
 // recordLocked registers a pending job in the status store and evicts the
-// oldest finished jobs beyond the limit. Caller holds e.mu.
+// oldest finished jobs beyond the limit. Live jobs are never dropped, but
+// they don't stall eviction either: a stuck job at the head of the order
+// is skipped and the finished jobs behind it are evicted, so the store
+// stays bounded under sustained traffic. Caller holds e.mu.
 func (e *Engine) recordLocked(id string) {
 	e.status[id] = &JobStatus{ID: id, Status: StatusPending}
 	e.order = append(e.order, id)
-	for len(e.order) > e.opt.StatusLimit {
-		oldest := e.order[0]
-		st, ok := e.status[oldest]
-		if ok && st.Status != StatusDone {
-			break // never drop live jobs; the store shrinks as they finish
-		}
-		delete(e.status, oldest)
-		e.order = e.order[1:]
+	e.order = pruneOrder(e.order, e.opt.StatusLimit,
+		func(id string) bool {
+			st, ok := e.status[id]
+			return !ok || st.Status == StatusDone
+		},
+		func(id string) { delete(e.status, id) })
+}
+
+// pruneOrder is the shared eviction loop of the bounded insertion-ordered
+// stores (job statuses, batch registry): entries beyond limit are evicted
+// oldest first, but only when evictable reports they are finished — live
+// entries are kept (and skipped, so one stuck entry at the head can't pin
+// the store). The usual case — a finished head — stays O(1); compaction
+// only runs when live entries sit in front of evictable ones.
+func pruneOrder(order []string, limit int, evictable func(id string) bool, evict func(id string)) []string {
+	excess := len(order) - limit
+	for excess > 0 && evictable(order[0]) {
+		evict(order[0])
+		order = order[1:]
+		excess--
 	}
+	if excess <= 0 {
+		return order
+	}
+	kept := order[:0]
+	for _, id := range order {
+		if excess > 0 && evictable(id) {
+			evict(id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	return kept
 }
 
 func errResult(t *task, err error) JobResult {

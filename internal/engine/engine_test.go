@@ -2,6 +2,8 @@ package engine
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -85,6 +87,125 @@ func TestExecuteErrors(t *testing.T) {
 		if r := Execute(context.Background(), spec); r.Err == "" {
 			t.Errorf("spec %+v must fail", spec)
 		}
+	}
+}
+
+// TestMonteCarloSetupErrorFailsJob is the regression test for the silent
+// Psucc corruption bug: trial-setup failures (problem construction, defect
+// regeneration) used to be counted as failed samples, reporting a depressed
+// Psucc instead of an error. They must fail the job.
+func TestMonteCarloSetupErrorFailsJob(t *testing.T) {
+	// Problem construction fails: the fabric is smaller than the design.
+	bad := mcSpec(1)
+	bad.SpareRows = -1
+	r := Execute(context.Background(), bad)
+	if r.Err == "" {
+		t.Fatalf("shrunken fabric must fail the job, got Psucc=%v over %d samples", r.Psucc, r.Samples)
+	}
+	if !strings.Contains(r.Err, "mapping:") {
+		t.Errorf("error must come from problem construction, got %q", r.Err)
+	}
+	if r.Samples != 0 || r.Psucc != 0 {
+		t.Errorf("failed job must not report Monte Carlo outputs: %+v", r)
+	}
+
+	// Defect regeneration fails: impossible defect probabilities.
+	bad = mcSpec(1)
+	bad.OpenRate = 1.5
+	r = Execute(context.Background(), bad)
+	if r.Err == "" {
+		t.Fatalf("invalid defect rate must fail the job, got Psucc=%v over %d samples", r.Psucc, r.Samples)
+	}
+	if !strings.Contains(r.Err, "invalid probabilities") {
+		t.Errorf("error must come from defect regeneration, got %q", r.Err)
+	}
+
+	// A healthy spec still succeeds, so the checks don't over-trigger.
+	if r := Execute(context.Background(), mcSpec(1)); r.Err != "" {
+		t.Fatalf("healthy spec failed: %s", r.Err)
+	}
+}
+
+// TestStatusEvictionSkipsLiveJobs pins the store-growth fix: one stuck live
+// job at the head of the eviction order must not stop finished jobs behind
+// it from being evicted.
+func TestStatusEvictionSkipsLiveJobs(t *testing.T) {
+	e := New(Options{Workers: 1, StatusLimit: 3})
+	defer e.Close()
+	e.mu.Lock()
+	e.recordLocked("stuck") // stays pending: a live job pinned at the head
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("done%02d", i)
+		e.recordLocked(id)
+		e.status[id].Status = StatusDone
+	}
+	if len(e.order) > 3 || len(e.status) > 3 {
+		e.mu.Unlock()
+		t.Fatalf("status store grew to %d/%d entries despite limit 3", len(e.order), len(e.status))
+	}
+	if _, ok := e.status["stuck"]; !ok {
+		e.mu.Unlock()
+		t.Fatal("live job must never be evicted")
+	}
+	// Once the stuck job finishes it becomes evictable again.
+	e.status["stuck"].Status = StatusDone
+	e.recordLocked("after")
+	_, stuckLeft := e.status["stuck"]
+	n := len(e.order)
+	e.mu.Unlock()
+	if stuckLeft || n > 3 {
+		t.Fatalf("finished head must be evicted (left=%v, order=%d)", stuckLeft, n)
+	}
+}
+
+// TestEngineAdmissionControl exercises both submission bounds at the
+// library level: queued-job and open-batch limits reject with
+// ErrOverloaded, and the engine admits again once load drains.
+func TestEngineAdmissionControl(t *testing.T) {
+	e := New(Options{Workers: 1, MaxQueuedJobs: 1, CacheSize: -1})
+	defer e.Close()
+	// A batch bigger than the queue limit can never be admitted: not
+	// retryable, distinct error.
+	if _, err := e.Submit(context.Background(), []JobSpec{mcSpec(8), mcSpec(9)}); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("oversized batch error = %v, want ErrBatchTooLarge", err)
+	}
+	a, err := e.Submit(context.Background(), []JobSpec{mcSpec(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first job is admitted but unfinished, so a second submission
+	// exceeds MaxQueuedJobs deterministically.
+	if _, err := e.Submit(context.Background(), []JobSpec{mcSpec(2)}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-limit submit error = %v, want ErrOverloaded", err)
+	}
+	for r := range a.Results {
+		if r.Err != "" {
+			t.Fatalf("admitted batch must complete: %s", r.Err)
+		}
+	}
+	// finish() decrements the queue count before publishing the result, so
+	// after draining the batch the engine must admit again.
+	b, err := e.Submit(context.Background(), []JobSpec{mcSpec(2)})
+	if err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+	for range b.Results {
+	}
+
+	eb := New(Options{Workers: 1, MaxBatches: 1, CacheSize: -1})
+	defer eb.Close()
+	a, err = eb.Submit(context.Background(), []JobSpec{mcSpec(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eb.Submit(context.Background(), []JobSpec{mcSpec(4)}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-batch submit error = %v, want ErrOverloaded", err)
+	}
+	for range a.Results {
+	}
+	// The open-batch count drops before the results channel closes.
+	if _, err := eb.Submit(context.Background(), []JobSpec{mcSpec(4)}); err != nil {
+		t.Fatalf("submit after batch drained: %v", err)
 	}
 }
 

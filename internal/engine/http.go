@@ -3,7 +3,9 @@ package engine
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 )
 
@@ -20,9 +22,10 @@ type submitRequest struct {
 }
 
 // submitResponse acknowledges a batch with the assigned job ids, in
-// submission order.
+// submission order, and the batch id for the SSE streaming endpoint.
 type submitResponse struct {
-	JobIDs []string `json:"job_ids"`
+	BatchID string   `json:"batch_id"`
+	JobIDs  []string `json:"job_ids"`
 }
 
 // healthResponse is the GET /healthz payload.
@@ -33,13 +36,19 @@ type healthResponse struct {
 
 // NewHTTPHandler exposes the engine as the xbarserver batch API:
 //
-//	POST /v1/jobs      {"jobs":[{...JobSpec...}]} -> 202 {"job_ids":[...]}
-//	GET  /v1/jobs/{id} -> {"id","status","result"?}
-//	GET  /healthz      -> {"status":"ok","stats":{...}}
+//	POST /v1/jobs                 {"jobs":[{...JobSpec...}]} -> 202
+//	                              {"batch_id":"b...","job_ids":[...]}
+//	GET  /v1/jobs/{id}            -> {"id","status","result"?}
+//	GET  /v1/batches/{id}/events  -> Server-Sent Events: one "result" event
+//	                              per job as it finishes (replayed from the
+//	                              start for late subscribers, each result
+//	                              exactly once), then one "done" event
+//	GET  /healthz                 -> {"status":"ok","stats":{...}}
 //
 // Submission is asynchronous: the response returns as soon as the batch is
-// queued, and clients poll job ids (or re-submit — identical jobs are
-// answered from the result cache).
+// queued, and clients stream the batch id (or poll job ids — identical jobs
+// are answered from the result cache). When the engine bounds admission,
+// over-limit submissions are rejected with 429 and a Retry-After header.
 func NewHTTPHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -58,17 +67,28 @@ func NewHTTPHandler(e *Engine) http.Handler {
 			return
 		}
 		// The batch must outlive this request, so it is detached from the
-		// request context; results land in the engine's status store.
+		// request context; admission control (Options.MaxQueuedJobs and
+		// MaxBatches) bounds how much detached work can pile up.
 		b, err := e.Submit(context.Background(), req.Jobs)
 		if err != nil {
-			httpError(w, http.StatusServiceUnavailable, err.Error())
+			switch {
+			case errors.Is(err, ErrBatchTooLarge):
+				// Permanently unservable at this queue limit: no
+				// Retry-After, the client must split the batch.
+				httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+			case errors.Is(err, ErrOverloaded):
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusTooManyRequests, err.Error())
+			default:
+				httpError(w, http.StatusServiceUnavailable, err.Error())
+			}
 			return
 		}
 		go func() {
 			for range b.Results {
 			}
 		}()
-		writeJSON(w, http.StatusAccepted, submitResponse{JobIDs: b.IDs})
+		writeJSON(w, http.StatusAccepted, submitResponse{BatchID: b.ID, JobIDs: b.IDs})
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, ok := e.Job(r.PathValue("id"))
@@ -78,16 +98,81 @@ func NewHTTPHandler(e *Engine) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, st)
 	})
+	mux.HandleFunc("GET /v1/batches/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		serveBatchEvents(e, w, r)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Stats: e.Stats()})
 	})
 	return mux
 }
 
+// serveBatchEvents streams a batch's job results as Server-Sent Events.
+// Results already finished when the client connects are replayed first, so
+// every subscriber sees each result exactly once regardless of when it
+// joins; a terminal "done" event follows the last result.
+func serveBatchEvents(e *Engine, w http.ResponseWriter, r *http.Request) {
+	b, ok := e.batch(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown batch id")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	stop := e.streamStopChan()
+	// A reconnecting SSE client sends the last event id it processed;
+	// resume past it so reconnects keep the exactly-once delivery.
+	sent := 0
+	if last := r.Header.Get("Last-Event-ID"); last != "" {
+		sent = b.resumeAfter(last)
+	}
+	for {
+		rs, changed, complete := b.next(sent)
+		for _, res := range rs {
+			data, err := json.Marshal(res)
+			if err != nil {
+				log.Printf("engine: encoding SSE result %s: %v", res.ID, err)
+				return
+			}
+			if _, err := fmt.Fprintf(w, "id: %s\nevent: result\ndata: %s\n\n", res.ID, data); err != nil {
+				return // client went away
+			}
+			sent++
+		}
+		if len(rs) > 0 {
+			fl.Flush()
+		}
+		if complete && sent == len(b.jobIDs) {
+			fmt.Fprintf(w, "event: done\ndata: {\"batch_id\":%q,\"jobs\":%d}\n\n", b.id, sent)
+			fl.Flush()
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		case <-stop:
+			return // engine closing or server shutting down
+		}
+	}
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late to change the status; log so failed writes are visible.
+		log.Printf("engine: writing %d response: %v", code, err)
+	}
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {

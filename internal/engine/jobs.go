@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/defect"
@@ -298,19 +299,40 @@ func executeMonteCarlo(ctx context.Context, spec JobSpec) (JobResult, error) {
 	// the one-shot experiment code paths. The job owns one preallocated
 	// defect map (regenerated in place per trial) and one mapping scratch,
 	// so the trial loop is allocation-free in steady state.
+	//
+	// Trial-setup failures (problem construction, defect regeneration) must
+	// fail the job, never count as failed samples: Outcome{} here would
+	// silently depress Psucc — the paper's headline statistic. Trials can't
+	// return errors, so the first one is recorded (and the run cancelled so
+	// the remaining samples abort instead of spinning as no-ops) and the
+	// record is checked after the run, before the harness's own error.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	var trialMu sync.Mutex
+	var trialErr error
+	fail := func(err error) {
+		trialMu.Lock()
+		if trialErr == nil {
+			trialErr = err
+		}
+		trialMu.Unlock()
+		cancelRun()
+	}
 	sum, err := montecarlo.RunFactory(montecarlo.Options{
 		Samples: spec.Samples,
 		Seed:    spec.Seed,
-		Context: ctx,
+		Context: runCtx,
 	}, func() montecarlo.Trial {
 		dm := defect.NewMap(l.Rows+spec.SpareRows, l.Cols)
 		scratch := mapping.NewScratch()
 		p, pErr := mapping.NewProblem(l, dm)
+		if pErr != nil {
+			fail(pErr)
+			return func(int, *rand.Rand) montecarlo.Outcome { return montecarlo.Outcome{} }
+		}
 		return func(i int, rng *rand.Rand) montecarlo.Outcome {
-			if pErr != nil {
-				return montecarlo.Outcome{}
-			}
 			if genErr := dm.Regenerate(params, rng); genErr != nil {
+				fail(genErr)
 				return montecarlo.Outcome{}
 			}
 			start := time.Now()
@@ -318,6 +340,12 @@ func executeMonteCarlo(ctx context.Context, spec JobSpec) (JobResult, error) {
 			return montecarlo.Outcome{Success: r.Valid, Elapsed: time.Since(start)}
 		}
 	})
+	trialMu.Lock()
+	setupErr := trialErr
+	trialMu.Unlock()
+	if setupErr != nil {
+		return JobResult{}, setupErr
+	}
 	if err != nil {
 		return JobResult{}, err
 	}

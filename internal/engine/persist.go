@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"log"
+	"os"
+	"time"
+)
+
+// DefaultCachePersistInterval is the background cache snapshot period when
+// Options.CacheFile is set and Options.CachePersistInterval is zero.
+const DefaultCachePersistInterval = 30 * time.Second
+
+// cacheFileVersion is the snapshot format version; files with a different
+// version are ignored (the engine starts cold) rather than misread.
+const cacheFileVersion = 1
+
+// cacheSnapshotFile is the on-disk form of the result cache: every entry's
+// canonical spec hash (hex) and its finished result. Entries are written
+// oldest-first per shard, so reloading with Put restores the LRU order.
+type cacheSnapshotFile struct {
+	Version int              `json:"version"`
+	Saved   time.Time        `json:"saved"`
+	Entries []persistedEntry `json:"entries"`
+}
+
+type persistedEntry struct {
+	Key    string    `json:"key"`
+	Result JobResult `json:"result"`
+}
+
+// loadCacheFile warm-starts the result cache from Options.CacheFile. A
+// missing file is a normal cold start; an unreadable or corrupt file is
+// logged and ignored so a bad snapshot can never keep the server down.
+func (e *Engine) loadCacheFile() {
+	data, err := os.ReadFile(e.opt.CacheFile)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			log.Printf("engine: reading cache file %s: %v (starting cold)", e.opt.CacheFile, err)
+		}
+		return
+	}
+	var snap cacheSnapshotFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		log.Printf("engine: parsing cache file %s: %v (starting cold)", e.opt.CacheFile, err)
+		return
+	}
+	if snap.Version != cacheFileVersion {
+		log.Printf("engine: cache file %s has version %d, want %d (starting cold)",
+			e.opt.CacheFile, snap.Version, cacheFileVersion)
+		return
+	}
+	n := 0
+	for _, pe := range snap.Entries {
+		key, err := hex.DecodeString(pe.Key)
+		if err != nil || len(key) == 0 {
+			continue
+		}
+		r := pe.Result
+		// Identity and hit metadata are assigned per lookup, never stored.
+		r.ID, r.CacheHit = "", false
+		e.cache.Put(string(key), r)
+		n++
+	}
+	if n > 0 {
+		log.Printf("engine: warm-started %d cached results from %s", n, e.opt.CacheFile)
+	}
+}
+
+// saveCacheFile snapshots the result cache to Options.CacheFile via a
+// temp-file rename, so readers never observe a torn snapshot. It is a
+// no-op when persistence is not configured.
+func (e *Engine) saveCacheFile() error {
+	if e.cache == nil || e.opt.CacheFile == "" {
+		return nil
+	}
+	entries := e.cache.Snapshot()
+	snap := cacheSnapshotFile{
+		Version: cacheFileVersion,
+		Saved:   time.Now().UTC(),
+		Entries: make([]persistedEntry, 0, len(entries)),
+	}
+	for _, en := range entries {
+		snap.Entries = append(snap.Entries, persistedEntry{
+			Key:    hex.EncodeToString([]byte(en.key)),
+			Result: en.val,
+		})
+	}
+	data, err := json.Marshal(&snap)
+	if err != nil {
+		return err
+	}
+	tmp := e.opt.CacheFile + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, e.opt.CacheFile)
+}
+
+// persistLoop snapshots the cache every interval until Close stops it.
+func (e *Engine) persistLoop(interval time.Duration) {
+	defer e.persistWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := e.saveCacheFile(); err != nil {
+				log.Printf("engine: persisting cache: %v", err)
+			}
+		case <-e.persistStop:
+			return
+		}
+	}
+}

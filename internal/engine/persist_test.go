@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestCachePersistRoundTrip proves the warm-start contract: a restarted
+// engine pointed at the same cache file answers a previously computed
+// batch entirely from cache — CacheHits equal to the batch size and
+// bit-identical results, with zero recompute.
+func TestCachePersistRoundTrip(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "cache.json")
+	specs := []JobSpec{mcSpec(1), mcSpec(2), fig8Spec(SynthTwoLevel)}
+
+	e1 := New(Options{Workers: 2, CacheFile: file, CachePersistInterval: -1})
+	first, err := e1.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range first {
+		if r.Err != "" {
+			t.Fatalf("job %d: %s", i, r.Err)
+		}
+	}
+	e1.Close() // writes the final snapshot
+
+	e2 := New(Options{Workers: 2, CacheFile: file, CachePersistInterval: -1})
+	defer e2.Close()
+	if got := e2.Stats().CacheEntries; got != len(specs) {
+		t.Fatalf("reloaded cache holds %d entries, want %d", got, len(specs))
+	}
+	second, err := e2.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range second {
+		if r.Err != "" || !r.CacheHit {
+			t.Fatalf("job %d must be served from the reloaded cache: %+v", i, r)
+		}
+		// Bit-identical payloads: Psucc and timing stats survive the disk
+		// round trip exactly.
+		if r.Psucc != first[i].Psucc || r.Samples != first[i].Samples ||
+			r.MeanTime != first[i].MeanTime || r.Area != first[i].Area {
+			t.Fatalf("job %d drifted across restart:\n  before %+v\n  after  %+v", i, first[i], r)
+		}
+	}
+	if hits := e2.Stats().CacheHits; hits != int64(len(specs)) {
+		t.Fatalf("CacheHits = %d, want %d (whole batch from cache)", hits, len(specs))
+	}
+}
+
+// TestCachePersistInterval checks the background snapshot loop writes the
+// file while the engine is still running (i.e. without Close).
+func TestCachePersistInterval(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "cache.json")
+	e := New(Options{Workers: 1, CacheFile: file, CachePersistInterval: 10 * time.Millisecond})
+	defer e.Close()
+	if _, err := e.Run(context.Background(), []JobSpec{fig8Spec(SynthTwoLevel)}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		data, err := os.ReadFile(file)
+		if err == nil {
+			var snap cacheSnapshotFile
+			if json.Unmarshal(data, &snap) == nil && len(snap.Entries) > 0 {
+				return // background loop persisted a live snapshot
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background persist loop never wrote a usable snapshot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCacheFileCorruptStartsCold: a damaged snapshot must never keep the
+// engine from starting; it runs cold and overwrites the file at Close.
+func TestCacheFileCorruptStartsCold(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "cache.json")
+	if err := os.WriteFile(file, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{Workers: 1, CacheFile: file, CachePersistInterval: -1})
+	r, err := e.Run(context.Background(), []JobSpec{fig8Spec(SynthTwoLevel)})
+	if err != nil || r[0].Err != "" {
+		t.Fatalf("engine with corrupt cache file must still run: %v %+v", err, r)
+	}
+	e.Close()
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap cacheSnapshotFile
+	if err := json.Unmarshal(data, &snap); err != nil || len(snap.Entries) == 0 {
+		t.Fatalf("close must replace the corrupt file with a valid snapshot: %v", err)
+	}
+}

@@ -1,0 +1,119 @@
+package engine
+
+import "sync"
+
+// maxTrackedBatches bounds the batch registry used by the SSE streaming
+// endpoint. The oldest fully finished batches are evicted first; batches
+// with unfinished jobs are never dropped, so a live stream always has its
+// backing state.
+const maxTrackedBatches = 1024
+
+// batchState is the streamable record of one submitted batch: every job
+// result published so far, in finish order, plus a broadcast channel that
+// subscribers wait on for the next publish. Results are appended exactly
+// once per job (by Engine.finish), so a subscriber that replays from cursor
+// zero sees every result exactly once no matter when it connects.
+type batchState struct {
+	id     string
+	jobIDs []string // immutable after construction
+
+	mu      sync.Mutex
+	results []JobResult
+	changed chan struct{} // closed and replaced on every publish
+}
+
+func newBatchState(id string, jobIDs []string) *batchState {
+	return &batchState{
+		id:      id,
+		jobIDs:  jobIDs,
+		results: make([]JobResult, 0, len(jobIDs)),
+		changed: make(chan struct{}),
+	}
+}
+
+// publish appends one finished job result and wakes every subscriber.
+func (b *batchState) publish(r JobResult) {
+	b.mu.Lock()
+	b.results = append(b.results, r)
+	close(b.changed)
+	b.changed = make(chan struct{})
+	b.mu.Unlock()
+}
+
+// next returns a copy of the results past cursor i, the channel signalling
+// the next publish, and whether every job of the batch has finished as of
+// this snapshot.
+func (b *batchState) next(i int) ([]JobResult, <-chan struct{}, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var rs []JobResult
+	if i < len(b.results) {
+		rs = append(rs, b.results[i:]...)
+	}
+	return rs, b.changed, len(b.results) == len(b.jobIDs)
+}
+
+// done reports whether every job of the batch has finished.
+func (b *batchState) done() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.results) == len(b.jobIDs)
+}
+
+// batch looks up a tracked batch by id.
+func (e *Engine) batch(id string) (*batchState, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b, ok := e.batches[id]
+	return b, ok
+}
+
+// registerBatchLocked tracks a new batch for streaming and evicts the
+// oldest finished batches beyond the registry bound, skipping live ones
+// (same policy as the job status store — see pruneOrder). Caller holds
+// e.mu.
+func (e *Engine) registerBatchLocked(b *batchState) {
+	e.batches[b.id] = b
+	e.batchOrder = append(e.batchOrder, b.id)
+	e.batchOrder = pruneOrder(e.batchOrder, maxTrackedBatches,
+		func(id string) bool {
+			bs, ok := e.batches[id]
+			return !ok || bs.done()
+		},
+		func(id string) { delete(e.batches, id) })
+}
+
+// StopStreams unblocks every currently connected Server-Sent-Events
+// subscriber so in-flight streams end promptly instead of waiting out
+// their batches. Wire it to http.Server.RegisterOnShutdown so graceful
+// shutdown isn't held hostage by a live stream; Close calls it as well.
+// The engine keeps running and the signal re-arms: subscribers that
+// connect after a StopStreams stream normally.
+func (e *Engine) StopStreams() {
+	e.mu.Lock()
+	close(e.streamStop)
+	e.streamStop = make(chan struct{})
+	e.mu.Unlock()
+}
+
+// streamStopChan snapshots the stop signal for one subscriber: it fires
+// for the StopStreams calls that happen while this subscriber is live.
+func (e *Engine) streamStopChan() <-chan struct{} {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.streamStop
+}
+
+// resumeAfter returns the replay cursor just past the result whose job id
+// is lastID (the SSE Last-Event-ID of a reconnecting client), or 0 when
+// the id is unknown so the whole batch replays.
+func (b *batchState) resumeAfter(lastID string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, r := range b.results {
+		if r.ID == lastID {
+			return i + 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,347 @@
+package engine
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseEvent is one parsed Server-Sent Event.
+type sseEvent struct {
+	id    string
+	event string
+	data  string
+}
+
+// readSSE consumes a text/event-stream body until a "done" event (or EOF),
+// returning every event in arrival order.
+func readSSE(t *testing.T, body *bufio.Scanner) []sseEvent {
+	t.Helper()
+	var events []sseEvent
+	var cur sseEvent
+	for body.Scan() {
+		line := body.Text()
+		switch {
+		case line == "":
+			if cur.event != "" || cur.data != "" {
+				events = append(events, cur)
+				if cur.event == "done" {
+					return events
+				}
+				cur = sseEvent{}
+			}
+		case strings.HasPrefix(line, "id: "):
+			cur.id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	return events
+}
+
+// checkBatchStream asserts an SSE stream delivers every job of the batch
+// exactly once, then done.
+func checkBatchStream(t *testing.T, url string, sub submitResponse) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/batches/" + sub.BatchID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type = %q", ct)
+	}
+	events := readSSE(t, bufio.NewScanner(resp.Body))
+	seen := make(map[string]int)
+	var done int
+	for _, ev := range events {
+		switch ev.event {
+		case "result":
+			var r JobResult
+			if err := json.Unmarshal([]byte(ev.data), &r); err != nil {
+				t.Fatalf("bad result payload %q: %v", ev.data, err)
+			}
+			if r.ID != ev.id {
+				t.Fatalf("event id %q carries result for %q", ev.id, r.ID)
+			}
+			if r.Err != "" {
+				t.Fatalf("job %s failed: %s", r.ID, r.Err)
+			}
+			seen[r.ID]++
+		case "done":
+			done++
+		default:
+			t.Fatalf("unexpected event %q", ev.event)
+		}
+	}
+	if done != 1 {
+		t.Fatalf("saw %d done events, want exactly 1", done)
+	}
+	if len(seen) != len(sub.JobIDs) {
+		t.Fatalf("streamed %d distinct jobs, want %d (%v)", len(seen), len(sub.JobIDs), seen)
+	}
+	for _, id := range sub.JobIDs {
+		if seen[id] != 1 {
+			t.Fatalf("job %s streamed %d times, want exactly once", id, seen[id])
+		}
+	}
+}
+
+// TestHTTPBatchEventStream submits a batch and asserts the SSE endpoint
+// delivers every job result exactly once — both for a subscriber that
+// connects while the batch is running and for a late subscriber that
+// connects after completion (full replay).
+func TestHTTPBatchEventStream(t *testing.T) {
+	e := New(Options{Workers: 2, CacheSize: -1})
+	defer e.Close()
+	srv := httptest.NewServer(NewHTTPHandler(e))
+	defer srv.Close()
+
+	body, _ := json.Marshal(submitRequest{Jobs: []JobSpec{
+		mcSpec(11), mcSpec(12), mcSpec(13), fig8Spec(SynthTwoLevel),
+	}})
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sub.BatchID == "" || len(sub.JobIDs) != 4 {
+		t.Fatalf("submit response = %+v", sub)
+	}
+
+	// Live subscriber: connects right after submission, while jobs run.
+	checkBatchStream(t, srv.URL, sub)
+	// Late subscriber: the batch is now done; the stream must replay every
+	// result exactly once and close with done again.
+	checkBatchStream(t, srv.URL, sub)
+
+	r, err := http.Get(srv.URL + "/v1/batches/b99999999/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown batch status = %d, want 404", r.StatusCode)
+	}
+}
+
+// TestStopStreamsUnblocksSubscribers: a live SSE subscriber to an
+// unfinished batch must end promptly when StopStreams fires (the graceful
+// shutdown path), not wait the batch out.
+func TestStopStreamsUnblocksSubscribers(t *testing.T) {
+	e := New(Options{Workers: 1, CacheSize: -1})
+	defer e.Close()
+	srv := httptest.NewServer(NewHTTPHandler(e))
+	defer srv.Close()
+
+	slow := mcSpec(31)
+	slow.Samples = 500_000
+	slow.TimeoutMS = 3000 // bound the job so Close doesn't wait long
+	body, _ := json.Marshal(submitRequest{Jobs: []JobSpec{slow}})
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	streamDone := make(chan error, 1)
+	go func() {
+		r, err := http.Get(srv.URL + "/v1/batches/" + sub.BatchID + "/events")
+		if err != nil {
+			streamDone <- err
+			return
+		}
+		_, err = io.Copy(io.Discard, r.Body) // blocks until the stream ends
+		r.Body.Close()
+		streamDone <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the subscriber connect and block
+	e.StopStreams()
+	select {
+	case <-streamDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("StopStreams did not unblock the live subscriber")
+	}
+
+	// The signal re-arms: a subscriber connecting after StopStreams (here
+	// to a fresh batch) streams to completion as usual.
+	quick, _ := json.Marshal(submitRequest{Jobs: []JobSpec{fig8Spec(SynthTwoLevel)}})
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(quick))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	checkBatchStream(t, srv.URL, sub)
+}
+
+// TestSSEResumeWithLastEventID: a reconnecting client that presents the
+// standard Last-Event-ID header must receive only the results it has not
+// seen yet, keeping delivery exactly-once across reconnects.
+func TestSSEResumeWithLastEventID(t *testing.T) {
+	e := New(Options{Workers: 2, CacheSize: -1})
+	defer e.Close()
+	srv := httptest.NewServer(NewHTTPHandler(e))
+	defer srv.Close()
+
+	body, _ := json.Marshal(submitRequest{Jobs: []JobSpec{mcSpec(41), mcSpec(42), mcSpec(43)}})
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// First connection: read the full stream to learn the delivery order.
+	r1, err := http.Get(srv.URL + "/v1/batches/" + sub.BatchID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := readSSE(t, bufio.NewScanner(r1.Body))
+	r1.Body.Close()
+	if len(full) != 4 { // 3 results + done
+		t.Fatalf("full stream = %d events, want 4", len(full))
+	}
+
+	// Reconnect claiming the first result was already processed.
+	req, _ := http.NewRequest("GET", srv.URL+"/v1/batches/"+sub.BatchID+"/events", nil)
+	req.Header.Set("Last-Event-ID", full[0].id)
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := readSSE(t, bufio.NewScanner(r2.Body))
+	r2.Body.Close()
+	if len(resumed) != 3 { // remaining 2 results + done
+		t.Fatalf("resumed stream = %+v, want 2 results + done", resumed)
+	}
+	for _, ev := range resumed[:2] {
+		if ev.id == full[0].id {
+			t.Fatalf("result %s delivered twice across reconnect", ev.id)
+		}
+	}
+
+	// An unknown Last-Event-ID replays from the start.
+	req.Header.Set("Last-Event-ID", "j99999999")
+	r3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all := readSSE(t, bufio.NewScanner(r3.Body)); len(all) != 4 {
+		t.Fatalf("unknown-id stream = %d events, want full replay of 4", len(all))
+	}
+	r3.Body.Close()
+}
+
+// TestHTTPAdmissionControl drives the 429 path end to end: with one
+// unfinished job at the queue limit, a second submission is rejected with
+// 429 + Retry-After; once the accepted batch completes, submissions are
+// admitted (and complete) again.
+func TestHTTPAdmissionControl(t *testing.T) {
+	e := New(Options{Workers: 1, MaxQueuedJobs: 1, CacheSize: -1})
+	defer e.Close()
+	srv := httptest.NewServer(NewHTTPHandler(e))
+	defer srv.Close()
+
+	slow := mcSpec(21)
+	slow.Samples = 200_000 // long enough to still be running at the next POST
+	slowBody, _ := json.Marshal(submitRequest{Jobs: []JobSpec{slow}})
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(slowBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&first); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit status = %d", resp.StatusCode)
+	}
+
+	// A batch bigger than the queue limit is permanently unservable: 413
+	// with no Retry-After, so clients split instead of retrying forever.
+	bigBatchBody, _ := json.Marshal(submitRequest{Jobs: []JobSpec{mcSpec(23), mcSpec(24)}})
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(bigBatchBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized-for-queue batch status = %d, want 413", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "" {
+		t.Fatal("413 must not advertise Retry-After")
+	}
+
+	quickBody, _ := json.Marshal(submitRequest{Jobs: []JobSpec{mcSpec(22)}})
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(quickBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit submit status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 response must carry Retry-After")
+	}
+
+	// The accepted batch still completes.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		r, err := http.Get(srv.URL + "/v1/jobs/" + first.JobIDs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if st.Status == StatusDone {
+			if st.Result.Err != "" {
+				t.Fatalf("accepted batch failed: %s", st.Result.Err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("accepted batch never completed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Capacity drained: the rejected submission is admitted on retry.
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(quickBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("retry after drain status = %d, want 202", resp.StatusCode)
+	}
+}

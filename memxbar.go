@@ -372,6 +372,10 @@ type Batch = engine.Batch
 // concurrency).
 type EngineStats = engine.Stats
 
+// ErrEngineOverloaded is reported (wrapped) by Engine.Submit and Engine.Run
+// when admission control rejects a batch; callers should back off and retry.
+var ErrEngineOverloaded = engine.ErrOverloaded
+
 // EngineOptions tunes NewEngine.
 type EngineOptions struct {
 	// Workers bounds concurrent job execution; zero means GOMAXPROCS.
@@ -379,9 +383,23 @@ type EngineOptions struct {
 	// CacheSize is the result cache entry budget: zero means the default
 	// (1024), negative disables caching.
 	CacheSize int
+	// CacheFile, when non-empty, makes the result cache persistent: loaded
+	// at NewEngine, snapshotted every CachePersistInterval, and saved at
+	// Close, so a restarted engine answers previously computed jobs
+	// without recomputing them.
+	CacheFile string
+	// CachePersistInterval is the background snapshot period when CacheFile
+	// is set: zero means the default (30s), negative saves only at Close.
+	CachePersistInterval time.Duration
 	// DefaultTimeout bounds each job unless the job sets its own; zero
 	// means no limit.
 	DefaultTimeout time.Duration
+	// MaxQueuedJobs bounds jobs admitted but not yet finished; Submit
+	// fails with ErrEngineOverloaded beyond it. Zero means unlimited.
+	MaxQueuedJobs int
+	// MaxBatches bounds concurrently open batches; Submit fails with
+	// ErrEngineOverloaded beyond it. Zero means unlimited.
+	MaxBatches int
 }
 
 // Engine runs batches of synthesis, mapping, and Monte Carlo jobs on a
@@ -391,12 +409,17 @@ type Engine struct {
 	e *engine.Engine
 }
 
-// NewEngine starts an engine; Close it to release the workers.
+// NewEngine starts an engine; Close it to release the workers (and write
+// the final cache snapshot when CacheFile is set).
 func NewEngine(opt EngineOptions) *Engine {
 	return &Engine{e: engine.New(engine.Options{
-		Workers:        opt.Workers,
-		CacheSize:      opt.CacheSize,
-		DefaultTimeout: opt.DefaultTimeout,
+		Workers:              opt.Workers,
+		CacheSize:            opt.CacheSize,
+		CacheFile:            opt.CacheFile,
+		CachePersistInterval: opt.CachePersistInterval,
+		DefaultTimeout:       opt.DefaultTimeout,
+		MaxQueuedJobs:        opt.MaxQueuedJobs,
+		MaxBatches:           opt.MaxBatches,
 	})}
 }
 
@@ -422,8 +445,15 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]JobResult, error) {
 func (e *Engine) Stats() EngineStats { return e.e.Stats() }
 
 // Handler returns the xbarserver HTTP API (POST /v1/jobs, GET /v1/jobs/{id},
-// GET /healthz) backed by this engine, for embedding in any mux.
+// GET /v1/batches/{id}/events SSE streaming, GET /healthz) backed by this
+// engine, for embedding in any mux.
 func (e *Engine) Handler() http.Handler { return engine.NewHTTPHandler(e.e) }
+
+// StopStreams unblocks every currently connected SSE subscriber of Handler
+// without stopping the engine (later subscribers stream normally); wire it
+// to http.Server.RegisterOnShutdown so graceful shutdown isn't held up by
+// live streams. Close calls it too.
+func (e *Engine) StopStreams() { e.e.StopStreams() }
 
 // Close stops accepting work, drains queued jobs, and releases the workers.
 func (e *Engine) Close() { e.e.Close() }
