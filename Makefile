@@ -1,6 +1,11 @@
 GO ?= go
+# BENCH_TAG is the single source of the snapshot name; bump it once per PR
+# (CI and cmd/xbarbench both take the name from here).
+BENCH_TAG ?= pr4
+BENCH_OUT ?= BENCH_$(BENCH_TAG).json
+BENCHTIME ?= 0.5s
 
-.PHONY: build test bench vet
+.PHONY: build test bench bench-json vet
 
 build: vet
 	$(GO) build ./...
@@ -13,3 +18,8 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=XXX ./...
+
+# bench-json records the tier benchmark set as a machine-readable snapshot
+# (ns/op, B/op, allocs/op per benchmark) for the committed perf trajectory.
+bench-json:
+	$(GO) run ./cmd/xbarbench -out $(BENCH_OUT) -benchtime $(BENCHTIME)

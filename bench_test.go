@@ -304,9 +304,10 @@ func BenchmarkFaultCampaign(b *testing.B) {
 	}
 }
 
-// BenchmarkColumnAware times the joint column+row mapping search on a
-// fabric with spares and mixed defects.
-func BenchmarkColumnAware(b *testing.B) {
+// columnAwareBenchInstance builds the fabric-with-spares instance shared by
+// the column-aware benches.
+func columnAwareBenchInstance(b *testing.B) (*xbar.Layout, *defect.Map, mapping.FabricSpec) {
+	b.Helper()
 	f := logic.MustParseCover(3, 2, "11- 10", "-01 10", "0-0 01", "-11 01")
 	l, err := xbar.NewTwoLevel(f)
 	if err != nil {
@@ -320,9 +321,39 @@ func BenchmarkColumnAware(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	return l, dm, spec
+}
+
+// BenchmarkColumnAware times the joint column+row mapping search on a
+// fabric with spares and mixed defects, allocating fresh per attempt.
+func BenchmarkColumnAware(b *testing.B) {
+	l, dm, spec := columnAwareBenchInstance(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mapping.ColumnAware(l, dm, spec, mapping.ColumnOptions{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColumnAwareScratch is the same search on a reused ColumnScratch:
+// the whole retry loop — greedy ranking over the transposed column views,
+// per-attempt defect projection, row mapping, perturbation — must report
+// 0 allocs/op in steady state, the column-aware counterpart of the
+// BenchmarkYield200 contract.
+func BenchmarkColumnAwareScratch(b *testing.B) {
+	l, dm, spec := columnAwareBenchInstance(b)
+	scratch := mapping.NewColumnScratch()
+	for i := 0; i < 4; i++ { // warm the scratch buffers
+		if _, err := mapping.ColumnAwareScratch(l, dm, spec, mapping.ColumnOptions{Seed: int64(i)}, scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapping.ColumnAwareScratch(l, dm, spec, mapping.ColumnOptions{Seed: int64(i)}, scratch); err != nil {
 			b.Fatal(err)
 		}
 	}

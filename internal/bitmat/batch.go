@@ -1,0 +1,120 @@
+package bitmat
+
+// Batched candidate matching: the enumeration kernel of the mapping stack.
+// The per-pair test of mapping.rowMatches answers "does FM row i fit CM row
+// j" for one j; the Monte Carlo loops ask it for every j. MatchRowAgainst
+// answers all of them in one pass over the CM words, producing the candidate
+// bitset of an FM row — bit j set iff fmRow &^ cmRow_j == 0 — which the
+// mapping algorithms then enumerate with word scans instead of re-testing
+// pairs.
+
+// MatchRowAgainst computes the candidate bitset of one packed FM row against
+// every row of a CM matrix: bit j of out is set iff fm is a subset of
+// cm.Row(j) (fm &^ cmRow == 0, the paper's row-matching rule). fm must be
+// packed for cm.Cols columns (len(fm) == Words(cm.Cols)) and out for cm.Rows
+// columns (len(out) == Words(cm.Rows)); out is overwritten. The kernel
+// processes four CM rows per inner iteration over the matrix words, with the
+// bounds checks hoisted out of the word loop, and preserves the packed-row
+// contract on out (bits at positions >= cm.Rows stay zero).
+func MatchRowAgainst(fm Row, cm *Matrix, out Row) {
+	for i := range out {
+		out[i] = 0
+	}
+	rows, w := cm.Rows, cm.words
+	if w == 0 {
+		// A zero-column FM row is a subset of everything.
+		for j := 0; j < rows; j++ {
+			out.Set(j)
+		}
+		return
+	}
+	bits := cm.bits
+	fm = fm[:w] // one check here buys bounds-check-free access below
+	if w == 1 {
+		// Single-word fabric (<= 64 columns, every Table II circuit): each CM
+		// row is one word, so the candidate test is one AND-NOT and the four
+		// per-iteration rows share one bounds-checked subslice.
+		f := fm[0]
+		j := 0
+		for ; j+3 < rows; j += 4 {
+			blk := bits[j : j+4 : j+4]
+			var nib uint64
+			if f&^blk[0] == 0 {
+				nib |= 1
+			}
+			if f&^blk[1] == 0 {
+				nib |= 2
+			}
+			if f&^blk[2] == 0 {
+				nib |= 4
+			}
+			if f&^blk[3] == 0 {
+				nib |= 8
+			}
+			if nib != 0 {
+				out[j>>6] |= nib << uint(j&63)
+			}
+		}
+		for ; j < rows; j++ {
+			if f&^bits[j] == 0 {
+				out[j>>6] |= 1 << uint(j&63)
+			}
+		}
+		return
+	}
+	j := 0
+	for ; j+3 < rows; j += 4 {
+		base := j * w
+		r0 := bits[base+0*w : base+1*w][:w]
+		r1 := bits[base+1*w : base+2*w][:w]
+		r2 := bits[base+2*w : base+3*w][:w]
+		r3 := bits[base+3*w : base+4*w][:w]
+		var m0, m1, m2, m3 uint64
+		for k, f := range fm {
+			m0 |= f &^ r0[k]
+			m1 |= f &^ r1[k]
+			m2 |= f &^ r2[k]
+			m3 |= f &^ r3[k]
+		}
+		var nib uint64
+		if m0 == 0 {
+			nib |= 1
+		}
+		if m1 == 0 {
+			nib |= 2
+		}
+		if m2 == 0 {
+			nib |= 4
+		}
+		if m3 == 0 {
+			nib |= 8
+		}
+		// j is a multiple of 4, so the nibble never straddles a word.
+		if nib != 0 {
+			out[j>>6] |= nib << uint(j&63)
+		}
+	}
+	for ; j < rows; j++ {
+		r := bits[j*w : (j+1)*w][:w]
+		var m uint64
+		for k, f := range fm {
+			m |= f &^ r[k]
+		}
+		if m == 0 {
+			out[j>>6] |= 1 << uint(j&63)
+		}
+	}
+}
+
+// matchRowAgainstScalar is the one-row-at-a-time reference the batch kernel
+// is property-tested and benchmarked against.
+func matchRowAgainstScalar(fm Row, cm *Matrix, out Row) {
+	for i := range out {
+		out[i] = 0
+	}
+	for j := 0; j < cm.Rows; j++ {
+		if SubsetOf(fm, cm.Row(j)) {
+			out.Set(j)
+		}
+	}
+}

@@ -47,6 +47,33 @@ func (r Row) Or(b Row) {
 	}
 }
 
+// AndNot clears from r every column set in b (r &^= b). The rows must have
+// equal length.
+func (r Row) AndNot(b Row) {
+	for i, w := range b {
+		r[i] &^= w
+	}
+}
+
+// Fill sets columns [0, n) and clears the rest (n may end anywhere inside
+// the row; bits at positions >= n stay zero per the packed-row contract).
+func (r Row) Fill(n int) {
+	w := n / wordBits
+	for i := 0; i < w; i++ {
+		r[i] = ^uint64(0)
+	}
+	if w < len(r) {
+		if rem := n % wordBits; rem != 0 {
+			r[w] = (uint64(1) << uint(rem)) - 1
+		} else {
+			r[w] = 0
+		}
+		for i := w + 1; i < len(r); i++ {
+			r[i] = 0
+		}
+	}
+}
+
 // Any reports whether any column is set.
 func (r Row) Any() bool {
 	for _, w := range r {
@@ -103,6 +130,48 @@ func FirstAnd(a, b Row) int {
 	return -1
 }
 
+// NextSet returns the lowest set column >= from, or -1 when none remains —
+// the ascending-order iterator of the candidate-bitset enumeration loops.
+func (r Row) NextSet(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	i := from / wordBits
+	if i >= len(r) {
+		return -1
+	}
+	if w := r[i] >> uint(from%wordBits); w != 0 {
+		return from + bits.TrailingZeros64(w)
+	}
+	for i++; i < len(r); i++ {
+		if r[i] != 0 {
+			return i*wordBits + bits.TrailingZeros64(r[i])
+		}
+	}
+	return -1
+}
+
+// NextAndNot returns the lowest column >= from set in a but not in b, or -1.
+// The rows must have equal length.
+func NextAndNot(a, b Row, from int) int {
+	if from < 0 {
+		from = 0
+	}
+	i := from / wordBits
+	if i >= len(a) {
+		return -1
+	}
+	if w := (a[i] &^ b[i]) >> uint(from%wordBits); w != 0 {
+		return from + bits.TrailingZeros64(w)
+	}
+	for i++; i < len(a); i++ {
+		if w := a[i] &^ b[i]; w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
 // Matrix is a word-packed boolean matrix stored row-major in one backing
 // slice, so Row views alias contiguous memory and a whole matrix is a single
 // allocation.
@@ -123,6 +192,25 @@ func New(rows, cols int) *Matrix {
 
 // Row returns the packed view of row r; mutations write through.
 func (m *Matrix) Row(r int) Row { return m.bits[r*m.words : (r+1)*m.words] }
+
+// Reshape resizes m in place to an all-zero rows × cols matrix, reusing the
+// backing storage when it is large enough (the scratch-reuse primitive of
+// TransposeInto and the candidate-bitset buffers).
+func (m *Matrix) Reshape(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic("bitmat: negative dimensions")
+	}
+	w := Words(cols)
+	n := rows * w
+	if cap(m.bits) < n {
+		m.bits = make([]uint64, n)
+	}
+	m.bits = m.bits[:n]
+	m.Rows, m.Cols, m.words = rows, cols, w
+	for i := range m.bits {
+		m.bits[i] = 0
+	}
+}
 
 // Get reports whether cell (r, c) is set.
 func (m *Matrix) Get(r, c int) bool { return m.Row(r).Get(c) }

@@ -121,6 +121,16 @@ func (m *Map) Regenerate(p Params, rng *rand.Rand) error {
 	if err := p.validate(rng); err != nil {
 		return err
 	}
+	m.Reset()
+	m.sample(p, rng)
+	return nil
+}
+
+// Reset clears the map to all-functional in place without allocating: the
+// reuse primitive of both Regenerate and the column-aware mapper's scratch
+// projection (ProjectDefectsInto rebuilds a preallocated projected map per
+// retry attempt).
+func (m *Map) Reset() {
 	for i := range m.cells {
 		m.cells[i] = OK
 	}
@@ -134,8 +144,6 @@ func (m *Map) Regenerate(p Params, rng *rand.Rand) error {
 	m.closedRowMask.Zero()
 	m.closedColMask.Zero()
 	m.open, m.closed = 0, 0
-	m.sample(p, rng)
-	return nil
 }
 
 // sample draws every cell in row-major order (the rng consumption order is
@@ -207,6 +215,21 @@ func (m *Map) FunctionalRow(r int) bitmat.Row { return m.functional.Row(r) }
 // ClosedCols returns the packed mask of columns containing at least one
 // stuck-at-closed device (read-only view, invalidated by Set/Regenerate).
 func (m *Map) ClosedCols() bitmat.Row { return m.closedColMask }
+
+// ClosedRows returns the packed mask of rows containing at least one
+// stuck-at-closed device (read-only view, invalidated by Set/Regenerate).
+// ANDing its complement into a candidate bitset excludes every poisoned
+// physical row in one word pass.
+func (m *Map) ClosedRows() bitmat.Row { return m.closedRowMask }
+
+// FunctionalMatrix returns the packed functional mask of the whole map, the
+// CM the batched row-matching kernel scans. Read-only view, invalidated by
+// Set/Regenerate.
+func (m *Map) FunctionalMatrix() *bitmat.Matrix { return m.functional }
+
+// ClosedInColumn returns the stuck-at-closed device count of column c (O(1)
+// via the incremental cache).
+func (m *Map) ClosedInColumn(c int) int { return int(m.closedCol[c]) }
 
 // RowHasClosed reports whether row r contains a stuck-at-closed device, in
 // which case the paper's model renders the whole horizontal line unusable

@@ -276,7 +276,7 @@ func executeMap(spec JobSpec) (JobResult, error) {
 	if spec.Kind == MapEA {
 		algo = mapping.ExactScratch
 	}
-	r := algo(p, nil)
+	r := algo(p, mapping.NewScratch())
 	return JobResult{
 		Rows: l.Rows, Cols: l.Cols, Area: l.Area(), IR: l.InclusionRatio(),
 		Valid: r.Valid, Assignment: r.Assignment, Reason: r.Reason,

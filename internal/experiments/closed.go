@@ -57,8 +57,12 @@ func ClosedTolerance(circuit string, closedRates []float64, sparePairs, spareRow
 		}
 		for _, rate := range closedRates {
 			// fixed/col are summed by the trials; this study runs serially
-			// (no Parallel option), and the defect map lives in the factory
-			// so a future parallel switch gets one per worker.
+			// (no Parallel option), and the scratch state lives in the
+			// factory so a future parallel switch gets one set per worker.
+			// Everything the trial touches — defect map, fixed-wiring
+			// projection, row scratch, column scratch — is preallocated
+			// here and reused, so the trial loop is allocation-free in
+			// steady state.
 			fixed, col := 0, 0
 			summary, err := montecarlo.RunFactory(montecarlo.Options{Samples: samples, Seed: seed},
 				func() montecarlo.Trial {
@@ -66,15 +70,19 @@ func ClosedTolerance(circuit string, closedRates []float64, sparePairs, spareRow
 					// Fixed wiring: the design occupies the leading columns
 					// of each block (trial-invariant, built once per worker).
 					fixedAssign := identityAssignment(l, base)
+					fdm := defect.NewMap(dm.Rows, l.Cols)
+					fixedProblem, fpErr := mapping.NewProblem(l, fdm)
+					rowScratch := mapping.NewScratch()
+					colScratch := mapping.NewColumnScratch()
 					return func(i int, rng *rand.Rand) montecarlo.Outcome {
 						if genErr := dm.Regenerate(defect.Params{POpen: openRate, PClosed: rate}, rng); genErr != nil {
 							return montecarlo.Outcome{}
 						}
-						fdm := mapping.ProjectDefects(dm, spec, l, fixedAssign)
-						if p, pErr := mapping.NewProblem(l, fdm); pErr == nil && mapping.HBA(p).Valid {
+						mapping.ProjectDefectsInto(fdm, dm, spec, l, fixedAssign)
+						if fpErr == nil && mapping.HBAScratch(fixedProblem, rowScratch).Valid {
 							fixed++
 						}
-						res, caErr := mapping.ColumnAware(l, dm, spec, mapping.ColumnOptions{Seed: int64(i)})
+						res, caErr := mapping.ColumnAwareScratch(l, dm, spec, mapping.ColumnOptions{Seed: int64(i)}, colScratch)
 						if caErr == nil && res.Valid {
 							col++
 						}

@@ -200,6 +200,7 @@ func Ablation(circuit string, samples int, rate float64, seed int64) ([]Ablation
 		{"+backtracking", mapping.HBAOptions{Backtracking: true}},
 		{"+exact outputs (paper HBA)", mapping.PaperHBAOptions()},
 		{"+density order (extension)", mapping.HBAOptions{Backtracking: true, ExactOutputs: true, DensityOrder: true}},
+		{"+scarcity order (extension)", mapping.HBAOptions{Backtracking: true, ExactOutputs: true, ScarcityOrder: true}},
 	}
 	var rows []AblationRow
 	for _, v := range variants {

@@ -38,8 +38,8 @@ func TestAblationOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 4 {
-		t.Fatalf("rows = %d, want 4", len(rows))
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
 	}
 	// The paper HBA must not be worse than the greedy-only baseline.
 	if rows[2].Psucc < rows[0].Psucc {

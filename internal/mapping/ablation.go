@@ -23,6 +23,12 @@ type HBAOptions struct {
 	// devices) first instead of top-to-bottom. Hard rows grab scarce
 	// compatible lines early; an extension beyond the paper.
 	DensityOrder bool
+	// ScarcityOrder places the product rows with the fewest compatible CM
+	// rows first, reading each row's candidate popcount off the batched
+	// matching kernel. Rows with the scarcest options commit before the
+	// flexible ones consume their lines; an extension beyond the paper.
+	// Takes precedence over DensityOrder.
+	ScarcityOrder bool
 }
 
 // PaperHBAOptions returns Algorithm 1 as published: backtracking on, exact
@@ -40,7 +46,20 @@ func HBAWith(p *Problem, opt HBAOptions) Result {
 	nCM := p.Defects.Rows
 	products := append([]int(nil), p.Layout.ProductRows()...)
 	outputs := p.Layout.OutputRows()
-	if opt.DensityOrder {
+	switch {
+	case opt.ScarcityOrder:
+		// The ordering pass costs one batched-kernel sweep on top of the
+		// per-pair loops below (this path is the ablation harness, not the
+		// hot path). Its checks go to a throwaway Stats so MatchChecks keeps
+		// the per-pair early-exit convention of the other variants.
+		var s Scratch
+		var orderStats Stats
+		s.computeCandidates(p, &orderStats)
+		scarcity := func(r int) int { return bitmat.PopCount(s.cand.Row(r)) }
+		sort.SliceStable(products, func(a, b int) bool {
+			return scarcity(products[a]) < scarcity(products[b])
+		})
+	case opt.DensityOrder:
 		density := func(r int) int { return bitmat.PopCount(p.Layout.ActiveRow(r)) }
 		sort.SliceStable(products, func(a, b int) bool {
 			return density(products[a]) > density(products[b])

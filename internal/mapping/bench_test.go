@@ -49,3 +49,38 @@ func BenchmarkRowMatch(b *testing.B) {
 	b.Run("packed", func(b *testing.B) { match(b, p.rowMatches) })
 	b.Run("scalar", func(b *testing.B) { match(b, p.scalarRowMatches) })
 }
+
+// BenchmarkBatchRowMatch compares full candidate-set construction — the
+// candidate bitset of every FM row over every CM row, the enumeration input
+// of HBA and EA — via the batched kernel against per-pair loops over the
+// packed matcher and the retained scalar reference.
+func BenchmarkBatchRowMatch(b *testing.B) {
+	p := benchProblem(b)
+	var s Scratch
+	perPair := func(fn func(int, int, *Stats) bool) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			var stats Stats
+			for i := 0; i < b.N; i++ {
+				s.cand.Reshape(p.Layout.Rows, p.Defects.Rows)
+				for fm := 0; fm < p.Layout.Rows; fm++ {
+					row := s.cand.Row(fm)
+					for cm := 0; cm < p.Defects.Rows; cm++ {
+						if fn(fm, cm, &stats) {
+							row.Set(cm)
+						}
+					}
+				}
+			}
+		}
+	}
+	b.Run("batched", func(b *testing.B) {
+		b.ReportAllocs()
+		var stats Stats
+		for i := 0; i < b.N; i++ {
+			s.computeCandidates(p, &stats)
+		}
+	})
+	b.Run("perpair", perPair(p.rowMatches))
+	b.Run("scalar", perPair(p.scalarRowMatches))
+}

@@ -3,8 +3,8 @@ package mapping
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
+	"repro/internal/bitmat"
 	"repro/internal/defect"
 	"repro/internal/xbar"
 )
@@ -18,6 +18,14 @@ import (
 // pairs any output — so with redundant column pairs the mapper can route
 // logic away from poisoned lines. This file implements that joint
 // column-assignment + row-assignment search.
+//
+// The search is a retry loop — greedy column ranking, then random restarts —
+// and every Monte Carlo trial of the stuck-closed tolerance study runs it
+// afresh, so the loop is built the same way as the row algorithms: all
+// working storage lives in a ColumnScratch, the per-column penalty scans run
+// as popcounts over the word-transposed functional view, and the projected
+// defect map is rebuilt in place per attempt. In steady state a retry loop
+// on a reused scratch performs zero heap allocations.
 
 // FabricSpec describes the physical column resources of a crossbar. The
 // physical column order is [x_0..x_{P-1}, x̄_0..x̄_{P-1}, wires,
@@ -58,7 +66,8 @@ type ColumnOptions struct {
 	Retries int
 	// Seed drives the retry randomization.
 	Seed int64
-	// RowAlgorithm runs the row-mapping phase; nil means HBA.
+	// RowAlgorithm runs the row-mapping phase; nil means HBA (on the
+	// scratch's reusable row storage).
 	RowAlgorithm func(*Problem) Result
 }
 
@@ -75,12 +84,47 @@ type ColumnResult struct {
 	Projected *defect.Map
 }
 
+// ColumnScratch holds the reusable working storage of one column-aware
+// mapping worker: the row-mapping Scratch, the projected defect map, the
+// transposed functional view the greedy penalty scans run over, the
+// assignment and ranking buffers, and the retry rng. One ColumnScratch per
+// goroutine makes the stuck-closed tolerance trial loop allocation-free in
+// steady state. The zero value is ready; a ColumnScratch must not be shared
+// between goroutines.
+type ColumnScratch struct {
+	rows      Scratch
+	problem   Problem
+	projected *defect.Map
+	// colsView is the column-major (word-transposed) functional view of the
+	// fabric defect map: row c is the packed functional bitset of physical
+	// column c, so a column's defect count is one popcount.
+	colsView *bitmat.Matrix
+	assign   ColumnAssignment
+	usage    []int
+	// physOrder/physKey and logOrder/logKey are the greedy ranking buffers.
+	physOrder, physKey []int
+	logOrder, logKey   []int
+	rng                *rand.Rand
+}
+
+// NewColumnScratch returns an empty ColumnScratch (buffers grow on first
+// use).
+func NewColumnScratch() *ColumnScratch { return &ColumnScratch{} }
+
 // ColumnAware searches for a joint column and row assignment of the layout
 // onto a physical fabric with the given defect map. The fabric may have
 // spare rows (dm.Rows > layout rows) and spare column pairs (spec larger
 // than SpecFor(layout)); spares are what make stuck-closed defects
 // survivable.
 func ColumnAware(l *xbar.Layout, dm *defect.Map, spec FabricSpec, opt ColumnOptions) (ColumnResult, error) {
+	return ColumnAwareScratch(l, dm, spec, opt, nil)
+}
+
+// ColumnAwareScratch is ColumnAware with reusable working storage (nil
+// behaves like ColumnAware). On success, Columns, Rows.Assignment, and
+// Projected alias scratch storage and are only valid until the next call
+// with the same ColumnScratch.
+func ColumnAwareScratch(l *xbar.Layout, dm *defect.Map, spec FabricSpec, opt ColumnOptions, s *ColumnScratch) (ColumnResult, error) {
 	need := SpecFor(l)
 	if spec.InputPairs < need.InputPairs || spec.Wires < need.Wires || spec.OutputPairs < need.OutputPairs {
 		return ColumnResult{}, fmt.Errorf("mapping: fabric %+v too small for layout needing %+v", spec, need)
@@ -91,34 +135,45 @@ func ColumnAware(l *xbar.Layout, dm *defect.Map, spec FabricSpec, opt ColumnOpti
 	if dm.Rows < l.Rows {
 		return ColumnResult{}, fmt.Errorf("mapping: defect map has %d rows, layout needs %d", dm.Rows, l.Rows)
 	}
+	if s == nil {
+		s = &ColumnScratch{}
+	}
 	if opt.Retries == 0 {
 		opt.Retries = 20
 	}
-	rowAlgo := opt.RowAlgorithm
-	if rowAlgo == nil {
-		rowAlgo = HBA
-	}
 
-	usage := columnUsage(l)
-	assign := greedyColumns(l, dm, spec, usage)
-	rng := rand.New(rand.NewSource(opt.Seed))
+	s.columnUsage(l)
+	s.colsView = bitmat.TransposeInto(s.colsView, dm.FunctionalMatrix())
+	s.greedyColumns(l, dm, spec)
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(opt.Seed))
+	} else {
+		s.rng.Seed(opt.Seed)
+	}
+	if s.projected == nil || s.projected.Rows != dm.Rows || s.projected.Cols != l.Cols {
+		s.projected = defect.NewMap(dm.Rows, l.Cols)
+	}
+	p := &s.problem
+	p.Layout, p.Defects = l, s.projected
+
 	res := ColumnResult{}
 	for attempt := 0; attempt <= opt.Retries; attempt++ {
 		res.Attempts++
-		projected := ProjectDefects(dm, spec, l, assign)
-		p, err := NewProblem(l, projected)
-		if err != nil {
-			return ColumnResult{}, err
-		}
+		projectDefectsInto(s.projected, dm, spec, l, s.assign)
 		if ok, _ := p.ColumnFeasible(); ok {
-			rows := rowAlgo(p)
+			var rows Result
+			if opt.RowAlgorithm != nil {
+				rows = opt.RowAlgorithm(p)
+			} else {
+				rows = HBAScratch(p, &s.rows)
+			}
 			if rows.Valid {
 				return ColumnResult{
 					Valid:     true,
-					Columns:   assign,
+					Columns:   s.assign,
 					Rows:      rows,
 					Attempts:  res.Attempts,
-					Projected: projected,
+					Projected: s.projected,
 				}, nil
 			}
 			res.Reason = rows.Reason
@@ -127,15 +182,19 @@ func ColumnAware(l *xbar.Layout, dm *defect.Map, spec FabricSpec, opt ColumnOpti
 		}
 		// Perturb: swap a used input pair with another (possibly spare)
 		// pair; occasionally reshuffle an output pair too.
-		assign = perturb(assign, spec, rng)
+		s.perturb(spec)
 	}
 	res.Valid = false
 	return res, nil
 }
 
-// columnUsage counts active devices per logical column (demand weight).
-func columnUsage(l *xbar.Layout) []int {
-	usage := make([]int, l.Cols)
+// columnUsage counts active devices per logical column (demand weight) into
+// the scratch buffer.
+func (s *ColumnScratch) columnUsage(l *xbar.Layout) {
+	usage := growInts(&s.usage, l.Cols)
+	for i := range usage {
+		usage[i] = 0
+	}
 	for _, row := range l.Active {
 		for c, a := range row {
 			if a {
@@ -143,49 +202,50 @@ func columnUsage(l *xbar.Layout) []int {
 			}
 		}
 	}
-	return usage
+}
+
+// columnPenalty ranks one physical column for the greedy assignment: pairs
+// containing a stuck-closed device rank last (effectively unusable), then
+// by stuck-open defect count. The open count is read off the transposed
+// functional view — defective devices of column c are the zero bits of its
+// packed row, minus the stuck-closed ones — so the scan is one popcount
+// instead of a per-row walk.
+func (s *ColumnScratch) columnPenalty(dm *defect.Map, c int) int {
+	p := dm.Rows - bitmat.PopCount(s.colsView.Row(c)) - dm.ClosedInColumn(c)
+	if dm.ColHasClosed(c) {
+		p += 1_000_000
+	}
+	return p
+}
+
+// stableSortByKey sorts order by ascending key (descending when desc),
+// preserving the relative order of equal keys. Insertion sort: the slices
+// are small (column counts) and the scratch path must not allocate, which
+// rules out sort.SliceStable's closure and reflection machinery.
+func stableSortByKey(order, key []int, desc bool) {
+	for i := 1; i < len(order); i++ {
+		o, k := order[i], key[i]
+		j := i
+		for j > 0 {
+			prev := key[j-1]
+			if prev == k || (prev < k) != desc {
+				break // equal keys keep their order; sorted pairs stay put
+			}
+			order[j], key[j] = order[j-1], key[j-1]
+			j--
+		}
+		order[j], key[j] = o, k
+	}
 }
 
 // greedyColumns assigns the heaviest-demand logical resources to the
-// cleanest physical ones: pairs containing a stuck-closed device rank last
-// (effectively unusable), then by open-defect count.
-func greedyColumns(l *xbar.Layout, dm *defect.Map, spec FabricSpec, usage []int) ColumnAssignment {
-	penalty := func(cols ...int) int {
-		p := 0
-		for _, c := range cols {
-			if dm.ColHasClosed(c) {
-				p += 1_000_000
-			}
-			for r := 0; r < dm.Rows; r++ {
-				if dm.At(r, c) == defect.StuckOpen {
-					p++
-				}
-			}
-		}
-		return p
-	}
+// cleanest physical ones, filling s.assign.
+func (s *ColumnScratch) greedyColumns(l *xbar.Layout, dm *defect.Map, spec FabricSpec) {
 	physPairCols := func(p int) (int, int) { return p, spec.InputPairs + p }
 	physWireCol := func(w int) int { return 2*spec.InputPairs + w }
 	physOutCols := func(o int) (int, int) {
 		base := 2*spec.InputPairs + spec.Wires
 		return base + o, base + spec.OutputPairs + o
-	}
-
-	rankPhys := func(n int, pen func(i int) int) []int {
-		order := make([]int, n)
-		for i := range order {
-			order[i] = i
-		}
-		sort.SliceStable(order, func(a, b int) bool { return pen(order[a]) < pen(order[b]) })
-		return order
-	}
-	rankLogical := func(n int, demand func(i int) int) []int {
-		order := make([]int, n)
-		for i := range order {
-			order[i] = i
-		}
-		sort.SliceStable(order, func(a, b int) bool { return demand(order[a]) > demand(order[b]) })
-		return order
 	}
 
 	nW := 0
@@ -194,40 +254,75 @@ func greedyColumns(l *xbar.Layout, dm *defect.Map, spec FabricSpec, usage []int)
 			nW++
 		}
 	}
-	a := ColumnAssignment{
-		InputPair:  make([]int, l.NumIn),
-		Wire:       make([]int, nW),
-		OutputPair: make([]int, l.NumOut),
+	s.assign.InputPair = growInts(&s.assign.InputPair, l.NumIn)
+	s.assign.Wire = growInts(&s.assign.Wire, nW)
+	s.assign.OutputPair = growInts(&s.assign.OutputPair, l.NumOut)
+
+	// rank prepares the scratch order/key buffers: physical resources by
+	// ascending penalty, logical resources by descending demand.
+	rank := func(order *[]int, key *[]int, n int, desc bool) ([]int, []int) {
+		o, k := growInts(order, n), growInts(key, n)
+		for i := range o {
+			o[i] = i
+		}
+		return o, k
 	}
-	physIn := rankPhys(spec.InputPairs, func(p int) int { x, nx := physPairCols(p); return penalty(x, nx) })
-	logIn := rankLogical(l.NumIn, func(i int) int { return usage[i] + usage[l.NumIn+i] })
+
+	// Input pairs.
+	physIn, keyIn := rank(&s.physOrder, &s.physKey, spec.InputPairs, false)
+	for i := range physIn {
+		x, nx := physPairCols(i)
+		keyIn[i] = s.columnPenalty(dm, x) + s.columnPenalty(dm, nx)
+	}
+	stableSortByKey(physIn, keyIn, false)
+	logIn, demIn := rank(&s.logOrder, &s.logKey, l.NumIn, true)
+	for i := range logIn {
+		demIn[i] = s.usage[i] + s.usage[l.NumIn+i]
+	}
+	stableSortByKey(logIn, demIn, true)
 	for k, li := range logIn {
-		a.InputPair[li] = physIn[k]
+		s.assign.InputPair[li] = physIn[k]
 	}
-	physW := rankPhys(spec.Wires, func(w int) int { return penalty(physWireCol(w)) })
-	logW := rankLogical(nW, func(w int) int { return usage[2*l.NumIn+w] })
+
+	// Wires.
+	physW, keyW := rank(&s.physOrder, &s.physKey, spec.Wires, false)
+	for w := range physW {
+		keyW[w] = s.columnPenalty(dm, physWireCol(w))
+	}
+	stableSortByKey(physW, keyW, false)
+	logW, demW := rank(&s.logOrder, &s.logKey, nW, true)
+	for w := range logW {
+		demW[w] = s.usage[2*l.NumIn+w]
+	}
+	stableSortByKey(logW, demW, true)
 	for k, lw := range logW {
-		a.Wire[lw] = physW[k]
+		s.assign.Wire[lw] = physW[k]
 	}
-	physO := rankPhys(spec.OutputPairs, func(o int) int { fb, f := physOutCols(o); return penalty(fb, f) })
-	logO := rankLogical(l.NumOut, func(j int) int {
-		base := 2*l.NumIn + nW
-		return usage[base+j] + usage[base+l.NumOut+j]
-	})
+
+	// Output pairs.
+	physO, keyO := rank(&s.physOrder, &s.physKey, spec.OutputPairs, false)
+	for o := range physO {
+		fb, f := physOutCols(o)
+		keyO[o] = s.columnPenalty(dm, fb) + s.columnPenalty(dm, f)
+	}
+	stableSortByKey(physO, keyO, false)
+	logO, demO := rank(&s.logOrder, &s.logKey, l.NumOut, true)
+	base := 2*l.NumIn + nW
+	for j := range logO {
+		demO[j] = s.usage[base+j] + s.usage[base+l.NumOut+j]
+	}
+	stableSortByKey(logO, demO, true)
 	for k, lj := range logO {
-		a.OutputPair[lj] = physO[k]
+		s.assign.OutputPair[lj] = physO[k]
 	}
-	return a
 }
 
 // perturb swaps one assignment entry with a random alternative (used or
-// spare), returning a fresh assignment.
-func perturb(a ColumnAssignment, spec FabricSpec, rng *rand.Rand) ColumnAssignment {
-	b := ColumnAssignment{
-		InputPair:  append([]int(nil), a.InputPair...),
-		Wire:       append([]int(nil), a.Wire...),
-		OutputPair: append([]int(nil), a.OutputPair...),
-	}
+// spare) in place, drawing from the scratch rng in the same order as every
+// prior revision of this search (the retry schedule is part of the
+// reproducibility contract).
+func (s *ColumnScratch) perturb(spec FabricSpec) {
+	rng := s.rng
 	swapInto := func(slice []int, limit int) {
 		if len(slice) == 0 || limit == 0 {
 			return
@@ -244,46 +339,70 @@ func perturb(a ColumnAssignment, spec FabricSpec, rng *rand.Rand) ColumnAssignme
 	}
 	switch rng.Intn(3) {
 	case 0:
-		swapInto(b.InputPair, spec.InputPairs)
+		swapInto(s.assign.InputPair, spec.InputPairs)
 	case 1:
-		if len(b.Wire) > 0 && spec.Wires > 0 {
-			swapInto(b.Wire, spec.Wires)
+		if len(s.assign.Wire) > 0 && spec.Wires > 0 {
+			swapInto(s.assign.Wire, spec.Wires)
 		} else {
-			swapInto(b.InputPair, spec.InputPairs)
+			swapInto(s.assign.InputPair, spec.InputPairs)
 		}
 	default:
-		swapInto(b.OutputPair, spec.OutputPairs)
+		swapInto(s.assign.OutputPair, spec.OutputPairs)
 	}
-	return b
 }
 
 // ProjectDefects extracts the physical columns chosen by the assignment, in
 // layout column order, producing the defect map the row mapper (and the
 // simulator) sees.
 func ProjectDefects(dm *defect.Map, spec FabricSpec, l *xbar.Layout, a ColumnAssignment) *defect.Map {
-	nW := len(a.Wire)
-	cols := make([]int, 0, l.Cols)
+	out := defect.NewMap(dm.Rows, l.Cols)
+	projectDefectsInto(out, dm, spec, l, a)
+	return out
+}
+
+// ProjectDefectsInto is ProjectDefects into a caller-owned map (the
+// scratch-path primitive: one projection per retry attempt, no allocation).
+// dst must be dm.Rows × l.Cols; a mismatch panics rather than silently
+// projecting into a fresh map the caller's aliases would never see.
+func ProjectDefectsInto(dst *defect.Map, dm *defect.Map, spec FabricSpec, l *xbar.Layout, a ColumnAssignment) {
+	if dst.Rows != dm.Rows || dst.Cols != l.Cols {
+		panic(fmt.Sprintf("mapping: projection target is %dx%d, need %dx%d",
+			dst.Rows, dst.Cols, dm.Rows, l.Cols))
+	}
+	projectDefectsInto(dst, dm, spec, l, a)
+}
+
+// projectDefectsInto rebuilds dst (dimensions already correct) as the
+// projection of dm onto the assigned columns in layout order.
+func projectDefectsInto(dst *defect.Map, dm *defect.Map, spec FabricSpec, l *xbar.Layout, a ColumnAssignment) {
+	dst.Reset()
+	copyCol := func(k, src int) {
+		for r := 0; r < dm.Rows; r++ {
+			if kind := dm.At(r, src); kind != defect.OK {
+				dst.Set(r, k, kind)
+			}
+		}
+	}
+	k := 0
 	for i := 0; i < l.NumIn; i++ {
-		cols = append(cols, a.InputPair[i])
+		copyCol(k, a.InputPair[i])
+		k++
 	}
 	for i := 0; i < l.NumIn; i++ {
-		cols = append(cols, spec.InputPairs+a.InputPair[i])
+		copyCol(k, spec.InputPairs+a.InputPair[i])
+		k++
 	}
-	for w := 0; w < nW; w++ {
-		cols = append(cols, 2*spec.InputPairs+a.Wire[w])
+	for w := 0; w < len(a.Wire); w++ {
+		copyCol(k, 2*spec.InputPairs+a.Wire[w])
+		k++
 	}
 	base := 2*spec.InputPairs + spec.Wires
 	for j := 0; j < l.NumOut; j++ {
-		cols = append(cols, base+a.OutputPair[j])
+		copyCol(k, base+a.OutputPair[j])
+		k++
 	}
 	for j := 0; j < l.NumOut; j++ {
-		cols = append(cols, base+spec.OutputPairs+a.OutputPair[j])
+		copyCol(k, base+spec.OutputPairs+a.OutputPair[j])
+		k++
 	}
-	out := defect.NewMap(dm.Rows, len(cols))
-	for r := 0; r < dm.Rows; r++ {
-		for k, c := range cols {
-			out.Set(r, k, dm.At(r, c))
-		}
-	}
-	return out
 }

@@ -2,6 +2,7 @@ package mapping
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/defect"
@@ -199,6 +200,318 @@ func TestColumnAwareMultiLevelLayout(t *testing.T) {
 	}
 	if !found {
 		t.Error("column-aware never mapped the multi-level layout")
+	}
+}
+
+// referenceColumnAware is a verbatim copy of the pre-scratch column-aware
+// search (sort.SliceStable greedy ranking, per-attempt projection and
+// perturb copies, HBA row phase), frozen as the reference the refactored
+// retry loop — scratch buffers, popcount penalties, insertion sort, in-place
+// perturb — is pinned against. The retry schedule (greedy result + rng draw
+// order) is part of the stuck-closed study's reproducibility contract.
+func referenceColumnAware(l *xbar.Layout, dm *defect.Map, spec FabricSpec, opt ColumnOptions) (ColumnResult, error) {
+	if opt.Retries == 0 {
+		opt.Retries = 20
+	}
+	usage := make([]int, l.Cols)
+	for _, row := range l.Active {
+		for c, a := range row {
+			if a {
+				usage[c]++
+			}
+		}
+	}
+	assign := referenceGreedyColumns(l, dm, spec, usage)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	res := ColumnResult{}
+	for attempt := 0; attempt <= opt.Retries; attempt++ {
+		res.Attempts++
+		projected := ProjectDefects(dm, spec, l, assign)
+		p, err := NewProblem(l, projected)
+		if err != nil {
+			return ColumnResult{}, err
+		}
+		if ok, _ := p.ColumnFeasible(); ok {
+			rows := HBA(p)
+			if rows.Valid {
+				return ColumnResult{
+					Valid: true, Columns: assign, Rows: rows,
+					Attempts: res.Attempts, Projected: projected,
+				}, nil
+			}
+			res.Reason = rows.Reason
+		} else {
+			res.Reason = "poisoned column in the chosen set"
+		}
+		assign = referencePerturb(assign, spec, rng)
+	}
+	res.Valid = false
+	return res, nil
+}
+
+func referenceGreedyColumns(l *xbar.Layout, dm *defect.Map, spec FabricSpec, usage []int) ColumnAssignment {
+	penalty := func(cols ...int) int {
+		p := 0
+		for _, c := range cols {
+			if dm.ColHasClosed(c) {
+				p += 1_000_000
+			}
+			for r := 0; r < dm.Rows; r++ {
+				if dm.At(r, c) == defect.StuckOpen {
+					p++
+				}
+			}
+		}
+		return p
+	}
+	physPairCols := func(p int) (int, int) { return p, spec.InputPairs + p }
+	physWireCol := func(w int) int { return 2*spec.InputPairs + w }
+	physOutCols := func(o int) (int, int) {
+		base := 2*spec.InputPairs + spec.Wires
+		return base + o, base + spec.OutputPairs + o
+	}
+	rankPhys := func(n int, pen func(i int) int) []int {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return pen(order[a]) < pen(order[b]) })
+		return order
+	}
+	rankLogical := func(n int, demand func(i int) int) []int {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return demand(order[a]) > demand(order[b]) })
+		return order
+	}
+	nW := 0
+	for _, k := range l.ColKinds {
+		if k == xbar.ColWire {
+			nW++
+		}
+	}
+	a := ColumnAssignment{
+		InputPair:  make([]int, l.NumIn),
+		Wire:       make([]int, nW),
+		OutputPair: make([]int, l.NumOut),
+	}
+	physIn := rankPhys(spec.InputPairs, func(p int) int { x, nx := physPairCols(p); return penalty(x, nx) })
+	logIn := rankLogical(l.NumIn, func(i int) int { return usage[i] + usage[l.NumIn+i] })
+	for k, li := range logIn {
+		a.InputPair[li] = physIn[k]
+	}
+	physW := rankPhys(spec.Wires, func(w int) int { return penalty(physWireCol(w)) })
+	logW := rankLogical(nW, func(w int) int { return usage[2*l.NumIn+w] })
+	for k, lw := range logW {
+		a.Wire[lw] = physW[k]
+	}
+	physO := rankPhys(spec.OutputPairs, func(o int) int { fb, f := physOutCols(o); return penalty(fb, f) })
+	logO := rankLogical(l.NumOut, func(j int) int {
+		base := 2*l.NumIn + nW
+		return usage[base+j] + usage[base+l.NumOut+j]
+	})
+	for k, lj := range logO {
+		a.OutputPair[lj] = physO[k]
+	}
+	return a
+}
+
+func referencePerturb(a ColumnAssignment, spec FabricSpec, rng *rand.Rand) ColumnAssignment {
+	b := ColumnAssignment{
+		InputPair:  append([]int(nil), a.InputPair...),
+		Wire:       append([]int(nil), a.Wire...),
+		OutputPair: append([]int(nil), a.OutputPair...),
+	}
+	swapInto := func(slice []int, limit int) {
+		if len(slice) == 0 || limit == 0 {
+			return
+		}
+		i := rng.Intn(len(slice))
+		target := rng.Intn(limit)
+		for k, v := range slice {
+			if v == target {
+				slice[i], slice[k] = slice[k], slice[i]
+				return
+			}
+		}
+		slice[i] = target
+	}
+	switch rng.Intn(3) {
+	case 0:
+		swapInto(b.InputPair, spec.InputPairs)
+	case 1:
+		if len(b.Wire) > 0 && spec.Wires > 0 {
+			swapInto(b.Wire, spec.Wires)
+		} else {
+			swapInto(b.InputPair, spec.InputPairs)
+		}
+	default:
+		swapInto(b.OutputPair, spec.OutputPairs)
+	}
+	return b
+}
+
+// TestColumnAwareMatchesPreRefactor pins the refactored retry loop to the
+// frozen pre-scratch implementation on random fabrics (two-level and
+// multi-level, mixed open/closed defects): identical validity, attempt
+// count, column assignment, and row assignment.
+func TestColumnAwareMatchesPreRefactor(t *testing.T) {
+	layouts := []*xbar.Layout{}
+	{
+		l, _ := xbar.NewTwoLevel(fig8Cover())
+		layouts = append(layouts, l)
+	}
+	{
+		cov := logic.MustParseCover(4, 1, "11--", "--11", "1--1")
+		nw, err := synthNetHelper(cov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := xbar.NewMultiLevel(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		layouts = append(layouts, l)
+	}
+	rng := rand.New(rand.NewSource(271))
+	for li, l := range layouts {
+		spec := SpecFor(l)
+		spare := FabricSpec{InputPairs: spec.InputPairs + 2, Wires: spec.Wires + 1, OutputPairs: spec.OutputPairs + 1}
+		scratch := NewColumnScratch()
+		dm := defect.NewMap(l.Rows+1, spare.Cols())
+		for trial := 0; trial < 40; trial++ {
+			rng.Seed(int64(li*1000+trial) * 31337)
+			if err := dm.Regenerate(defect.Params{POpen: 0.15, PClosed: 0.015}, rng); err != nil {
+				t.Fatal(err)
+			}
+			opt := ColumnOptions{Seed: int64(trial)}
+			want, err := referenceColumnAware(l, dm, spare, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ColumnAwareScratch(l, dm, spare, opt, scratch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Valid != want.Valid || got.Attempts != want.Attempts {
+				t.Fatalf("layout %d trial %d: got {valid %v attempts %d} want {valid %v attempts %d}",
+					li, trial, got.Valid, got.Attempts, want.Valid, want.Attempts)
+			}
+			if !got.Valid {
+				continue
+			}
+			pairs := [][2][]int{
+				{got.Columns.InputPair, want.Columns.InputPair},
+				{got.Columns.Wire, want.Columns.Wire},
+				{got.Columns.OutputPair, want.Columns.OutputPair},
+				{got.Rows.Assignment, want.Rows.Assignment},
+			}
+			for pi, pr := range pairs {
+				if len(pr[0]) != len(pr[1]) {
+					t.Fatalf("layout %d trial %d: slice %d length mismatch", li, trial, pi)
+				}
+				for i := range pr[0] {
+					if pr[0][i] != pr[1][i] {
+						t.Fatalf("layout %d trial %d: slice %d differs at %d (%d vs %d)",
+							li, trial, pi, i, pr[0][i], pr[1][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestColumnAwareScratchMatchesFresh re-runs the column-aware search many
+// times on one reusable ColumnScratch, asserting results identical to the
+// allocate-fresh path: same validity, attempt count, column assignment, row
+// assignment, and projected defect map (the retry loop's reproducibility
+// contract).
+func TestColumnAwareScratchMatchesFresh(t *testing.T) {
+	f := fig8Cover()
+	l, _ := xbar.NewTwoLevel(f)
+	spec := SpecFor(l)
+	spare := FabricSpec{InputPairs: spec.InputPairs + 2, Wires: 0, OutputPairs: spec.OutputPairs + 1}
+	rng := rand.New(rand.NewSource(99))
+	scratch := NewColumnScratch()
+	dm := defect.NewMap(l.Rows+1, spare.Cols())
+	for trial := 0; trial < 60; trial++ {
+		rng.Seed(int64(trial) * 1303)
+		if err := dm.Regenerate(defect.Params{POpen: 0.18, PClosed: 0.015}, rng); err != nil {
+			t.Fatal(err)
+		}
+		opt := ColumnOptions{Seed: int64(trial)}
+		want, err := ColumnAware(l, dm, spare, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ColumnAwareScratch(l, dm, spare, opt, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Valid != want.Valid || got.Attempts != want.Attempts || got.Reason != want.Reason {
+			t.Fatalf("trial %d: scratch {valid %v attempts %d %q} vs fresh {valid %v attempts %d %q}",
+				trial, got.Valid, got.Attempts, got.Reason, want.Valid, want.Attempts, want.Reason)
+		}
+		if !got.Valid {
+			continue
+		}
+		sameInts := func(name string, a, b []int) {
+			if len(a) != len(b) {
+				t.Fatalf("trial %d: %s length %d vs %d", trial, name, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("trial %d: %s differs at %d (%d vs %d)", trial, name, i, a[i], b[i])
+				}
+			}
+		}
+		sameInts("input pairs", got.Columns.InputPair, want.Columns.InputPair)
+		sameInts("wires", got.Columns.Wire, want.Columns.Wire)
+		sameInts("output pairs", got.Columns.OutputPair, want.Columns.OutputPair)
+		sameInts("row assignment", got.Rows.Assignment, want.Rows.Assignment)
+		for r := 0; r < want.Projected.Rows; r++ {
+			for c := 0; c < want.Projected.Cols; c++ {
+				if got.Projected.At(r, c) != want.Projected.At(r, c) {
+					t.Fatalf("trial %d: projected map differs at (%d,%d)", trial, r, c)
+				}
+			}
+		}
+	}
+}
+
+// TestColumnAwareScratchZeroAllocs pins the scratch retry loop at zero heap
+// allocations in steady state, the same contract BenchmarkYield200 pins for
+// the row-mapping trial loop.
+func TestColumnAwareScratchZeroAllocs(t *testing.T) {
+	f := fig8Cover()
+	l, _ := xbar.NewTwoLevel(f)
+	spec := SpecFor(l)
+	spare := FabricSpec{InputPairs: spec.InputPairs + 2, Wires: 0, OutputPairs: spec.OutputPairs + 1}
+	rng := rand.New(rand.NewSource(7))
+	dm := defect.NewMap(l.Rows+1, spare.Cols())
+	scratch := NewColumnScratch()
+	run := func(seed int64) {
+		rng.Seed(seed * 7717)
+		if err := dm.Regenerate(defect.Params{POpen: 0.15, PClosed: 0.01}, rng); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ColumnAwareScratch(l, dm, spare, ColumnOptions{Seed: seed}, scratch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the scratch buffers across several defect maps (Munkres and
+	// forbidden-matrix storage grow to the instance's worst case).
+	for seed := int64(0); seed < 8; seed++ {
+		run(seed)
+	}
+	seed := int64(8)
+	if allocs := testing.AllocsPerRun(50, func() {
+		run(seed)
+		seed++
+	}); allocs != 0 {
+		t.Fatalf("steady-state ColumnAwareScratch allocates %.1f times per retry loop, want 0", allocs)
 	}
 }
 

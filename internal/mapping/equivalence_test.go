@@ -218,8 +218,12 @@ func TestPackedMatcherAgreesWithScalar(t *testing.T) {
 }
 
 // TestAlgorithmsMatchPreRefactor pins Naive/HBA/EA to the pre-refactor
-// implementations: identical Valid, Assignment, and MatchChecks on stuck-open
-// instances (the Table II regime, where EA's up-front pruning is a no-op).
+// implementations on stuck-open instances (the Table II regime, where EA's
+// up-front pruning is a no-op): identical Valid, Assignment, and Backtracks.
+// MatchChecks is compared only for Naive — HBA and EA now enumerate from
+// batched candidate bitsets, so their check count is the deterministic
+// enumeration volume (layout rows × CM rows) rather than the early-exit
+// scan count of the per-pair references.
 func TestAlgorithmsMatchPreRefactor(t *testing.T) {
 	property := func(seed int64) bool {
 		p, err := randomProblem(seed%10_000, int(uint64(seed)%3), 0)
@@ -227,7 +231,7 @@ func TestAlgorithmsMatchPreRefactor(t *testing.T) {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		check := func(name string, got, want Result) bool {
-			if got.Valid != want.Valid || got.Stats != want.Stats {
+			if got.Valid != want.Valid || got.Stats.Backtracks != want.Stats.Backtracks {
 				t.Logf("seed %d %s: got Valid=%v %+v, want Valid=%v %+v",
 					seed, name, got.Valid, got.Stats, want.Valid, want.Stats)
 				return false
@@ -245,8 +249,20 @@ func TestAlgorithmsMatchPreRefactor(t *testing.T) {
 			}
 			return true
 		}
-		return check("naive", Naive(p), referenceNaive(p)) &&
-			check("hba", HBA(p), referenceHBA(p)) &&
+		gotN, wantN := Naive(p), referenceNaive(p)
+		if gotN.Stats != wantN.Stats {
+			t.Logf("seed %d naive: stats %+v vs %+v", seed, gotN.Stats, wantN.Stats)
+			return false
+		}
+		gotH := HBA(p)
+		wantChecks := (p.Layout.Rows) * p.Defects.Rows
+		if gotH.Stats.MatchChecks != wantChecks {
+			t.Logf("seed %d hba: MatchChecks %d, want enumeration volume %d",
+				seed, gotH.Stats.MatchChecks, wantChecks)
+			return false
+		}
+		return check("naive", gotN, wantN) &&
+			check("hba", gotH, referenceHBA(p)) &&
 			check("ea", Exact(p), referenceExact(p))
 	}
 	if err := quick.Check(property, &quick.Config{MaxCount: 20}); err != nil {
@@ -271,7 +287,7 @@ func TestAlgorithmsMatchWithClosedDefects(t *testing.T) {
 			return false
 		}
 		gotH, wantH := HBA(p), referenceHBA(p)
-		if gotH.Valid != wantH.Valid || gotH.Stats != wantH.Stats {
+		if gotH.Valid != wantH.Valid || gotH.Stats.Backtracks != wantH.Stats.Backtracks {
 			t.Logf("seed %d hba diverged: %+v vs %+v", seed, gotH.Stats, wantH.Stats)
 			return false
 		}
@@ -289,6 +305,43 @@ func TestAlgorithmsMatchWithClosedDefects(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(property, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCandidateBitsetsMatchPairTests is the batch-kernel property at the
+// mapping layer: on random layouts and defect maps (spare rows and
+// stuck-closed lines included), bit t of every FM row's candidate bitset
+// equals both the packed per-pair matcher and the pre-refactor scalar
+// matcher, and the accounted check volume is exactly rows × CM rows.
+func TestCandidateBitsetsMatchPairTests(t *testing.T) {
+	property := func(seed int64) bool {
+		p, err := randomProblem(seed%10_000, int(uint64(seed)%3), 0.02)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var s Scratch
+		var stats Stats
+		s.computeCandidates(p, &stats)
+		if stats.MatchChecks != p.Layout.Rows*p.Defects.Rows {
+			t.Logf("seed %d: MatchChecks %d, want %d", seed, stats.MatchChecks, p.Layout.Rows*p.Defects.Rows)
+			return false
+		}
+		for i := 0; i < p.Layout.Rows; i++ {
+			cand := s.cand.Row(i)
+			for cm := 0; cm < p.Defects.Rows; cm++ {
+				var a, b Stats
+				packed, scalar := p.rowMatches(i, cm, &a), p.scalarRowMatches(i, cm, &b)
+				if cand.Get(cm) != packed || packed != scalar {
+					t.Logf("seed %d: candidate/packed/scalar disagree at FM %d, CM %d: %v/%v/%v",
+						seed, i, cm, cand.Get(cm), packed, scalar)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -13,9 +13,15 @@
 //
 // The compatibility test runs on the word-packed rows of internal/bitmat:
 // an FM row fits a CM row iff fmRow &^ cmFunctional == 0, a handful of
-// AND-NOT word operations instead of a per-column scan. The pre-refactor
-// scalar matcher is retained (scalarRowMatches) as the reference
-// implementation the equivalence tests check the packed path against.
+// AND-NOT word operations instead of a per-column scan. HBA and EA go one
+// step further and never test pairs in their enumeration loops at all: the
+// batched kernel (bitmat.MatchRowAgainst) computes each FM row's full
+// candidate bitset over every CM row in one pass, and the greedy scans,
+// backtracking relocations, and Munkres matrix construction read those
+// bitsets with word operations — visiting rows in the same top-to-bottom
+// order as the pre-batch scans, so placements are bit-identical. The
+// pre-refactor scalar matcher is retained (scalarRowMatches) as the
+// reference implementation the equivalence tests check both paths against.
 package mapping
 
 import (
@@ -29,7 +35,11 @@ import (
 
 // Stats counts the work a mapping attempt performed.
 type Stats struct {
-	// MatchChecks is the number of row-compatibility tests.
+	// MatchChecks is the number of row-compatibility tests. The batched
+	// kernel performs them in bulk — one pass of bitmat.MatchRowAgainst
+	// tests one FM row against every CM row and counts Defects.Rows checks —
+	// so algorithms built on candidate bitsets report the enumeration
+	// volume, not the pre-batch early-exit scan count.
 	MatchChecks int
 	// Backtracks counts heuristic backtracking events (HBA only).
 	Backtracks int
@@ -73,16 +83,21 @@ func NewProblem(l *xbar.Layout, dm *defect.Map) (*Problem, error) {
 }
 
 // Scratch holds the reusable working storage of one mapping worker: the
-// assignment buffers, the forbidden matrix, and a Munkres solver. One
-// Scratch per goroutine makes the Monte Carlo yield trial loop
-// allocation-free in steady state. The zero value is ready; a Scratch must
-// not be shared between goroutines.
+// assignment buffers, the candidate-bitset matrix, the forbidden matrix, and
+// a Munkres solver. One Scratch per goroutine makes the Monte Carlo yield
+// trial loop allocation-free in steady state. The zero value is ready; a
+// Scratch must not be shared between goroutines.
 type Scratch struct {
 	occupant, place, free []int
 	usable, assignment    []int
 	forbidden             [][]bool
 	forbiddenCells        []bool
 	solver                munkres.Solver
+	// cand holds one candidate bitset per FM row (bit t = FM row fits CM
+	// row t), built by the batched matching kernel; freeMask tracks the
+	// unoccupied CM rows during HBA's greedy phase.
+	cand     bitmat.Matrix
+	freeMask bitmat.Row
 }
 
 // NewScratch returns an empty Scratch (buffers grow on first use).
@@ -109,6 +124,36 @@ func growInts(buf *[]int, n int) []int {
 	}
 	*buf = (*buf)[:n]
 	return *buf
+}
+
+// growRow resizes a scratch packed row to cols columns without preserving
+// contents.
+func growRow(buf *bitmat.Row, cols int) bitmat.Row {
+	n := bitmat.Words(cols)
+	if cap(*buf) < n {
+		*buf = make(bitmat.Row, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// computeCandidates fills s.cand with the candidate bitset of every FM row:
+// one batched-kernel pass per row over the defect map's packed functional
+// matrix, then a word-AND against the complement of the poisoned-row mask.
+// Bit t of s.cand.Row(i) afterwards equals rowMatches(i, t). Each pass
+// tests the row against all Defects.Rows CM rows, which is what MatchChecks
+// accounts.
+func (s *Scratch) computeCandidates(p *Problem, stats *Stats) {
+	nFM, nCM := p.Layout.Rows, p.Defects.Rows
+	s.cand.Reshape(nFM, nCM)
+	fn := p.Defects.FunctionalMatrix()
+	closed := p.Defects.ClosedRows()
+	for i := 0; i < nFM; i++ {
+		row := s.cand.Row(i)
+		bitmat.MatchRowAgainst(p.Layout.ActiveRow(i), fn, row)
+		row.AndNot(closed)
+		stats.MatchChecks += nCM
+	}
 }
 
 // boolMatrix returns a rows × cols matrix over the scratch backing store;
@@ -205,7 +250,8 @@ func NaiveScratch(p *Problem, s *Scratch) Result {
 func Exact(p *Problem) Result { return ExactScratch(p, nil) }
 
 // ExactScratch is Exact with reusable working storage (nil behaves like
-// Exact).
+// Exact). The matching matrix is read off the batched candidate bitsets —
+// one kernel pass per FM row — instead of re-testing pairs.
 func ExactScratch(p *Problem, s *Scratch) Result {
 	if s == nil {
 		s = &Scratch{}
@@ -216,9 +262,9 @@ func ExactScratch(p *Problem, s *Scratch) Result {
 	}
 	nFM, nCM := p.Layout.Rows, p.Defects.Rows
 	// Prune unusable (stuck-closed) CM rows once up front: a poisoned row
-	// matches no FM row, so re-testing it per FM row only inflates the
-	// Munkres matrix. On instances without closed defects this is a no-op
-	// and the assignment is identical to the unpruned formulation.
+	// matches no FM row, so carrying it only inflates the Munkres matrix. On
+	// instances without closed defects this is a no-op and the assignment is
+	// identical to the unpruned formulation.
 	usable := growInts(&s.usable, 0)
 	for t := 0; t < nCM; t++ {
 		if !p.Defects.RowHasClosed(t) {
@@ -229,10 +275,13 @@ func ExactScratch(p *Problem, s *Scratch) Result {
 	if len(usable) < nFM {
 		return Result{Reason: reasonRowShortage, Stats: stats}
 	}
+	s.computeCandidates(p, &stats)
 	forbidden := s.boolMatrix(nFM, len(usable))
 	for i := 0; i < nFM; i++ {
+		cand := s.cand.Row(i)
+		row := forbidden[i]
 		for k, t := range usable {
-			forbidden[i][k] = !p.rowMatches(i, t, &stats)
+			row[k] = !cand.Get(t)
 		}
 	}
 	assign, ok, err := s.solver.SolveBinary(forbidden)
@@ -257,6 +306,10 @@ func ExactScratch(p *Problem, s *Scratch) Result {
 func HBA(p *Problem) Result { return HBAScratch(p, nil) }
 
 // HBAScratch is HBA with reusable working storage (nil behaves like HBA).
+// The enumeration loops run on precomputed candidate bitsets: the greedy
+// scan is a first-set-bit of cand & free, and the backtracking scan walks
+// the set bits of cand &^ free — the same top-to-bottom visiting order (and
+// therefore bit-identical placements) as the pre-batch per-pair scans.
 func HBAScratch(p *Problem, s *Scratch) Result {
 	if s == nil {
 		s = &Scratch{}
@@ -268,8 +321,10 @@ func HBAScratch(p *Problem, s *Scratch) Result {
 	nCM := p.Defects.Rows
 	products := p.Layout.ProductRows()
 	outputs := p.Layout.OutputRows()
+	s.computeCandidates(p, &stats)
 
-	// occupant[t] = FM product row currently on CM row t, or -1.
+	// occupant[t] = FM product row currently on CM row t, or -1; freeBits is
+	// the packed mirror of the occupant == -1 predicate.
 	occupant := growInts(&s.occupant, nCM)
 	for t := range occupant {
 		occupant[t] = -1
@@ -278,45 +333,32 @@ func HBAScratch(p *Problem, s *Scratch) Result {
 	for r := range place {
 		place[r] = -1
 	}
-
-	// findUnmatched scans unmatched CM rows top to bottom; except excludes a
-	// row temporarily lifted during backtracking (-1 excludes nothing).
-	findUnmatched := func(fmRow, except int) int {
-		for t := 0; t < nCM; t++ {
-			if t == except {
-				continue
-			}
-			if occupant[t] == -1 && p.rowMatches(fmRow, t, &stats) {
-				return t
-			}
-		}
-		return -1
-	}
+	freeBits := growRow(&s.freeMask, nCM)
+	freeBits.Fill(nCM)
 
 	for _, i := range products {
-		if t := findUnmatched(i, -1); t >= 0 {
+		cand := s.cand.Row(i)
+		if t := bitmat.FirstAnd(cand, freeBits); t >= 0 {
 			occupant[t] = i
 			place[i] = t
+			freeBits.Clear(t)
 			continue
 		}
-		// Backtracking: scan matched CM rows top to bottom; if row i fits a
-		// matched row t, try to relocate t's occupant to an unmatched row.
+		// Backtracking: walk matched CM rows compatible with row i top to
+		// bottom; if relocating such a row's occupant to an unmatched row
+		// succeeds, row i takes its place. The lifted row t stays outside
+		// freeBits, so the relocation scan never offers it back.
 		stats.Backtracks++
 		placed := false
-		for t := 0; t < nCM && !placed; t++ {
-			if occupant[t] == -1 || !p.rowMatches(i, t, &stats) {
-				continue
-			}
+		for t := bitmat.NextAndNot(cand, freeBits, 0); t >= 0 && !placed; t = bitmat.NextAndNot(cand, freeBits, t+1) {
 			prev := occupant[t]
-			occupant[t] = -1 // lift the occupant while searching
-			if u := findUnmatched(prev, t); u >= 0 {
+			if u := bitmat.FirstAnd(s.cand.Row(prev), freeBits); u >= 0 {
 				occupant[u] = prev
 				place[prev] = u
+				freeBits.Clear(u)
 				occupant[t] = i
 				place[i] = t
 				placed = true
-			} else {
-				occupant[t] = prev
 			}
 		}
 		if !placed {
@@ -326,10 +368,8 @@ func HBAScratch(p *Problem, s *Scratch) Result {
 
 	// Exact assignment of the output rows onto the unmatched CM rows.
 	free := growInts(&s.free, 0)
-	for t := 0; t < nCM; t++ {
-		if occupant[t] == -1 {
-			free = append(free, t)
-		}
+	for t := freeBits.NextSet(0); t >= 0; t = freeBits.NextSet(t + 1) {
+		free = append(free, t)
 	}
 	s.free = free
 	if len(free) < len(outputs) {
@@ -337,8 +377,10 @@ func HBAScratch(p *Problem, s *Scratch) Result {
 	}
 	forbidden := s.boolMatrix(len(outputs), len(free))
 	for k, i := range outputs {
+		cand := s.cand.Row(i)
+		row := forbidden[k]
 		for u, t := range free {
-			forbidden[k][u] = !p.rowMatches(i, t, &stats)
+			row[u] = !cand.Get(t)
 		}
 	}
 	assign, ok, err := s.solver.SolveBinary(forbidden)
