@@ -1,7 +1,7 @@
 GO ?= go
 # BENCH_TAG is the single source of the snapshot name; bump it once per PR
 # (CI and cmd/xbarbench both take the name from here).
-BENCH_TAG ?= pr4
+BENCH_TAG ?= pr5
 BENCH_OUT ?= BENCH_$(BENCH_TAG).json
 BENCHTIME ?= 0.5s
 

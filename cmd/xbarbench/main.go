@@ -32,7 +32,8 @@ import (
 const defaultBench = "BenchmarkRowMatch$|BenchmarkBatchRowMatch|BenchmarkMatchRowKernel|" +
 	"BenchmarkTranspose|BenchmarkYield200|BenchmarkHBAMap|BenchmarkColumnAware$|" +
 	"BenchmarkColumnAwareScratch|BenchmarkTable2HBA|BenchmarkTable2EA|" +
-	"BenchmarkMunkres|BenchmarkDefectGenerate|BenchmarkFig8Example"
+	"BenchmarkMunkres|BenchmarkDefectGenerate|BenchmarkFig8Example|" +
+	"BenchmarkJournalAppend|BenchmarkJournalReplay"
 
 // Result is one parsed benchmark line.
 type Result struct {

@@ -2,6 +2,7 @@
 // batch HTTP service.
 //
 //	xbarserver -addr :8080 -workers 0 -cache 1024 -timeout 30s \
+//	    -journal-dir /var/lib/xbarserver/journal \
 //	    -cache-file /var/lib/xbarserver/cache.json -max-queued-jobs 8192
 //
 // API:
@@ -10,19 +11,27 @@
 //	                             "synthesize-two-level","benchmark":"rd53"},
 //	                             ...]} -> {"batch_id":"b00000001",
 //	                             "job_ids":["j00000001",...]}; over-limit
-//	                             submissions get 429 + Retry-After
+//	                             submissions get 429 + Retry-After (and so
+//	                             do over-quota clients when -client-rps is
+//	                             set, keyed by the X-Client-ID header)
 //	GET  /v1/jobs/{id}           poll one job: {"id","status","result"?}
 //	GET  /v1/batches/{id}/events stream the batch's results as Server-Sent
 //	                             Events (one "result" event per job, then
 //	                             "done")
+//	GET  /v1/journal/tail        follower-replication feed: committed
+//	                             journal records past ?after=N (long-polls
+//	                             with ?wait=25s); requires -journal-dir
 //	GET  /healthz                liveness plus engine counters
 //
 // Job kinds: synthesize-two-level, synthesize-multilevel, map-hba, map-ea,
 // monte-carlo-yield. Functions come from a built-in "benchmark" name or
 // PLA-style "rows" with "inputs"/"outputs". Identical jobs are deduplicated
-// through the engine's result cache; with -cache-file the cache survives
-// restarts, so a rebooted server answers previously computed batches
-// without recomputing.
+// through the engine's result cache. With -journal-dir every finished
+// result is group-committed to a segmented write-ahead log before it is
+// published, so a server killed at any point restarts with everything it
+// ever acknowledged; -cache-file remains available as a faster-to-load
+// warm-start checkpoint. A second instance started with -follow=<peer-url>
+// warm-starts from the peer's journal and continuously mirrors its results.
 package main
 
 import (
@@ -43,51 +52,78 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", engine.DefaultCacheSize, "result cache entries (negative disables)")
-	cacheFile := flag.String("cache-file", "", "persist the result cache to this file (loaded at startup, saved on interval and at shutdown)")
+	cacheFile := flag.String("cache-file", "", "persist the result cache to this snapshot file (warm-start checkpoint; with -journal-dir the journal remains the source of truth)")
 	persistEvery := flag.Duration("persist-interval", 0, "cache snapshot period with -cache-file (0 = 30s, negative = only at shutdown)")
+	journalDir := flag.String("journal-dir", "", "durable job journal directory: group-committed WAL of finished results, replayed at startup")
+	journalSegBytes := flag.Int64("journal-segment-bytes", 0, "journal segment rotation threshold in bytes (0 = 4 MiB)")
+	journalCompactEvery := flag.Duration("journal-compact-interval", 0, "journal compaction period (0 = 5m, negative disables)")
+	journalMaxAge := flag.Duration("journal-max-age", 0, "drop journal records older than this at compaction (0 = keep all)")
+	journalMaxRecords := flag.Int("journal-max-records", 0, "keep only the newest N live journal records at compaction (0 = keep all)")
+	follow := flag.String("follow", "", "run as a follower of the xbarserver at this base URL, mirroring its journal into the local cache (and local journal)")
+	followEvery := flag.Duration("follow-interval", 0, "follower retry pacing when the peer is unreachable (0 = 1s)")
 	timeout := flag.Duration("timeout", 0, "default per-job timeout (0 = none)")
 	maxQueued := flag.Int("max-queued-jobs", 0, "admission control: reject batches beyond this many unfinished jobs with 429 (0 = unlimited)")
 	maxBatches := flag.Int("max-batches", 0, "admission control: reject submissions beyond this many open batches with 429 (0 = unlimited)")
+	clientRPS := flag.Float64("client-rps", 0, "per-client quota: sustained submissions/sec per X-Client-ID before 429 + Retry-After (0 = disabled)")
+	clientBurst := flag.Int("client-burst", 0, "per-client burst allowance with -client-rps (0 = max(1, one second of -client-rps))")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "bound on graceful shutdown: after this, in-flight work is abandoned (journal still flushed); 0 waits forever")
 	flag.Parse()
 
 	e := engine.New(engine.Options{
-		Workers:              *workers,
-		CacheSize:            *cacheSize,
-		CacheFile:            *cacheFile,
-		CachePersistInterval: *persistEvery,
-		DefaultTimeout:       *timeout,
-		MaxQueuedJobs:        *maxQueued,
-		MaxBatches:           *maxBatches,
+		Workers:                *workers,
+		CacheSize:              *cacheSize,
+		CacheFile:              *cacheFile,
+		CachePersistInterval:   *persistEvery,
+		JournalDir:             *journalDir,
+		JournalSegmentBytes:    *journalSegBytes,
+		JournalCompactInterval: *journalCompactEvery,
+		JournalMaxAge:          *journalMaxAge,
+		JournalMaxRecords:      *journalMaxRecords,
+		FollowPeer:             *follow,
+		FollowPollInterval:     *followEvery,
+		DefaultTimeout:         *timeout,
+		MaxQueuedJobs:          *maxQueued,
+		MaxBatches:             *maxBatches,
+		ClientRPS:              *clientRPS,
+		ClientBurst:            *clientBurst,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           engine.NewHTTPHandler(e),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	// Unblock live SSE streams when Shutdown starts, so graceful shutdown
-	// doesn't wait out its whole timeout on a subscriber to a slow batch.
+	// Unblock live SSE streams and long-polling journal tails when
+	// Shutdown starts, so graceful shutdown doesn't wait out its whole
+	// timeout on a subscriber to a slow batch.
 	srv.RegisterOnShutdown(e.StopStreams)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("xbarserver listening on %s (workers=%d cache=%d cache-file=%q)",
-		*addr, *workers, *cacheSize, *cacheFile)
+	log.Printf("xbarserver listening on %s (workers=%d cache=%d journal-dir=%q cache-file=%q follow=%q)",
+		*addr, *workers, *cacheSize, *journalDir, *cacheFile, *follow)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-stop:
-		log.Printf("received %v, shutting down", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
+		log.Printf("received %v, shutting down (bound %v)", sig, *shutdownTimeout)
+		ctx := context.Background()
+		if *shutdownTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *shutdownTimeout)
+			defer cancel()
+		}
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
-		e.Close()
+		// Bound the engine drain too: a stuck batch must not hang process
+		// exit. The journal is flushed and closed (and the snapshot
+		// written) even when the drain is abandoned.
+		e.CloseTimeout(*shutdownTimeout)
 	case err := <-errCh:
 		// Release the workers and write the final cache snapshot on the
 		// server-error path too, not just on signal-driven shutdown.
-		e.Close()
+		e.CloseTimeout(*shutdownTimeout)
 		if !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}

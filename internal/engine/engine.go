@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/workpool"
 )
 
@@ -59,6 +60,48 @@ type Options struct {
 	// MaxBatches bounds concurrently open (not fully finished) batches;
 	// Submit fails with ErrOverloaded beyond it. Zero means unlimited.
 	MaxBatches int
+	// JournalDir, when non-empty, makes finished results durable in a
+	// segmented write-ahead log under this directory: every cache insert
+	// is group-committed to the journal before the result is published,
+	// New recovers by replaying the journal (tolerating a torn final
+	// record), and the log is compacted in the background. With a journal
+	// the CacheFile snapshot is just a warm-start checkpoint, not the
+	// source of truth.
+	JournalDir string
+	// JournalSegmentBytes rotates journal segments past this size; zero
+	// means the journal package default (4 MiB).
+	JournalSegmentBytes int64
+	// JournalCompactInterval is the background compaction period; zero
+	// means DefaultJournalCompactInterval, negative disables background
+	// compaction.
+	JournalCompactInterval time.Duration
+	// JournalMaxAge drops journal records older than this at compaction;
+	// zero keeps all. Results evicted this way survive only in the cache
+	// snapshot (if configured) until the process restarts.
+	JournalMaxAge time.Duration
+	// JournalMaxRecords keeps only the newest this-many live journal
+	// records at compaction; zero keeps all.
+	JournalMaxRecords int
+	// JournalNoSync skips the per-commit fsync (tests and benchmarks
+	// only; production journals must sync).
+	JournalNoSync bool
+	// FollowPeer, when non-empty, runs this engine as a follower of the
+	// peer xbarserver at this base URL: the peer's journal is pulled over
+	// GET /v1/journal/tail and replayed into the local cache (and local
+	// journal), so this instance warm-starts from the peer and
+	// continuously mirrors its results.
+	FollowPeer string
+	// FollowPollInterval paces follower retries when the peer is down;
+	// zero means DefaultFollowPollInterval.
+	FollowPollInterval time.Duration
+	// ClientRPS enables per-client submission quotas in the HTTP layer:
+	// each X-Client-ID may submit this many batches per second sustained
+	// (burst up to ClientBurst) before getting 429 + Retry-After without
+	// consuming queue slots. Zero disables per-client quotas.
+	ClientRPS float64
+	// ClientBurst is the per-client burst allowance; zero means the
+	// larger of 1 and one second's worth of ClientRPS.
+	ClientBurst int
 }
 
 // ErrOverloaded is reported (wrapped) by Submit when admission control
@@ -97,6 +140,13 @@ type Stats struct {
 	Errors        int64 `json:"errors"`
 	MaxConcurrent int64 `json:"max_concurrent"`
 	CacheEntries  int   `json:"cache_entries"`
+	// Replicated counts results applied from a followed peer's journal.
+	Replicated int64 `json:"replicated,omitempty"`
+	// JournalRecords and JournalSeq describe the durable job journal when
+	// Options.JournalDir is set: live records on disk and the newest
+	// committed sequence number (the follower cursor high-water mark).
+	JournalRecords int    `json:"journal_records,omitempty"`
+	JournalSeq     uint64 `json:"journal_seq,omitempty"`
 }
 
 // Batch is one submitted group of jobs. Results carries each job's outcome
@@ -111,9 +161,10 @@ type Batch struct {
 
 // Engine runs job batches on a bounded worker pool.
 type Engine struct {
-	opt   Options
-	queue chan *task
-	cache *resultCache
+	opt     Options
+	queue   chan *task
+	cache   *resultCache
+	journal *journal.Journal
 
 	workerWG sync.WaitGroup
 	submitWG sync.WaitGroup
@@ -131,16 +182,23 @@ type Engine struct {
 	persistStop chan struct{}
 	persistWG   sync.WaitGroup
 
+	compactStop chan struct{}
+	compactWG   sync.WaitGroup
+
+	followCancel func() // cancels the follower's context; nil when not following
+	followWG     sync.WaitGroup
+
 	streamStop chan struct{} // guarded by mu; closed and replaced by StopStreams
 
-	nextID      atomic.Int64
-	nextBatch   atomic.Int64
-	stSubmitted atomic.Int64
-	stCompleted atomic.Int64
-	stCacheHits atomic.Int64
-	stErrors    atomic.Int64
-	stActive    atomic.Int64
-	stMaxActive atomic.Int64
+	nextID       atomic.Int64
+	nextBatch    atomic.Int64
+	stSubmitted  atomic.Int64
+	stCompleted  atomic.Int64
+	stCacheHits  atomic.Int64
+	stErrors     atomic.Int64
+	stActive     atomic.Int64
+	stMaxActive  atomic.Int64
+	stReplicated atomic.Int64
 }
 
 // flight is one in-progress execution of a job identity, shared by every
@@ -193,6 +251,22 @@ func New(opt Options) *Engine {
 			e.persistWG.Add(1)
 			go e.persistLoop(interval)
 		}
+	}
+	// The journal replays after the snapshot load: its records are newer
+	// than any checkpoint, and bit-identical replays make the overlay
+	// idempotent where they overlap.
+	if e.cache != nil && opt.JournalDir != "" {
+		e.openJournal()
+	}
+	if e.cache != nil && opt.FollowPeer != "" {
+		e.startFollower()
+	}
+	if e.cache == nil && (opt.JournalDir != "" || opt.FollowPeer != "") {
+		// Journal and follower state both live in the result cache; with
+		// caching disabled they would be write-only. Say so loudly rather
+		// than let an operator believe results are durable.
+		log.Printf("engine: caching disabled (CacheSize < 0): ignoring JournalDir=%q FollowPeer=%q — results will NOT be durable or mirrored",
+			opt.JournalDir, opt.FollowPeer)
 	}
 	for i := 0; i < opt.Workers; i++ {
 		e.workerWG.Add(1)
@@ -318,17 +392,27 @@ func (e *Engine) Stats() Stats {
 		CacheHits:     e.stCacheHits.Load(),
 		Errors:        e.stErrors.Load(),
 		MaxConcurrent: e.stMaxActive.Load(),
+		Replicated:    e.stReplicated.Load(),
 	}
 	if e.cache != nil {
 		s.CacheEntries = e.cache.Len()
 	}
+	s.JournalRecords, s.JournalSeq = e.journalStats()
 	return s
 }
 
 // Close stops accepting work, waits for queued jobs to drain, releases the
-// workers, and — when Options.CacheFile is set — writes a final cache
-// snapshot. Safe to call more than once.
-func (e *Engine) Close() {
+// workers, flushes and closes the journal, and — when Options.CacheFile is
+// set — writes a final cache snapshot. Safe to call more than once. Use
+// CloseTimeout when a stuck job must not be allowed to hang process exit.
+func (e *Engine) Close() { e.CloseTimeout(0) }
+
+// CloseTimeout is Close with a bound on the drain: when the queued jobs
+// have not finished within d (zero means wait forever), the remaining work
+// is abandoned — the journal is still flushed and closed and the final
+// cache snapshot still written, so every result computed before the
+// timeout stays durable. Safe to call more than once.
+func (e *Engine) CloseTimeout(d time.Duration) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -337,12 +421,38 @@ func (e *Engine) Close() {
 	e.closed = true
 	e.mu.Unlock()
 	e.StopStreams()
-	e.submitWG.Wait()
-	close(e.queue)
-	e.workerWG.Wait()
+	e.stopFollower()
+	drained := make(chan struct{})
+	go func() {
+		e.submitWG.Wait()
+		close(e.queue)
+		e.workerWG.Wait()
+		close(drained)
+	}()
+	if d > 0 {
+		select {
+		case <-drained:
+		case <-time.After(d):
+			log.Printf("engine: close timed out after %v with jobs still running; abandoning the drain", d)
+		}
+	} else {
+		<-drained
+	}
 	if e.persistStop != nil {
 		close(e.persistStop)
 		e.persistWG.Wait()
+	}
+	if e.compactStop != nil {
+		close(e.compactStop)
+		e.compactWG.Wait()
+	}
+	if e.journal != nil {
+		// Abandoned workers that finish later get ErrClosed from their
+		// journal append (logged); their results were never published as
+		// durable.
+		if err := e.journal.Close(); err != nil {
+			log.Printf("engine: closing journal: %v", err)
+		}
 	}
 	if err := e.saveCacheFile(); err != nil {
 		log.Printf("engine: saving cache at close: %v", err)
@@ -429,6 +539,11 @@ func (e *Engine) runTask(t *task) JobResult {
 		fl.res = Execute(ctx, t.spec)
 		fl.ctxFailed = fl.res.Err != "" && ctx.Err() != nil
 		if fl.res.Err == "" && e.cache != nil {
+			// Durable before published: the journal fsync completes before
+			// the result becomes visible anywhere — including the cache,
+			// where a concurrent identical job could otherwise serve it to
+			// a client ahead of the commit.
+			e.journalAppend(key, fl.res)
 			e.cache.Put(key, fl.res)
 		}
 		e.mu.Lock()

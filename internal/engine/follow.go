@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// DefaultFollowPollInterval paces the follower's retry/backoff when the
+// peer is unreachable or answers with no new records and long-polling is
+// unavailable; zero Options.FollowPollInterval means this.
+const DefaultFollowPollInterval = time.Second
+
+// followWait is the long-poll window the follower asks the leader to hold
+// a tail request open for; convergence latency is one commit, not one
+// poll interval.
+const followWait = 25 * time.Second
+
+// followBatchLimit caps records pulled per tail request.
+const followBatchLimit = 1024
+
+// startFollower begins continuously mirroring the peer's journal into the
+// local result cache (and local journal, when configured). The follower
+// pulls GET /v1/journal/tail from its last applied sequence. A restart
+// re-pulls the peer's history from cursor zero (the peer's sequence
+// numbers are not ours), but records the local journal already restored
+// are recognized in applyReplicated and skipped, so the re-pull costs
+// network only — no duplicate fsyncs, no local journal growth.
+func (e *Engine) startFollower() {
+	ctx, cancel := context.WithCancel(context.Background())
+	e.followCancel = cancel
+	e.followWG.Add(1)
+	go e.followLoop(ctx)
+}
+
+func (e *Engine) followLoop(ctx context.Context) {
+	defer e.followWG.Done()
+	interval := e.opt.FollowPollInterval
+	if interval <= 0 {
+		interval = DefaultFollowPollInterval
+	}
+	client := &http.Client{Timeout: followWait + 10*time.Second}
+	var cursor uint64
+	// A local journal already holds everything mirrored before the last
+	// restart; the peer's sequence numbers are not ours, though, so the
+	// cursor always starts at zero and convergence relies on idempotent
+	// replays (identical spec hash -> identical result).
+	errLogged := false
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		resp, err := e.pullTail(ctx, client, cursor)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			if !errLogged {
+				log.Printf("engine: follower: %v (will keep retrying every %s)", err, interval)
+				errLogged = true
+			}
+			select {
+			case <-time.After(interval):
+			case <-ctx.Done():
+				return
+			}
+			continue
+		}
+		if errLogged {
+			log.Printf("engine: follower: peer reachable again")
+			errLogged = false
+		}
+		for _, rec := range resp.Records {
+			key, derr := hex.DecodeString(rec.Key)
+			if derr != nil || len(key) == 0 {
+				log.Printf("engine: follower: bad record key %q (skipped)", rec.Key)
+			} else {
+				e.applyReplicated(key, rec.Result)
+			}
+			cursor = rec.Seq
+		}
+		if len(resp.Records) == 0 {
+			// The long poll timed out with nothing new; go straight back
+			// to waiting on the peer.
+			continue
+		}
+	}
+}
+
+// pullTail performs one long-polling tail request against the peer.
+func (e *Engine) pullTail(ctx context.Context, client *http.Client, cursor uint64) (tailResponse, error) {
+	u := fmt.Sprintf("%s/v1/journal/tail?after=%d&limit=%d&wait=%s",
+		e.opt.FollowPeer, cursor, followBatchLimit, url.QueryEscape(followWait.String()))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return tailResponse{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return tailResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return tailResponse{}, fmt.Errorf("peer tail: HTTP %d (is the peer running with -journal-dir?)", resp.StatusCode)
+	}
+	var tr tailResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return tailResponse{}, fmt.Errorf("decoding peer tail: %w", err)
+	}
+	return tr, nil
+}
+
+// stopFollower cancels the follower's in-flight long poll and waits for
+// the loop to exit.
+func (e *Engine) stopFollower() {
+	if e.followCancel == nil {
+		return
+	}
+	e.followCancel()
+	e.followWG.Wait()
+}

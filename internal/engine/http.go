@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
+	"time"
 )
 
 // MaxBatchJobs bounds one HTTP batch submission.
@@ -43,15 +45,29 @@ type healthResponse struct {
 //	                              per job as it finishes (replayed from the
 //	                              start for late subscribers, each result
 //	                              exactly once), then one "done" event
+//	GET  /v1/journal/tail         -> committed journal records past a
+//	                              cursor (?after=N&limit=M&wait=25s), the
+//	                              follower-replication feed
 //	GET  /healthz                 -> {"status":"ok","stats":{...}}
 //
 // Submission is asynchronous: the response returns as soon as the batch is
 // queued, and clients stream the batch id (or poll job ids — identical jobs
 // are answered from the result cache). When the engine bounds admission,
-// over-limit submissions are rejected with 429 and a Retry-After header.
+// over-limit submissions are rejected with 429 and a Retry-After header;
+// with Options.ClientRPS set, each X-Client-ID additionally has its own
+// token bucket, and an over-quota client gets 429 + Retry-After before its
+// submission consumes any queue slots.
 func NewHTTPHandler(e *Engine) http.Handler {
+	limiter := newClientLimiter(e.opt.ClientRPS, e.opt.ClientBurst)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if limiter != nil {
+			if ok, retry := limiter.allow(r.Header.Get("X-Client-ID")); !ok {
+				w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
+				httpError(w, http.StatusTooManyRequests, "client over submission quota")
+				return
+			}
+		}
 		var req submitRequest
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
@@ -100,6 +116,9 @@ func NewHTTPHandler(e *Engine) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/batches/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		serveBatchEvents(e, w, r)
+	})
+	mux.HandleFunc("GET /v1/journal/tail", func(w http.ResponseWriter, r *http.Request) {
+		serveJournalTail(e, w, r)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Stats: e.Stats()})
@@ -164,6 +183,80 @@ func serveBatchEvents(e *Engine, w http.ResponseWriter, r *http.Request) {
 			return // engine closing or server shutting down
 		}
 	}
+}
+
+// tailWaitMax caps how long one tail request may long-poll for new
+// records before answering empty.
+const tailWaitMax = 30 * time.Second
+
+// tailLimitMax caps records per tail response.
+const tailLimitMax = 4096
+
+// serveJournalTail answers the follower-replication feed: committed
+// journal records with sequence numbers past ?after, oldest first, up to
+// ?limit. With ?wait, an empty read long-polls until the next group commit
+// (or the wait expires), so a caught-up follower converges one commit
+// behind the leader instead of one poll interval.
+func serveJournalTail(e *Engine, w http.ResponseWriter, r *http.Request) {
+	if e.journal == nil {
+		httpError(w, http.StatusNotFound, "journal not enabled (start the server with -journal-dir)")
+		return
+	}
+	q := r.URL.Query()
+	var after uint64
+	if s := q.Get("after"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad after cursor: "+err.Error())
+			return
+		}
+		after = v
+	}
+	limit := 512
+	if s := q.Get("limit"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			httpError(w, http.StatusBadRequest, "bad limit")
+			return
+		}
+		limit = min(v, tailLimitMax)
+	}
+	var wait time.Duration
+	if s := q.Get("wait"); s != "" {
+		v, err := time.ParseDuration(s)
+		if err != nil || v < 0 {
+			httpError(w, http.StatusBadRequest, "bad wait duration")
+			return
+		}
+		wait = min(v, tailWaitMax)
+	}
+	// The commit signal is armed before the first read: a commit landing
+	// between the read and the select closes this channel, so the long
+	// poll can never sleep through it.
+	notify := e.journalNotify()
+	resp, err := e.journalTail(after, limit)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if len(resp.Records) == 0 && wait > 0 {
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		select {
+		case <-notify:
+			if resp, err = e.journalTail(after, limit); err != nil {
+				httpError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+		case <-timer.C:
+		case <-r.Context().Done():
+			return
+		case <-e.streamStopChan():
+			// Server shutting down: answer empty now so graceful shutdown
+			// is not held open by long-polling followers.
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"log"
+	"reflect"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// DefaultJournalCompactInterval is the background compaction period when
+// Options.JournalDir is set and Options.JournalCompactInterval is zero.
+const DefaultJournalCompactInterval = 5 * time.Minute
+
+// openJournal opens (and recovers) the durable job journal and replays it
+// into the result cache. The journal is the source of truth for finished
+// results: every cache insert appends to it before the result is
+// published, so a process killed at any point — even one that never wrote
+// a -cache-file snapshot — warm-starts with every result it ever
+// acknowledged. The snapshot, when also configured, is just a compaction
+// checkpoint that the journal replay then overlays (journal records are
+// newer, and replays are bit-identical, so the overlay is idempotent).
+//
+// A journal that cannot be opened is fatal for durability, but following
+// the engine's log-and-degrade convention for persistence (see
+// loadCacheFile) it is logged and the engine runs without one rather than
+// taking the service down.
+func (e *Engine) openJournal() {
+	j, err := journal.Open(e.opt.JournalDir, journal.Options{
+		SegmentBytes: e.opt.JournalSegmentBytes,
+		NoSync:       e.opt.JournalNoSync,
+		MaxAge:       e.opt.JournalMaxAge,
+		MaxRecords:   e.opt.JournalMaxRecords,
+	})
+	if err != nil {
+		log.Printf("engine: opening journal in %s: %v (running WITHOUT durability)", e.opt.JournalDir, err)
+		return
+	}
+	e.journal = j
+	n := 0
+	err = j.Replay(0, func(rec journal.Record) error {
+		var r JobResult
+		if jerr := json.Unmarshal(rec.Value, &r); jerr != nil {
+			// A record that framed correctly but doesn't decode is from
+			// an incompatible build; skip it rather than refuse to start.
+			log.Printf("engine: journal record %d undecodable: %v (skipped)", rec.Seq, jerr)
+			return nil
+		}
+		e.cache.Put(string(rec.Key), canonicalResult(r))
+		n++
+		return nil
+	})
+	if err != nil {
+		log.Printf("engine: replaying journal: %v", err)
+	}
+	if n > 0 {
+		log.Printf("engine: replayed %d journaled results from %s (journal seq %d)",
+			n, e.opt.JournalDir, j.LastSeq())
+	}
+	interval := e.opt.JournalCompactInterval
+	if interval == 0 {
+		interval = DefaultJournalCompactInterval
+	}
+	if interval > 0 {
+		e.compactStop = make(chan struct{})
+		e.compactWG.Add(1)
+		go e.compactLoop(interval)
+	}
+}
+
+// journalAppend durably records one finished result under its canonical
+// spec-hash key. It runs on the worker goroutine after the cache insert
+// and before the result is published, so an acknowledged result is always
+// recoverable. Append failures cost durability, not correctness: the
+// in-memory result is still served, so they are logged rather than failing
+// the job.
+func (e *Engine) journalAppend(key string, r JobResult) {
+	if e.journal == nil {
+		return
+	}
+	data, err := json.Marshal(canonicalResult(r))
+	if err != nil {
+		log.Printf("engine: encoding journal record: %v", err)
+		return
+	}
+	if _, err := e.journal.Append([]byte(key), data); err != nil {
+		log.Printf("engine: journal append: %v", err)
+	}
+}
+
+// canonicalResult strips per-lookup identity and hit metadata so persisted
+// results (journal records, snapshots) are keyed purely by spec hash; the
+// serving path reassigns them per request.
+func canonicalResult(r JobResult) JobResult {
+	r.ID, r.CacheHit = "", false
+	return r
+}
+
+// compactLoop periodically rewrites the journal when it holds superseded
+// or expired records, so the on-disk log tracks the live result set
+// instead of growing with every recomputation.
+func (e *Engine) compactLoop(interval time.Duration) {
+	defer e.compactWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if !e.journal.Expired() {
+				continue
+			}
+			if err := e.journal.Compact(); err != nil {
+				log.Printf("engine: compacting journal: %v", err)
+			}
+		case <-e.compactStop:
+			return
+		}
+	}
+}
+
+// CompactJournal forces one journal compaction (normally the background
+// loop's job); it reports whether a journal is configured.
+func (e *Engine) CompactJournal() (bool, error) {
+	if e.journal == nil {
+		return false, nil
+	}
+	return true, e.journal.Compact()
+}
+
+// journalStats reports the journal's live record count and newest sequence
+// number (zeros without a journal).
+func (e *Engine) journalStats() (records int, lastSeq uint64) {
+	if e.journal == nil {
+		return 0, 0
+	}
+	return e.journal.Records(), e.journal.LastSeq()
+}
+
+// applyReplicated installs one record replicated from a peer's journal:
+// into the local cache and — when this instance journals too — into the
+// local journal, so a follower restart warm-starts from its own disk.
+// A record whose result is already cached verbatim is skipped entirely:
+// the follower's cursor restarts at zero on every boot (the peer's
+// sequence numbers are not ours), so without this check each restart
+// would re-fsync and re-journal the peer's whole history.
+func (e *Engine) applyReplicated(key []byte, r JobResult) {
+	if e.cache == nil {
+		return
+	}
+	r = canonicalResult(r)
+	if cur, ok := e.cache.Get(string(key)); ok && reflect.DeepEqual(cur, r) {
+		return
+	}
+	e.cache.Put(string(key), r)
+	e.journalAppend(string(key), r)
+	e.stReplicated.Add(1)
+}
+
+// tailRecord is the wire form of one journal record on the replication
+// endpoint: the sequence cursor, the hex spec-hash key, and the result.
+type tailRecord struct {
+	Seq    uint64    `json:"seq"`
+	Key    string    `json:"key"`
+	Result JobResult `json:"result"`
+}
+
+// tailResponse is the GET /v1/journal/tail payload.
+type tailResponse struct {
+	LastSeq uint64       `json:"last_seq"`
+	Records []tailRecord `json:"records"`
+}
+
+// journalTail reads up to limit committed records past the cursor for the
+// replication endpoint.
+func (e *Engine) journalTail(after uint64, limit int) (tailResponse, error) {
+	recs, last, err := e.journal.ReadAfter(after, limit)
+	if err != nil {
+		return tailResponse{}, err
+	}
+	resp := tailResponse{LastSeq: last, Records: make([]tailRecord, 0, len(recs))}
+	for _, rec := range recs {
+		var r JobResult
+		if jerr := json.Unmarshal(rec.Value, &r); jerr != nil {
+			log.Printf("engine: journal record %d undecodable on tail: %v (skipped)", rec.Seq, jerr)
+			continue
+		}
+		resp.Records = append(resp.Records, tailRecord{
+			Seq:    rec.Seq,
+			Key:    hex.EncodeToString(rec.Key),
+			Result: r,
+		})
+	}
+	return resp, nil
+}
+
+// journalNotify exposes the journal's commit signal to the long-polling
+// tail endpoint.
+func (e *Engine) journalNotify() <-chan struct{} {
+	return e.journal.Notify()
+}

@@ -19,10 +19,18 @@ const cacheFileVersion = 1
 // cacheSnapshotFile is the on-disk form of the result cache: every entry's
 // canonical spec hash (hex) and its finished result. Entries are written
 // oldest-first per shard, so reloading with Put restores the LRU order.
+//
+// With Options.JournalDir set, the snapshot is a compaction checkpoint of
+// the durable job journal, not the source of truth: New loads it first and
+// then replays the journal over it (journal records are newer, and
+// bit-identical replays make the overlay idempotent). JournalSeq records
+// the journal's newest committed sequence number at save time, for
+// operators correlating a snapshot with the log.
 type cacheSnapshotFile struct {
-	Version int              `json:"version"`
-	Saved   time.Time        `json:"saved"`
-	Entries []persistedEntry `json:"entries"`
+	Version    int              `json:"version"`
+	Saved      time.Time        `json:"saved"`
+	JournalSeq uint64           `json:"journal_seq,omitempty"`
+	Entries    []persistedEntry `json:"entries"`
 }
 
 type persistedEntry struct {
@@ -57,10 +65,8 @@ func (e *Engine) loadCacheFile() {
 		if err != nil || len(key) == 0 {
 			continue
 		}
-		r := pe.Result
 		// Identity and hit metadata are assigned per lookup, never stored.
-		r.ID, r.CacheHit = "", false
-		e.cache.Put(string(key), r)
+		e.cache.Put(string(key), canonicalResult(pe.Result))
 		n++
 	}
 	if n > 0 {
@@ -76,10 +82,12 @@ func (e *Engine) saveCacheFile() error {
 		return nil
 	}
 	entries := e.cache.Snapshot()
+	_, journalSeq := e.journalStats()
 	snap := cacheSnapshotFile{
-		Version: cacheFileVersion,
-		Saved:   time.Now().UTC(),
-		Entries: make([]persistedEntry, 0, len(entries)),
+		Version:    cacheFileVersion,
+		Saved:      time.Now().UTC(),
+		JournalSeq: journalSeq,
+		Entries:    make([]persistedEntry, 0, len(entries)),
 	}
 	for _, en := range entries {
 		snap.Entries = append(snap.Entries, persistedEntry{

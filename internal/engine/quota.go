@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// maxClientBuckets bounds the limiter's per-client state; when the map is
+// full, fully refilled (idle) buckets are pruned — an active over-quota
+// client can never be evicted into a fresh allowance.
+const maxClientBuckets = 4096
+
+// clientLimiter is a token-bucket rate limiter keyed by client id (the
+// HTTP layer keys it by the X-Client-ID header), layered on top of the
+// engine's global admission limits: a single chatty client exhausts its
+// own bucket and gets 429 + Retry-After before the submission consumes
+// any queue slots, while other clients keep their full allowance.
+type clientLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+	now     func() time.Time // test hook
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newClientLimiter builds a limiter granting rps sustained submissions per
+// second per client with the given burst; burst < 1 defaults to the
+// larger of 1 and one second's worth of tokens.
+func newClientLimiter(rps float64, burst int) *clientLimiter {
+	if rps <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = math.Max(1, math.Ceil(rps))
+	}
+	return &clientLimiter{
+		rate:    rps,
+		burst:   b,
+		buckets: make(map[string]*tokenBucket),
+		now:     time.Now,
+	}
+}
+
+// allow takes one token from id's bucket. When the bucket is empty it
+// reports false plus how long until the next token accrues (the
+// Retry-After hint).
+func (l *clientLimiter) allow(id string) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.buckets[id]
+	if !ok {
+		if len(l.buckets) >= maxClientBuckets {
+			l.pruneLocked(now)
+		}
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[id] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(math.Ceil(need)) * time.Second
+}
+
+// pruneLocked drops buckets that have refilled to burst (idle long enough
+// to be indistinguishable from a fresh client). When none qualify — a
+// flood of unique client ids, each bucket still draining — it evicts the
+// least-recently-seen bucket instead, so the map never exceeds
+// maxClientBuckets; the evicted client re-enters at full burst later,
+// which is the price of bounded memory. Caller holds l.mu.
+func (l *clientLimiter) pruneLocked(now time.Time) {
+	var stalest string
+	var stalestLast time.Time
+	removed := false
+	for id, b := range l.buckets {
+		if math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate) >= l.burst {
+			delete(l.buckets, id)
+			removed = true
+			continue
+		}
+		if stalest == "" || b.last.Before(stalestLast) {
+			stalest, stalestLast = id, b.last
+		}
+	}
+	if !removed && stalest != "" {
+		delete(l.buckets, stalest)
+	}
+}

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func postJobsAs(t *testing.T, url, clientID string) *http.Response {
+	t.Helper()
+	body := []byte(`{"jobs":[{"kind":"synthesize-two-level","inputs":3,"outputs":2,"rows":["11- 10","1-1 01"]}]}`)
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if clientID != "" {
+		req.Header.Set("X-Client-ID", clientID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// TestClientQuota checks the per-client token bucket: a client that
+// exhausts its burst gets 429 + Retry-After while other clients keep
+// their full allowance, and rejected submissions consume no queue slots.
+func TestClientQuota(t *testing.T) {
+	e := New(Options{Workers: 1, ClientRPS: 0.5, ClientBurst: 2})
+	defer e.Close()
+	srv := httptest.NewServer(NewHTTPHandler(e))
+	defer srv.Close()
+
+	// Burst of 2 for client A, then over quota.
+	for i := 0; i < 2; i++ {
+		if resp := postJobsAs(t, srv.URL, "client-a"); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("client-a submission %d: HTTP %d, want 202", i, resp.StatusCode)
+		}
+	}
+	resp := postJobsAs(t, srv.URL, "client-a")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submission: HTTP %d, want 429", resp.StatusCode)
+	}
+	retry, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || retry < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer of seconds", resp.Header.Get("Retry-After"))
+	}
+	submittedAfterReject := e.Stats().Submitted
+
+	// Another client is unaffected — quotas are per X-Client-ID.
+	if resp := postJobsAs(t, srv.URL, "client-b"); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("client-b blocked by client-a's quota: HTTP %d", resp.StatusCode)
+	}
+	// The rejected submission consumed no queue slots: only the three
+	// accepted single-job batches ever reached the engine.
+	if got := e.Stats().Submitted; got != submittedAfterReject+1 || got != 3 {
+		t.Fatalf("Submitted = %d, want 3 (quota rejections must not consume queue slots)", got)
+	}
+
+	// Tokens accrue back at ClientRPS: after ~2s client A may submit
+	// again (0.5 rps -> one token in 2s).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if resp := postJobsAs(t, srv.URL, "client-a"); resp.StatusCode == http.StatusAccepted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client-a never recovered quota")
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// TestClientQuotaDisabled checks the zero-value path: without ClientRPS
+// every submission passes straight to admission control.
+func TestClientQuotaDisabled(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	srv := httptest.NewServer(NewHTTPHandler(e))
+	defer srv.Close()
+	for i := 0; i < 5; i++ {
+		if resp := postJobsAs(t, srv.URL, "hammer"); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submission %d: HTTP %d, want 202 with quotas disabled", i, resp.StatusCode)
+		}
+	}
+}
+
+// TestClientLimiterBuckets unit-tests the token bucket math with a fake
+// clock: refill rate, burst cap, retry hints, and idle-bucket pruning.
+func TestClientLimiterBuckets(t *testing.T) {
+	l := newClientLimiter(2, 4) // 2 tokens/s, burst 4
+	now := time.Unix(1_700_000_000, 0)
+	l.now = func() time.Time { return now }
+
+	for i := 0; i < 4; i++ {
+		if ok, _ := l.allow("c"); !ok {
+			t.Fatalf("burst draw %d refused", i)
+		}
+	}
+	ok, retry := l.allow("c")
+	if ok {
+		t.Fatal("5th draw allowed past burst")
+	}
+	if retry < time.Second/2 || retry > 2*time.Second {
+		t.Fatalf("retry hint %v, want about 0.5s rounded up", retry)
+	}
+	now = now.Add(time.Second) // 2 tokens accrue
+	if ok, _ := l.allow("c"); !ok {
+		t.Fatal("refilled token refused")
+	}
+	if ok, _ := l.allow("c"); !ok {
+		t.Fatal("second refilled token refused")
+	}
+	if ok, _ := l.allow("c"); ok {
+		t.Fatal("third draw allowed with 2 accrued")
+	}
+
+	// An unknown id starts at full burst.
+	if ok, _ := l.allow("fresh"); !ok {
+		t.Fatal("fresh client refused")
+	}
+
+	// Pruning: fill the map, age every bucket to full, and the next new
+	// client reclaims the space.
+	for i := 0; i < maxClientBuckets; i++ {
+		l.allow("bulk-" + strconv.Itoa(i))
+	}
+	now = now.Add(time.Hour)
+	l.allow("overflow")
+	if n := len(l.buckets); n > maxClientBuckets {
+		t.Fatalf("limiter kept %d buckets, want pruning at %d", n, maxClientBuckets)
+	}
+}

@@ -1,0 +1,74 @@
+package journal
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkJournalAppend measures the append path without fsync (framing,
+// CRC, chain, group-commit round trip) — the per-record CPU cost the
+// engine pays on every cache insert.
+func BenchmarkJournalAppend(b *testing.B) {
+	j, err := Open(b.TempDir(), Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	k := []byte("0123456789abcdef0123456789abcdef") // sha256-sized key
+	v := make([]byte, 256)                          // typical JSON job result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := j.Append(k, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJournalAppendSync measures the durable append path including
+// the group-committed fsync — the floor on single-writer commit latency.
+func BenchmarkJournalAppendSync(b *testing.B) {
+	j, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	k := []byte("0123456789abcdef0123456789abcdef")
+	v := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := j.Append(k, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJournalReplay measures warm-start recovery: scanning and
+// validating 1024 records (CRC + hash chain) across rotated segments.
+func BenchmarkJournalReplay(b *testing.B) {
+	dir := b.TempDir()
+	j, err := Open(dir, Options{SegmentBytes: 64 << 10, NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := make([]byte, 256)
+	for i := 0; i < 1024; i++ {
+		if _, err := j.Append([]byte(fmt.Sprintf("key-%04d", i)), v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := j.Replay(0, func(Record) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if n != 1024 {
+			b.Fatalf("replayed %d", n)
+		}
+	}
+	b.StopTimer()
+	j.Close()
+}

@@ -1,0 +1,222 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// compactCrashHook, when set by tests, runs after the compacted
+// generation's segments are fully written but before the manifest swap
+// commits them. Returning an error abandons the compaction at exactly the
+// point a crash would: the old generation is still the active one and the
+// new files are stale leftovers that the next Open removes.
+var compactCrashHook func() error
+
+// Compact rewrites the journal into a fresh generation containing only the
+// newest record per key, minus records expired by the age/count policy
+// (Options.MaxAge, Options.MaxRecords), then atomically swaps the manifest
+// to the new generation and deletes the old files. Sequence numbers are
+// preserved, so reader cursors (ReadAfter) survive compaction; the
+// sequence counter never rewinds even when the newest records are dropped
+// by policy. Appends block for the duration (compaction holds the journal
+// lock), which keeps the swap trivially consistent.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	// Newest record per key wins. Records arrive oldest-first, so a plain
+	// overwrite keeps the latest; the live list is rebuilt in seq order.
+	latest := make(map[string]int)
+	var live []Record
+	if err := j.replayLocked(0, func(rec Record) error {
+		if i, ok := latest[string(rec.Key)]; ok {
+			live[i] = Record{} // superseded: hole, squeezed out below
+		}
+		latest[string(rec.Key)] = len(live)
+		live = append(live, rec)
+		return nil
+	}); err != nil {
+		return err
+	}
+	kept := live[:0]
+	for _, rec := range live {
+		if rec.Seq != 0 {
+			kept = append(kept, rec)
+		}
+	}
+	live = kept
+	if j.opt.MaxAge > 0 {
+		cutoff := j.now().Add(-j.opt.MaxAge).UnixNano()
+		fresh := live[:0]
+		for _, rec := range live {
+			if rec.Time >= cutoff {
+				fresh = append(fresh, rec)
+			}
+		}
+		live = fresh
+	}
+	if j.opt.MaxRecords > 0 && len(live) > j.opt.MaxRecords {
+		live = live[len(live)-j.opt.MaxRecords:] // seq order: keep newest
+	}
+
+	newGen := j.gen + 1
+	segs, chain, err := writeGeneration(j.dir, newGen, live, j.lastSeq, j.opt)
+	if err != nil {
+		removeSegments(segs)
+		return err
+	}
+	if compactCrashHook != nil {
+		if herr := compactCrashHook(); herr != nil {
+			return herr
+		}
+	}
+	// The manifest rename is the commit point: before it the old
+	// generation is authoritative (a crash loses nothing), after it the
+	// new one is and the old files are garbage.
+	if err := writeManifest(j.dir, newGen); err != nil {
+		removeSegments(segs)
+		return err
+	}
+	oldSegs := j.segs
+	if j.tail != nil {
+		j.tail.Close()
+		j.tail = nil
+	}
+	removeSegments(oldSegs)
+
+	j.gen = newGen
+	j.segs = segs
+	j.chain = chain
+	j.records = len(live)
+	j.keys = make(map[string]int, len(live))
+	j.oldest = 0
+	for _, rec := range live {
+		j.keys[string(rec.Key)]++
+		if j.oldest == 0 || rec.Time < j.oldest {
+			j.oldest = rec.Time
+		}
+	}
+	tail := segs[len(segs)-1]
+	f, err := os.OpenFile(tail.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: reopening tail after compaction: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	j.tail = f
+	j.tailSize = fi.Size()
+	return nil
+}
+
+// writeGeneration writes live records into fresh segment files of gen,
+// rotating at the size threshold, with the chain restarted from zero (a
+// new generation is a new chain epoch). It returns the segment list and
+// the chain value after the last record, so appends continue the chain.
+// lastSeq seeds the base sequence of the trailing empty segment when there
+// are no live records.
+func writeGeneration(dir string, gen uint64, live []Record, lastSeq uint64, opt Options) ([]segmentInfo, chainHash, error) {
+	var (
+		segs  []segmentInfo
+		chain chainHash
+		f     *os.File
+		size  int64
+		index uint64
+	)
+	closeTail := func() error {
+		if f == nil {
+			return nil
+		}
+		if !opt.NoSync {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		err := f.Close()
+		f = nil
+		return err
+	}
+	open := func(baseSeq uint64) error {
+		if err := closeTail(); err != nil {
+			return err
+		}
+		path := segmentPath(dir, gen, index)
+		nf, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		header := segmentHeader{gen: gen, index: index, baseSeq: baseSeq, chainIn: chain}
+		if _, err := nf.Write(header.encode()); err != nil {
+			nf.Close()
+			return err
+		}
+		segs = append(segs, segmentInfo{index: index, baseSeq: baseSeq, path: path})
+		f, size = nf, headerSize
+		index++
+		return nil
+	}
+	var buf []byte
+	for _, rec := range live {
+		buf = appendFrame(buf[:0], rec)
+		if f == nil || size+int64(len(buf)) > opt.SegmentBytes && size > headerSize {
+			if err := open(rec.Seq); err != nil {
+				return segs, chain, err
+			}
+		}
+		if _, err := f.Write(buf); err != nil {
+			closeTail()
+			return segs, chain, err
+		}
+		chain = chain.advance(frameBody(buf))
+		size += int64(len(buf))
+	}
+	if f == nil {
+		if err := open(lastSeq + 1); err != nil {
+			return segs, chain, err
+		}
+	}
+	if err := closeTail(); err != nil {
+		return segs, chain, err
+	}
+	return segs, chain, syncDir(dir)
+}
+
+func removeSegments(segs []segmentInfo) {
+	for _, s := range segs {
+		_ = os.Remove(s.path)
+	}
+}
+
+// Expired reports whether the journal would drop anything at compaction:
+// superseded duplicates, records older than MaxAge, or records beyond
+// MaxRecords. It answers from the in-memory key index and oldest-record
+// watermark — no file IO, so the engine's compaction loop can poll it
+// without stalling appenders.
+func (j *Journal) Expired() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return false
+	}
+	if j.records > len(j.keys) {
+		return true // at least one key has a superseded duplicate
+	}
+	if j.opt.MaxAge > 0 && j.records > 0 && j.oldest < j.now().Add(-j.opt.MaxAge).UnixNano() {
+		return true
+	}
+	return j.opt.MaxRecords > 0 && len(j.keys) > j.opt.MaxRecords
+}
+
+// SetNowFunc overrides the journal's clock (record timestamps and age
+// policy evaluation). Tests only.
+func (j *Journal) SetNowFunc(now func() time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.now = now
+}

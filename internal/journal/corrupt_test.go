@@ -1,0 +1,262 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// segFiles returns the directory's segment files sorted by name (which
+// sorts by generation then index).
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, en := range entries {
+		if _, _, ok := parseSegmentName(en.Name()); ok {
+			out = append(out, filepath.Join(dir, en.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// writeJournal populates a fresh journal with n records across small
+// segments and closes it.
+func writeJournal(t *testing.T, dir string, n int) {
+	t.Helper()
+	j, err := Open(dir, Options{SegmentBytes: 512, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, 0, n)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reopenAndCount reopens the journal and returns the replayed records.
+func reopenAndCount(t *testing.T, dir string) []Record {
+	t.Helper()
+	j, err := Open(dir, Options{SegmentBytes: 512, NoSync: true})
+	if err != nil {
+		t.Fatalf("reopen after corruption: %v", err)
+	}
+	defer j.Close()
+	return collect(t, j, 0)
+}
+
+// checkPrefix asserts recs is exactly records 1..n in order with intact
+// payloads — the longest-valid-prefix contract.
+func checkPrefix(t *testing.T, recs []Record, n int) {
+	t.Helper()
+	if len(recs) != n {
+		t.Fatalf("recovered %d records, want the %d-record valid prefix", len(recs), n)
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d, want %d", i, rec.Seq, i+1)
+		}
+		if string(rec.Key) != string(key(i)) || string(rec.Value) != string(val(i)) {
+			t.Fatalf("record %d payload corrupted after recovery", i)
+		}
+	}
+}
+
+// countRecords counts frames in one segment file (for test setup).
+func countRecords(t *testing.T, path string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, off := 0, headerSize
+	for off < len(data) {
+		_, fn, err := parseFrame(data[off:])
+		if err != nil {
+			t.Fatalf("segment %s not clean before corruption: %v", path, err)
+		}
+		off += fn
+		n++
+	}
+	return n
+}
+
+func TestRecoverTruncatedMidRecord(t *testing.T) {
+	dir := t.TempDir()
+	writeJournal(t, dir, 100)
+	files := segFiles(t, dir)
+	last := files[len(files)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() <= headerSize+10 {
+		t.Fatalf("final segment too small to tear: %d bytes", fi.Size())
+	}
+	// Chop the final record in half: a torn write from a crashed append.
+	if err := os.Truncate(last, fi.Size()-10); err != nil {
+		t.Fatal(err)
+	}
+	recs := reopenAndCount(t, dir)
+	checkPrefix(t, recs, 99)
+
+	// The repaired journal accepts appends again and they land at seq 100.
+	j, err := Open(dir, Options{SegmentBytes: 512, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	seq, err := j.Append(key(99), val(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 100 {
+		t.Fatalf("append after torn-tail repair got seq %d, want 100", seq)
+	}
+	checkPrefix(t, collect(t, j, 0), 100)
+}
+
+func TestRecoverCRCMismatch(t *testing.T) {
+	dir := t.TempDir()
+	writeJournal(t, dir, 100)
+	files := segFiles(t, dir)
+	last := files[len(files)-1]
+	inEarlier := 0
+	for _, f := range files[:len(files)-1] {
+		inEarlier += countRecords(t, f)
+	}
+	inLast := countRecords(t, last)
+	if inLast < 2 {
+		t.Fatalf("final segment has %d records; corruption test needs >= 2", inLast)
+	}
+	// Flip one payload byte in the middle of the final segment's first
+	// record: its CRC no longer matches, so recovery must stop before it
+	// even though bytes after it are intact.
+	data, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+frameOverhead+recordFixedSize+2] ^= 0xff
+	if err := os.WriteFile(last, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs := reopenAndCount(t, dir)
+	checkPrefix(t, recs, inEarlier)
+}
+
+func TestRecoverChainBreak(t *testing.T) {
+	dir := t.TempDir()
+	writeJournal(t, dir, 100)
+	files := segFiles(t, dir)
+	if len(files) < 3 {
+		t.Fatalf("need >= 3 segments, got %d", len(files))
+	}
+	inFirst := countRecords(t, files[0])
+	// Rewrite the second segment's header with a wrong chain-in value but
+	// a valid header CRC: every record inside still passes its own CRC,
+	// so only the hash chain can catch it. Recovery must drop segment 2
+	// and everything after.
+	data, err := os.ReadFile(files[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := parseSegmentHeader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.chainIn[0] ^= 0xff
+	copy(data, h.encode())
+	if err := os.WriteFile(files[1], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs := reopenAndCount(t, dir)
+	checkPrefix(t, recs, inFirst)
+}
+
+func TestCrashMidCompactionLosesNothing(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SegmentBytes: 512, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		for k := 0; k < 40; k++ {
+			if _, err := j.Append(key(k), val(round*40+k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Crash after the compacted generation is written but before the
+	// manifest swap: the new files exist on disk, the manifest still
+	// names the old generation.
+	crashErr := errors.New("simulated crash before manifest swap")
+	compactCrashHook = func() error { return crashErr }
+	defer func() { compactCrashHook = nil }()
+	if err := j.Compact(); !errors.Is(err, crashErr) {
+		t.Fatalf("Compact = %v, want simulated crash", err)
+	}
+	j.Close()
+
+	// Reopen: the old generation must be fully intact (no record loss),
+	// and the uncommitted new-generation files must be cleaned up.
+	j2, err := Open(dir, Options{SegmentBytes: 512, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(t, j2, 0)
+	if len(recs) != 120 {
+		t.Fatalf("recovered %d records, want all 120 (crash-mid-compaction must lose nothing)", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d seq %d", i, rec.Seq)
+		}
+	}
+	for _, f := range segFiles(t, dir) {
+		gen, _, _ := parseSegmentName(filepath.Base(f))
+		if gen != 0 {
+			t.Fatalf("uncommitted generation file %s survived reopen", f)
+		}
+	}
+
+	// A compaction after the crash-recovery succeeds and dedupes.
+	compactCrashHook = nil
+	if err := j2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if recs := collect(t, j2, 0); len(recs) != 40 {
+		t.Fatalf("post-recovery compaction kept %d records, want 40", len(recs))
+	}
+	j2.Close()
+}
+
+func TestCrashAfterManifestSwap(t *testing.T) {
+	// The mirror-image crash: manifest swapped but old-generation files
+	// not yet deleted. Simulate by planting a stale old-gen segment after
+	// a successful compaction; reopen must ignore and remove it.
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SegmentBytes: 512, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, 0, 50)
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	stale := segmentPath(dir, 0, 99)
+	if err := os.WriteFile(stale, []byte("stale old-generation leftovers"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs := reopenAndCount(t, dir)
+	checkPrefix(t, recs, 50)
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale old-generation segment not removed at reopen (err=%v)", err)
+	}
+}

@@ -1,0 +1,277 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func appendN(t *testing.T, j *Journal, start, n int) {
+	t.Helper()
+	for i := start; i < start+n; i++ {
+		if _, err := j.Append(key(i), val(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%04d", i)) }
+func val(i int) []byte { return []byte(fmt.Sprintf("value-%04d-payload", i)) }
+
+func collect(t *testing.T, j *Journal, after uint64) []Record {
+	t.Helper()
+	var out []Record
+	if err := j.Replay(after, func(rec Record) error {
+		out = append(out, rec)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, 0, 100)
+	if got := j.LastSeq(); got != 100 {
+		t.Fatalf("LastSeq = %d, want 100", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append([]byte("k"), []byte("v")); err != ErrClosed {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	recs := collect(t, j2, 0)
+	if len(recs) != 100 {
+		t.Fatalf("replayed %d records, want 100", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, rec.Seq)
+		}
+		if !bytes.Equal(rec.Key, key(i)) || !bytes.Equal(rec.Value, val(i)) {
+			t.Fatalf("record %d mismatch: %q=%q", i, rec.Key, rec.Value)
+		}
+	}
+	// Appends continue the sequence across restarts.
+	seq, err := j2.Append(key(100), val(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 101 {
+		t.Fatalf("post-restart seq = %d, want 101", seq)
+	}
+}
+
+func TestRotationAndReadAfter(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SegmentBytes: 512, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, 0, 200)
+	if segs := j.Segments(); segs < 3 {
+		t.Fatalf("Segments = %d, want rotation to several", segs)
+	}
+	recs, last, err := j.ReadAfter(150, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 200 || len(recs) != 50 || recs[0].Seq != 151 {
+		t.Fatalf("ReadAfter(150): %d recs, first %d, last %d", len(recs), recs[0].Seq, last)
+	}
+	recs, _, err = j.ReadAfter(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 || recs[9].Seq != 10 {
+		t.Fatalf("ReadAfter limit: %d recs", len(recs))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// All 200 records survive reopen across the rotated segments.
+	j2, err := Open(dir, Options{SegmentBytes: 512, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if recs := collect(t, j2, 0); len(recs) != 200 {
+		t.Fatalf("replayed %d records after rotation, want 200", len(recs))
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SegmentBytes: 2048, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 8
+		each    = 50
+	)
+	var wg sync.WaitGroup
+	seqs := make([][]uint64, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				seq, err := j.Append(key(w*each+i), val(w*each+i))
+				if err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				seqs[w] = append(seqs[w], seq)
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool)
+	for w := range seqs {
+		for i, s := range seqs[w] {
+			if seen[s] {
+				t.Fatalf("duplicate seq %d", s)
+			}
+			seen[s] = true
+			if i > 0 && seqs[w][i-1] >= s {
+				t.Fatalf("writer %d: seqs not increasing: %d then %d", w, seqs[w][i-1], s)
+			}
+		}
+	}
+	if len(seen) != writers*each {
+		t.Fatalf("%d unique seqs, want %d", len(seen), writers*each)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if recs := collect(t, j2, 0); len(recs) != writers*each {
+		t.Fatalf("replayed %d, want %d", len(recs), writers*each)
+	}
+}
+
+func TestNotify(t *testing.T) {
+	j, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	ch := j.Notify()
+	select {
+	case <-ch:
+		t.Fatal("notify fired before any commit")
+	default:
+	}
+	appendN(t, j, 0, 1)
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("notify did not fire after commit")
+	}
+}
+
+func TestCompactDedupesAndPreservesSeqs(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SegmentBytes: 512, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30 keys written 4 times each: compaction must keep only the last
+	// write of each key, with its original sequence number.
+	for round := 0; round < 4; round++ {
+		for k := 0; k < 30; k++ {
+			if _, err := j.Append(key(k), []byte(fmt.Sprintf("round-%d-key-%d", round, k))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !j.Expired() {
+		t.Fatal("Expired = false with 90 superseded records")
+	}
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Expired() {
+		t.Fatal("Expired = true right after compaction")
+	}
+	recs := collect(t, j, 0)
+	if len(recs) != 30 {
+		t.Fatalf("%d records after compaction, want 30", len(recs))
+	}
+	for i, rec := range recs {
+		wantSeq := uint64(90 + i + 1) // the 4th round wrote seqs 91..120
+		if rec.Seq != wantSeq {
+			t.Fatalf("record %d seq = %d, want %d (seqs must survive compaction)", i, rec.Seq, wantSeq)
+		}
+		if want := fmt.Sprintf("round-3-key-%d", i); string(rec.Value) != want {
+			t.Fatalf("record %d value = %q, want %q", i, rec.Value, want)
+		}
+	}
+	if got := j.Records(); got != 30 {
+		t.Fatalf("Records = %d, want 30", got)
+	}
+	// The sequence counter never rewinds: next append is 121.
+	seq, err := j.Append([]byte("fresh"), []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 121 {
+		t.Fatalf("post-compaction seq = %d, want 121", seq)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// And the compacted generation replays after a restart.
+	j2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if recs := collect(t, j2, 0); len(recs) != 31 {
+		t.Fatalf("replayed %d after compaction+restart, want 31", len(recs))
+	}
+}
+
+func TestCompactAgeAndCountPolicy(t *testing.T) {
+	j, err := Open(t.TempDir(), Options{NoSync: true, MaxAge: time.Hour, MaxRecords: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	base := time.Unix(1_700_000_000, 0)
+	clock := base
+	j.SetNowFunc(func() time.Time { return clock })
+	appendN(t, j, 0, 10) // stamped at base: will be over MaxAge below
+	clock = base.Add(2 * time.Hour)
+	appendN(t, j, 10, 10) // fresh, but MaxRecords keeps only the newest 5
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(t, j, 0)
+	if len(recs) != 5 {
+		t.Fatalf("%d records after age+count compaction, want 5", len(recs))
+	}
+	if recs[0].Seq != 16 || recs[4].Seq != 20 {
+		t.Fatalf("kept seqs %d..%d, want 16..20", recs[0].Seq, recs[4].Seq)
+	}
+}

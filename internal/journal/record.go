@@ -1,0 +1,123 @@
+package journal
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Record is one durable journal entry: an opaque key/value pair stamped
+// with its monotonic sequence number and append time. After compaction
+// sequence numbers keep their original values, so they stay strictly
+// increasing but need not be contiguous.
+type Record struct {
+	// Seq is the record's position in the journal's total order. It is
+	// assigned at append and never reused, so a reader that remembers the
+	// last Seq it processed can resume with ReadAfter(seq).
+	Seq uint64
+	// Time is the append wall-clock time in Unix nanoseconds; compaction
+	// age policies (Options.MaxAge) evaluate against it.
+	Time int64
+	// Key identifies what the record describes (the engine stores the
+	// canonical job-spec hash). Compaction keeps only the newest record
+	// per key.
+	Key []byte
+	// Value is the record payload (the engine stores the JSON-encoded job
+	// result).
+	Value []byte
+}
+
+// Frame layout (all integers little-endian):
+//
+//	u32  body length
+//	body:
+//	  u64 seq
+//	  i64 append time (unix ns)
+//	  u32 key length, key bytes
+//	  u32 value length, value bytes
+//	u32  CRC-32C of body
+//
+// The length prefix lets the scanner skip to the checksum without parsing
+// the body; the trailing CRC detects torn or bit-flipped records. A frame
+// that fails either check ends recovery at the longest valid prefix.
+const (
+	frameOverhead   = 8  // length prefix + trailing CRC
+	recordFixedSize = 24 // seq + time + two length fields
+	// maxFrameBody rejects absurd length prefixes before allocating: a
+	// torn length field must not ask the scanner for gigabytes.
+	maxFrameBody = 64 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame encodes rec as one frame at the end of buf and returns the
+// extended buffer.
+func appendFrame(buf []byte, rec Record) []byte {
+	body := recordFixedSize + len(rec.Key) + len(rec.Value)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(body))
+	start := len(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, rec.Seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(rec.Time))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Key)))
+	buf = append(buf, rec.Key...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Value)))
+	buf = append(buf, rec.Value...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[start:], crcTable))
+}
+
+// parseFrame decodes the frame at the start of data. It returns the decoded
+// record and the total frame size, or an error when the frame is torn
+// (data ends mid-frame) or corrupt (CRC or structure mismatch); both end
+// recovery at this offset.
+func parseFrame(data []byte) (Record, int, error) {
+	if len(data) < 4 {
+		return Record{}, 0, fmt.Errorf("journal: torn frame: %d header bytes", len(data))
+	}
+	body := int(binary.LittleEndian.Uint32(data))
+	if body < recordFixedSize || body > maxFrameBody {
+		return Record{}, 0, fmt.Errorf("journal: bad frame length %d", body)
+	}
+	total := frameOverhead + body
+	if len(data) < total {
+		return Record{}, 0, fmt.Errorf("journal: torn frame: %d of %d bytes", len(data), total)
+	}
+	b := data[4 : 4+body]
+	if got, want := crc32.Checksum(b, crcTable), binary.LittleEndian.Uint32(data[4+body:]); got != want {
+		return Record{}, 0, fmt.Errorf("journal: frame CRC mismatch: %08x != %08x", got, want)
+	}
+	rec := Record{
+		Seq:  binary.LittleEndian.Uint64(b),
+		Time: int64(binary.LittleEndian.Uint64(b[8:])),
+	}
+	keyLen := int(binary.LittleEndian.Uint32(b[16:]))
+	if keyLen < 0 || 20+keyLen+4 > body {
+		return Record{}, 0, fmt.Errorf("journal: bad key length %d", keyLen)
+	}
+	rec.Key = append([]byte(nil), b[20:20+keyLen]...)
+	valLen := int(binary.LittleEndian.Uint32(b[20+keyLen:]))
+	if valLen < 0 || recordFixedSize+keyLen+valLen != body {
+		return Record{}, 0, fmt.Errorf("journal: bad value length %d", valLen)
+	}
+	rec.Value = append([]byte(nil), b[24+keyLen:24+keyLen+valLen]...)
+	return rec, total, nil
+}
+
+// chainHash is the rolling integrity chain threaded through every record:
+// chain' = SHA-256(chain || frame body). Each segment header stores the
+// chain value coming into the segment, so tampering with a sealed segment
+// (or reordering segments) breaks the chain check of everything after it.
+type chainHash [sha256.Size]byte
+
+// advance folds one frame body into the chain.
+func (c chainHash) advance(body []byte) chainHash {
+	h := sha256.New()
+	h.Write(c[:])
+	h.Write(body)
+	var out chainHash
+	h.Sum(out[:0])
+	return out
+}
+
+// frameBody returns the body slice of an encoded frame (for chain updates).
+func frameBody(frame []byte) []byte { return frame[4 : len(frame)-4] }

@@ -1,0 +1,176 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Segment header layout (little-endian):
+//
+//	magic   [4]byte  "XBWJ"
+//	u32     format version
+//	u64     generation (bumped by every compaction)
+//	u64     segment index within the generation
+//	u64     base sequence (first seq that may appear in this segment)
+//	chain   [32]byte integrity chain coming into this segment
+//	u32     CRC-32C of the preceding 64 bytes
+//
+// The chain-in value makes sealed segments tamper-evident: recovery
+// recomputes the chain record by record and refuses any segment whose
+// header does not continue the chain of the data before it.
+const (
+	segmentMagic   = "XBWJ"
+	formatVersion  = 1
+	headerSize     = 4 + 4 + 8 + 8 + 8 + 32 + 4
+	manifestName   = "MANIFEST"
+	segmentPattern = "wal-%08x-%08x.seg"
+)
+
+// segmentHeader is the decoded fixed-size segment preamble.
+type segmentHeader struct {
+	gen     uint64
+	index   uint64
+	baseSeq uint64
+	chainIn chainHash
+}
+
+func (h segmentHeader) encode() []byte {
+	buf := make([]byte, 0, headerSize)
+	buf = append(buf, segmentMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, formatVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, h.gen)
+	buf = binary.LittleEndian.AppendUint64(buf, h.index)
+	buf = binary.LittleEndian.AppendUint64(buf, h.baseSeq)
+	buf = append(buf, h.chainIn[:]...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+}
+
+func parseSegmentHeader(data []byte) (segmentHeader, error) {
+	if len(data) < headerSize {
+		return segmentHeader{}, fmt.Errorf("journal: segment shorter than header: %d bytes", len(data))
+	}
+	if string(data[:4]) != segmentMagic {
+		return segmentHeader{}, fmt.Errorf("journal: bad segment magic %q", data[:4])
+	}
+	if got, want := binary.LittleEndian.Uint32(data[headerSize-4:headerSize]),
+		crc32.Checksum(data[:headerSize-4], crcTable); want != got {
+		return segmentHeader{}, fmt.Errorf("journal: segment header CRC mismatch")
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != formatVersion {
+		return segmentHeader{}, fmt.Errorf("journal: segment format version %d, want %d", v, formatVersion)
+	}
+	h := segmentHeader{
+		gen:     binary.LittleEndian.Uint64(data[8:]),
+		index:   binary.LittleEndian.Uint64(data[16:]),
+		baseSeq: binary.LittleEndian.Uint64(data[24:]),
+	}
+	copy(h.chainIn[:], data[32:64])
+	return h, nil
+}
+
+// segmentInfo tracks one on-disk segment of the active generation.
+type segmentInfo struct {
+	index   uint64
+	baseSeq uint64
+	path    string
+}
+
+func segmentPath(dir string, gen, index uint64) string {
+	return filepath.Join(dir, fmt.Sprintf(segmentPattern, gen, index))
+}
+
+// parseSegmentName extracts (gen, index) from a segment file name.
+func parseSegmentName(name string) (gen, index uint64, ok bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, 0, false
+	}
+	if _, err := fmt.Sscanf(name, segmentPattern, &gen, &index); err != nil {
+		return 0, 0, false
+	}
+	return gen, index, true
+}
+
+// manifest names the active generation. It is replaced atomically (write
+// to a temp file, rename), so a crash anywhere in compaction leaves either
+// the old or the new generation fully active — never a mix.
+type manifest struct {
+	Version int    `json:"version"`
+	Gen     uint64 `json:"gen"`
+}
+
+func readManifest(dir string) (manifest, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return manifest{}, false, nil
+		}
+		return manifest{}, false, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return manifest{}, false, fmt.Errorf("journal: parsing %s: %w", manifestName, err)
+	}
+	if m.Version != formatVersion {
+		return manifest{}, false, fmt.Errorf("journal: manifest version %d, want %d", m.Version, formatVersion)
+	}
+	return m, true, nil
+}
+
+func writeManifest(dir string, gen uint64) error {
+	data, err := json.Marshal(manifest{Version: formatVersion, Gen: gen})
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// listSegments groups the directory's segment files by generation, each
+// group sorted by index.
+func listSegments(dir string) (map[uint64][]segmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	byGen := make(map[uint64][]segmentInfo)
+	for _, en := range entries {
+		if en.IsDir() {
+			continue
+		}
+		gen, index, ok := parseSegmentName(en.Name())
+		if !ok {
+			continue
+		}
+		byGen[gen] = append(byGen[gen], segmentInfo{index: index, path: filepath.Join(dir, en.Name())})
+	}
+	for gen := range byGen {
+		s := byGen[gen]
+		sort.Slice(s, func(i, j int) bool { return s[i].index < s[j].index })
+		byGen[gen] = s
+	}
+	return byGen, nil
+}
+
+// syncDir fsyncs a directory so renames and newly created files survive a
+// power cut. Directory fsync is best effort: some filesystems refuse it.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

@@ -400,6 +400,34 @@ type EngineOptions struct {
 	// MaxBatches bounds concurrently open batches; Submit fails with
 	// ErrEngineOverloaded beyond it. Zero means unlimited.
 	MaxBatches int
+	// JournalDir, when non-empty, makes finished results durable in a
+	// segmented write-ahead log under this directory: every result is
+	// group-committed before it is published, and NewEngine recovers by
+	// replaying the journal, so an engine killed at any point restarts
+	// with everything it ever acknowledged. With a journal the CacheFile
+	// snapshot is just a warm-start checkpoint.
+	JournalDir string
+	// JournalCompactInterval is the background journal compaction period;
+	// zero means the default (5m), negative disables it.
+	JournalCompactInterval time.Duration
+	// JournalMaxAge drops journal records older than this at compaction;
+	// zero keeps all.
+	JournalMaxAge time.Duration
+	// JournalMaxRecords keeps only the newest this-many live journal
+	// records at compaction; zero keeps all.
+	JournalMaxRecords int
+	// FollowPeer runs this engine as a follower of the xbarserver at this
+	// base URL: the peer's journal is continuously mirrored into the
+	// local cache (and local journal), warm-starting this instance from
+	// the peer's results.
+	FollowPeer string
+	// ClientRPS enables per-client submission quotas in Handler: each
+	// X-Client-ID may submit this many batches per second sustained
+	// (burst up to ClientBurst) before 429 + Retry-After. Zero disables.
+	ClientRPS float64
+	// ClientBurst is the per-client burst allowance; zero means the
+	// larger of 1 and one second's worth of ClientRPS.
+	ClientBurst int
 }
 
 // Engine runs batches of synthesis, mapping, and Monte Carlo jobs on a
@@ -413,13 +441,20 @@ type Engine struct {
 // the final cache snapshot when CacheFile is set).
 func NewEngine(opt EngineOptions) *Engine {
 	return &Engine{e: engine.New(engine.Options{
-		Workers:              opt.Workers,
-		CacheSize:            opt.CacheSize,
-		CacheFile:            opt.CacheFile,
-		CachePersistInterval: opt.CachePersistInterval,
-		DefaultTimeout:       opt.DefaultTimeout,
-		MaxQueuedJobs:        opt.MaxQueuedJobs,
-		MaxBatches:           opt.MaxBatches,
+		Workers:                opt.Workers,
+		CacheSize:              opt.CacheSize,
+		CacheFile:              opt.CacheFile,
+		CachePersistInterval:   opt.CachePersistInterval,
+		JournalDir:             opt.JournalDir,
+		JournalCompactInterval: opt.JournalCompactInterval,
+		JournalMaxAge:          opt.JournalMaxAge,
+		JournalMaxRecords:      opt.JournalMaxRecords,
+		FollowPeer:             opt.FollowPeer,
+		DefaultTimeout:         opt.DefaultTimeout,
+		MaxQueuedJobs:          opt.MaxQueuedJobs,
+		MaxBatches:             opt.MaxBatches,
+		ClientRPS:              opt.ClientRPS,
+		ClientBurst:            opt.ClientBurst,
 	})}
 }
 
@@ -457,6 +492,12 @@ func (e *Engine) StopStreams() { e.e.StopStreams() }
 
 // Close stops accepting work, drains queued jobs, and releases the workers.
 func (e *Engine) Close() { e.e.Close() }
+
+// CloseTimeout is Close with a bound on the drain: when queued jobs have
+// not finished within d (zero waits forever), the remaining work is
+// abandoned — the journal is still flushed and the final cache snapshot
+// still written, so everything computed before the timeout stays durable.
+func (e *Engine) CloseTimeout(d time.Duration) { e.e.CloseTimeout(d) }
 
 // SimulateMapped runs the design on the defective fabric under the given
 // mapping and returns the outputs, so callers can verify the mapped
