@@ -108,18 +108,26 @@ func main() {
 	case sig := <-stop:
 		log.Printf("received %v, shutting down (bound %v)", sig, *shutdownTimeout)
 		ctx := context.Background()
+		var deadline time.Time
 		if *shutdownTimeout > 0 {
+			deadline = time.Now().Add(*shutdownTimeout)
 			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, *shutdownTimeout)
+			ctx, cancel = context.WithDeadline(ctx, deadline)
 			defer cancel()
 		}
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
-		// Bound the engine drain too: a stuck batch must not hang process
-		// exit. The journal is flushed and closed (and the snapshot
-		// written) even when the drain is abandoned.
-		e.CloseTimeout(*shutdownTimeout)
+		// The flag is ONE budget for the whole shutdown, not one per phase:
+		// the engine drain gets whatever the HTTP drain left, so an
+		// operator can size an external kill timer to the flag. A stuck
+		// batch still cannot hang exit — the journal is flushed and closed
+		// (and the snapshot written) even when the drain is abandoned.
+		bound := time.Duration(0) // wait forever when unbounded
+		if !deadline.IsZero() {
+			bound = max(time.Until(deadline), time.Millisecond)
+		}
+		e.CloseTimeout(bound)
 	case err := <-errCh:
 		// Release the workers and write the final cache snapshot on the
 		// server-error path too, not just on signal-driven shutdown.

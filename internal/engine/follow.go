@@ -8,6 +8,7 @@ import (
 	"log"
 	"net/http"
 	"net/url"
+	"sync"
 	"time"
 )
 
@@ -75,19 +76,49 @@ func (e *Engine) followLoop(ctx context.Context) {
 			log.Printf("engine: follower: peer reachable again")
 			errLogged = false
 		}
+		if resp.LastSeq < cursor {
+			// The peer's sequence space regressed — its journal was
+			// recreated (lost disk, fresh volume). Without a reset the
+			// cursor points past everything the new journal will ever
+			// hold and replication silently stops; re-pulling from zero
+			// is safe because applyReplicated skips records the local
+			// cache already holds verbatim.
+			log.Printf("engine: follower: peer journal regressed (last_seq %d < cursor %d), re-pulling from the start",
+				resp.LastSeq, cursor)
+			cursor = 0
+			continue
+		}
+		// Apply the window keeping only the newest record per key (the
+		// same winner compaction would pick), all concurrently: a lone
+		// sequential caller would hand the local journal's group-commit
+		// batcher one record at a time — one fsync per record — while a
+		// concurrent burst lets one fsync cover the whole window.
+		latest := make(map[string]JobResult, len(resp.Records))
 		for _, rec := range resp.Records {
 			key, derr := hex.DecodeString(rec.Key)
 			if derr != nil || len(key) == 0 {
 				log.Printf("engine: follower: bad record key %q (skipped)", rec.Key)
 			} else {
-				e.applyReplicated(key, rec.Result)
+				latest[string(key)] = rec.Result
 			}
 			cursor = rec.Seq
 		}
-		if len(resp.Records) == 0 {
-			// The long poll timed out with nothing new; go straight back
-			// to waiting on the peer.
-			continue
+		var wg sync.WaitGroup
+		for key, r := range latest {
+			wg.Add(1)
+			go func(key string, r JobResult) {
+				defer wg.Done()
+				e.applyReplicated([]byte(key), r)
+			}(key, r)
+		}
+		wg.Wait()
+		// MaxSeq covers records the leader scanned but skipped as
+		// undecodable; advancing past them keeps the follower converging
+		// instead of re-pulling the same window forever. An empty response
+		// (long poll timed out, MaxSeq == cursor) just loops back into the
+		// next wait.
+		if resp.MaxSeq > cursor {
+			cursor = resp.MaxSeq
 		}
 	}
 }

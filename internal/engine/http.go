@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"strconv"
 	"time"
@@ -56,13 +57,17 @@ type healthResponse struct {
 // over-limit submissions are rejected with 429 and a Retry-After header;
 // with Options.ClientRPS set, each X-Client-ID additionally has its own
 // token bucket, and an over-quota client gets 429 + Retry-After before its
-// submission consumes any queue slots.
+// submission consumes any queue slots. Requests without the header are
+// bucketed by remote IP so unrelated anonymous clients don't share (and
+// exhaust) a single quota; the quota is a fairness mechanism for
+// well-behaved clients, not an authentication boundary — a client that
+// rotates header values mints fresh buckets.
 func NewHTTPHandler(e *Engine) http.Handler {
 	limiter := newClientLimiter(e.opt.ClientRPS, e.opt.ClientBurst)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		if limiter != nil {
-			if ok, retry := limiter.allow(r.Header.Get("X-Client-ID")); !ok {
+			if ok, retry := limiter.allow(clientQuotaID(r)); !ok {
 				w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
 				httpError(w, http.StatusTooManyRequests, "client over submission quota")
 				return
@@ -239,6 +244,15 @@ func serveJournalTail(e *Engine, w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	if len(resp.Records) == 0 && resp.MaxSeq > after {
+		// The window was scanned but every record was skipped as
+		// undecodable. A current follower advances its cursor from MaxSeq
+		// as soon as it sees the response, but an older follower ignores
+		// max_seq and would re-poll the same window immediately — so pace
+		// it with a short wait instead of the full long poll (which would
+		// stall cursor advance for current followers).
+		wait = min(wait, time.Second)
+	}
 	if len(resp.Records) == 0 && wait > 0 {
 		timer := time.NewTimer(wait)
 		defer timer.Stop()
@@ -257,6 +271,22 @@ func serveJournalTail(e *Engine, w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// clientQuotaID picks the token-bucket key for one submission: the
+// X-Client-ID header when present, else the remote IP (port stripped, so
+// one host's successive connections share a bucket). The two prefixes
+// keep the namespaces disjoint: no header value — not even one spelling
+// "ip:10.0.0.1" — can land in another host's anonymous bucket.
+func clientQuotaID(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return "hdr:" + id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	return "ip:" + host
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -153,8 +153,10 @@ func (e *Engine) applyReplicated(key []byte, r JobResult) {
 	if cur, ok := e.cache.Get(string(key)); ok && reflect.DeepEqual(cur, r) {
 		return
 	}
-	e.cache.Put(string(key), r)
+	// Durable before published, same order as runTask: once the cache can
+	// serve this result, a crash must not lose it from the local journal.
 	e.journalAppend(string(key), r)
+	e.cache.Put(string(key), r)
 	e.stReplicated.Add(1)
 }
 
@@ -166,9 +168,14 @@ type tailRecord struct {
 	Result JobResult `json:"result"`
 }
 
-// tailResponse is the GET /v1/journal/tail payload.
+// tailResponse is the GET /v1/journal/tail payload. MaxSeq is the highest
+// sequence number scanned for this response — past skipped (undecodable)
+// records as well as returned ones — so a follower advances its cursor
+// even when a whole window fails to decode (build version skew) instead of
+// re-pulling the same records forever.
 type tailResponse struct {
 	LastSeq uint64       `json:"last_seq"`
+	MaxSeq  uint64       `json:"max_seq"`
 	Records []tailRecord `json:"records"`
 }
 
@@ -179,8 +186,9 @@ func (e *Engine) journalTail(after uint64, limit int) (tailResponse, error) {
 	if err != nil {
 		return tailResponse{}, err
 	}
-	resp := tailResponse{LastSeq: last, Records: make([]tailRecord, 0, len(recs))}
+	resp := tailResponse{LastSeq: last, MaxSeq: after, Records: make([]tailRecord, 0, len(recs))}
 	for _, rec := range recs {
+		resp.MaxSeq = rec.Seq // ReadAfter returns records oldest first
 		var r JobResult
 		if jerr := json.Unmarshal(rec.Value, &r); jerr != nil {
 			log.Printf("engine: journal record %d undecodable on tail: %v (skipped)", rec.Seq, jerr)

@@ -262,6 +262,39 @@ func TestFollowerLiveMirroring(t *testing.T) {
 	}
 }
 
+// TestJournalTailAdvancesPastUndecodable pins the replication feed's
+// cursor semantics under build version skew: a window of records that
+// frame correctly but don't decode as JobResults must still advance
+// MaxSeq, or a follower whose every pull lands on such a window re-reads
+// it forever and never converges.
+func TestJournalTailAdvancesPastUndecodable(t *testing.T) {
+	e := New(Options{Workers: 1, JournalDir: t.TempDir()})
+	defer e.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := e.journal.Append([]byte{0xab, byte(i)}, []byte("not a JobResult")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := e.journalTail(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Records) != 0 || resp.MaxSeq != 2 {
+		t.Fatalf("tail over undecodable window: %d records, MaxSeq %d; want 0 records, MaxSeq 2",
+			len(resp.Records), resp.MaxSeq)
+	}
+	// Re-pulling from the advanced cursor finds nothing left to scan —
+	// the follower is past the poison, not stuck on it.
+	resp, err = e.journalTail(resp.MaxSeq, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Records) != 0 || resp.MaxSeq != 2 {
+		t.Fatalf("tail past the window: %d records, MaxSeq %d; want 0 records, MaxSeq 2",
+			len(resp.Records), resp.MaxSeq)
+	}
+}
+
 // TestCloseTimeoutBounded proves a stuck job cannot hang shutdown: Close
 // with a bound returns promptly while an uncancellable long job is still
 // running, and the results computed before the timeout stay durable.

@@ -7,8 +7,10 @@ import (
 )
 
 // maxClientBuckets bounds the limiter's per-client state; when the map is
-// full, fully refilled (idle) buckets are pruned — an active over-quota
-// client can never be evicted into a fresh allowance.
+// full, a small random sample is pruned — idle (fully refilled) buckets
+// first, else the least-recently-seen of the sample is evicted, and that
+// client re-enters at full burst, the price of bounded memory (see
+// pruneLocked).
 const maxClientBuckets = 4096
 
 // clientLimiter is a token-bucket rate limiter keyed by client id (the
@@ -75,17 +77,27 @@ func (l *clientLimiter) allow(id string) (bool, time.Duration) {
 	return false, time.Duration(math.Ceil(need)) * time.Second
 }
 
-// pruneLocked drops buckets that have refilled to burst (idle long enough
-// to be indistinguishable from a fresh client). When none qualify — a
-// flood of unique client ids, each bucket still draining — it evicts the
-// least-recently-seen bucket instead, so the map never exceeds
-// maxClientBuckets; the evicted client re-enters at full burst later,
-// which is the price of bounded memory. Caller holds l.mu.
+// pruneLocked makes room by approximate LRU over a small random sample
+// (Go map iteration order is randomized): sampled buckets that have
+// refilled to burst (idle long enough to be indistinguishable from a
+// fresh client) are deleted; if none qualify — a flood of unique client
+// ids, each bucket still draining — the least-recently-seen of the sample
+// is evicted, so the map never exceeds maxClientBuckets. Sampling keeps
+// the cost O(1) per new client even when the map is full: a full scan
+// here would serialize every submission (including well-behaved clients')
+// behind an O(maxClientBuckets) sweep under l.mu — the exact flood the
+// limiter exists to absorb. The evicted client re-enters at full burst
+// later, which is the price of bounded memory. Caller holds l.mu.
 func (l *clientLimiter) pruneLocked(now time.Time) {
+	const sampleSize = 8
 	var stalest string
 	var stalestLast time.Time
 	removed := false
+	sampled := 0
 	for id, b := range l.buckets {
+		if sampled++; sampled > sampleSize {
+			break
+		}
 		if math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate) >= l.burst {
 			delete(l.buckets, id)
 			removed = true

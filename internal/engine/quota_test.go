@@ -77,6 +77,40 @@ func TestClientQuota(t *testing.T) {
 	}
 }
 
+// TestClientQuotaID checks the bucket key derivation: the X-Client-ID
+// header when present, else the remote IP — so unrelated anonymous
+// clients never drain one shared bucket.
+func TestClientQuotaID(t *testing.T) {
+	a := httptest.NewRequest(http.MethodPost, "/v1/jobs", nil)
+	a.RemoteAddr = "10.1.2.3:5555"
+	b := httptest.NewRequest(http.MethodPost, "/v1/jobs", nil)
+	b.RemoteAddr = "10.1.2.4:6666"
+	if got := clientQuotaID(a); got != "ip:10.1.2.3" {
+		t.Fatalf("anonymous quota id = %q, want ip:10.1.2.3", got)
+	}
+	if clientQuotaID(a) == clientQuotaID(b) {
+		t.Fatal("anonymous clients on different hosts share a bucket")
+	}
+	// Two connections from the same host share one anonymous bucket.
+	a2 := httptest.NewRequest(http.MethodPost, "/v1/jobs", nil)
+	a2.RemoteAddr = "10.1.2.3:7777"
+	if clientQuotaID(a) != clientQuotaID(a2) {
+		t.Fatal("same host's connections got separate anonymous buckets")
+	}
+	a.Header.Set("X-Client-ID", "client-a")
+	if got := clientQuotaID(a); got != "hdr:client-a" {
+		t.Fatalf("header quota id = %q, want hdr:client-a", got)
+	}
+	// Header and anonymous namespaces are disjoint: neither a bare address
+	// nor a forged "ip:"-prefixed header lands in a host's anonymous bucket.
+	for _, forged := range []string{"10.1.2.3", "ip:10.1.2.3"} {
+		b.Header.Set("X-Client-ID", forged)
+		if clientQuotaID(b) == "ip:10.1.2.3" {
+			t.Fatalf("header %q collided with the anonymous bucket", forged)
+		}
+	}
+}
+
 // TestClientQuotaDisabled checks the zero-value path: without ClientRPS
 // every submission passes straight to admission control.
 func TestClientQuotaDisabled(t *testing.T) {

@@ -1,5 +1,10 @@
 package journal
 
+import (
+	"fmt"
+	"io"
+)
+
 // Group-commit batcher: every Append enqueues a request and blocks until
 // its record is written and fsynced. A single committer goroutine drains
 // the queue, so concurrent appenders that arrive while one fsync is in
@@ -20,7 +25,13 @@ type appendRes struct {
 
 // Append durably writes one record and returns its assigned sequence
 // number: when Append returns nil, the record is on disk (fsynced unless
-// Options.NoSync) and visible to ReadAfter/Replay.
+// Options.NoSync) and visible to ReadAfter/Replay. An error means the
+// record was NOT committed and readers will not see it — but, as in any
+// WAL without commit markers, not that it is guaranteed absent from disk:
+// if the error-path rollback itself failed, fully-written frames of the
+// failed batch can survive a restart and recover as committed records
+// (callers needing exactly-once must make records idempotent, as the
+// engine's key->result records are).
 func (j *Journal) Append(key, value []byte) (uint64, error) {
 	req := &appendReq{key: key, value: value, resp: make(chan appendRes, 1)}
 	select {
@@ -85,13 +96,25 @@ func (j *Journal) run() {
 
 // commit writes one batch as consecutive frames, rotating segments at the
 // size threshold, fsyncs once, publishes the new state, and acknowledges
-// every waiter.
+// every waiter. On a write, sync, or rotation error the tail is truncated
+// back to the last published state, so the on-disk log never holds frames
+// whose Append reported failure (phantom records a follower could read, or
+// orphans that a later commit would append after with reused sequence
+// numbers). If that rollback itself fails, the journal is marked failed
+// and refuses all further appends until restart; readers skip anything
+// past the published state. Restart recovery truncates a torn orphan, but
+// fully-written orphan frames are indistinguishable from committed records
+// and recover as such (see the Append contract).
 func (j *Journal) commit(batch []*appendReq) {
 	j.mu.Lock()
-	if j.closed || j.tail == nil {
+	if j.closed || j.tail == nil || j.failed != nil {
+		err := ErrClosed
+		if j.failed != nil {
+			err = j.failed
+		}
 		j.mu.Unlock()
 		for _, req := range batch {
-			req.resp <- appendRes{err: ErrClosed}
+			req.resp <- appendRes{err: err}
 		}
 		return
 	}
@@ -111,17 +134,42 @@ func (j *Journal) commit(batch []*appendReq) {
 		buf = buf[:0]
 	}
 	lastSeq, chain, records := j.lastSeq, j.chain, j.records
+	// published counts the batch entries folded into the journal state
+	// (their records are durable and will be acknowledged with their seqs
+	// even if a later entry fails); stable is the tail size consistent with
+	// that state — the rollback point.
+	published := 0
+	stable := j.tailSize
+	publish := func(upTo int) {
+		j.lastSeq, j.chain, j.records = lastSeq, chain, records
+		for _, req := range batch[published:upTo] {
+			j.keys[string(req.key)]++
+		}
+		if j.oldest == 0 && upTo > 0 {
+			j.oldest = now
+		}
+		published = upTo
+		stable = j.tailSize
+	}
 	for i, req := range batch {
 		if err != nil {
 			break
 		}
 		if j.tailSize+int64(len(buf)) > j.opt.SegmentBytes && (j.tailSize > headerSize || len(buf) > 0) {
 			flush()
+			if err == nil && !j.opt.NoSync {
+				// The frames ahead of the rotation are published (and
+				// acknowledged) below, so they must be durable first.
+				err = j.tail.Sync()
+			}
 			if err == nil {
 				// rotateLocked reads j.lastSeq/j.chain for the new
 				// header, so publish progress before sealing.
-				j.lastSeq, j.chain, j.records = lastSeq, chain, records
+				publish(i)
 				err = j.rotateLocked()
+				if err == nil {
+					stable = j.tailSize
+				}
 			}
 		}
 		if err != nil {
@@ -140,22 +188,46 @@ func (j *Journal) commit(batch []*appendReq) {
 		err = j.tail.Sync()
 	}
 	if err == nil {
-		j.lastSeq, j.chain, j.records = lastSeq, chain, records
-		for _, req := range batch {
-			j.keys[string(req.key)]++
-		}
-		if j.oldest == 0 {
-			j.oldest = now
-		}
+		publish(len(batch))
+	} else {
+		j.rollbackLocked(stable)
+	}
+	if published > 0 {
 		close(j.notify)
 		j.notify = make(chan struct{})
 	}
 	j.mu.Unlock()
 	for i, req := range batch {
-		if err != nil {
-			req.resp <- appendRes{err: err}
-		} else {
+		if i < published {
 			req.resp <- appendRes{seq: seqs[i]}
+		} else {
+			req.resp <- appendRes{err: err}
+		}
+	}
+}
+
+// rollbackLocked discards frames written past the published state after a
+// failed commit: truncate the tail back to stable, reset the write offset
+// (the tail is not opened O_APPEND, so a partial write leaves the offset
+// past the truncation point), and fsync the truncation. Any failure here
+// marks the journal failed so no later commit can write after the orphan
+// frames and reuse their sequence numbers. Caller holds j.mu.
+func (j *Journal) rollbackLocked(stable int64) {
+	fail := func(what string, err error) {
+		j.markFailedLocked(fmt.Errorf("journal: %s during rollback of failed commit: %w", what, err))
+	}
+	if err := j.tail.Truncate(stable); err != nil {
+		fail("truncate", err)
+		return
+	}
+	if _, err := j.tail.Seek(stable, io.SeekStart); err != nil {
+		fail("seek", err)
+		return
+	}
+	j.tailSize = stable
+	if !j.opt.NoSync {
+		if err := j.tail.Sync(); err != nil {
+			fail("sync", err)
 		}
 	}
 }

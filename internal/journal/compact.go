@@ -99,15 +99,19 @@ func (j *Journal) Compact() error {
 			j.oldest = rec.Time
 		}
 	}
+	// The swap is committed; failing to reopen the tail now leaves nothing
+	// to append into, so the journal is marked failed — appenders get this
+	// error instead of a misleading ErrClosed, and readers keep serving the
+	// compacted generation. A restart recovers cleanly.
 	tail := segs[len(segs)-1]
 	f, err := os.OpenFile(tail.path, os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
-		return fmt.Errorf("journal: reopening tail after compaction: %w", err)
+		return j.markFailedLocked(fmt.Errorf("journal: reopening tail after compaction: %w", err))
 	}
 	fi, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return err
+		return j.markFailedLocked(fmt.Errorf("journal: reopening tail after compaction: %w", err))
 	}
 	j.tail = f
 	j.tailSize = fi.Size()

@@ -19,7 +19,9 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"sync"
+	"syscall"
 	"time"
 )
 
@@ -73,10 +75,16 @@ type Journal struct {
 	oldest   int64          // oldest record Time in the generation, 0 when empty
 	notify   chan struct{}  // closed and replaced on every commit
 	closed   bool
+	failed   error // sticky: rollback of a failed commit failed, appends refused
 
-	in   chan *appendReq
-	stop chan struct{}
-	done chan struct{}
+	in        chan *appendReq
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once // guards close(j.stop) for concurrent Close calls
+
+	// lock is the flock-held LOCK file guaranteeing single-process
+	// ownership of dir; the kernel releases it if the process dies.
+	lock *os.File
 
 	// now stamps appended records; tests override it to age records.
 	now func() time.Time
@@ -99,6 +107,21 @@ func Open(dir string, opt Options) (*Journal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	// Exactly one process may own the directory: a second Open's recovery
+	// would truncate the live tail out from under the owner's writes,
+	// corrupting records both processes acknowledged. flock (not a pid
+	// file) so the kernel releases the lock when the owner dies, however
+	// it dies.
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	opened := false
+	defer func() {
+		if !opened {
+			lock.Close()
+		}
+	}()
 	j := &Journal{
 		dir:    dir,
 		opt:    opt,
@@ -108,6 +131,7 @@ func Open(dir string, opt Options) (*Journal, error) {
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 		now:    time.Now,
+		lock:   lock,
 	}
 	m, ok, err := readManifest(dir)
 	if err != nil {
@@ -138,8 +162,23 @@ func Open(dir string, opt Options) (*Journal, error) {
 	if err := j.recover(byGen[j.gen]); err != nil {
 		return nil, err
 	}
+	opened = true
 	go j.run()
 	return j, nil
+}
+
+// lockDir takes an exclusive non-blocking flock on dir's LOCK file. The
+// file is advisory and empty; only the kernel lock matters.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %s is already open in another process: %w", dir, err)
+	}
+	return f, nil
 }
 
 // recover validates the generation's segments and opens the tail for
@@ -222,13 +261,21 @@ func (j *Journal) scanSegment(path string, wantIndex uint64, fn func(Record) err
 	if header.baseSeq <= j.lastSeq {
 		return 0, header, fmt.Errorf("journal: segment base seq %d overlaps last seq %d", header.baseSeq, j.lastSeq)
 	}
+	// The header alone advances the sequence floor: baseSeq was derived
+	// from the sequence counter when the segment was created, so even a
+	// segment holding no records (a compaction that expired everything)
+	// must keep the counter from rewinding — a rewind would hand out
+	// already-used seqs, which the NEXT recovery would then destroy as an
+	// ordering break, losing acknowledged records. This floor also makes
+	// any rec.Seq < baseSeq fall to the ordering check below.
+	j.lastSeq = header.baseSeq - 1
 	off := int64(headerSize)
 	for int(off) < len(data) {
 		rec, n, perr := parseFrame(data[off:])
 		if perr != nil {
 			return off, header, nil // torn/corrupt tail: valid prefix ends here
 		}
-		if rec.Seq <= j.lastSeq || rec.Seq < header.baseSeq {
+		if rec.Seq <= j.lastSeq {
 			return off, header, nil // ordering break: treat as corruption
 		}
 		if ferr := fn(rec); ferr != nil {
@@ -255,37 +302,36 @@ func (j *Journal) sizeOf(path string) int64 {
 }
 
 // createSegmentLocked opens a fresh segment continuing the journal's
-// current chain, sealing and closing the previous tail. Caller holds j.mu
+// current chain, closing the previous tail. The caller must already have
+// fsynced any outgoing-tail frames it intends to acknowledge: commit()
+// syncs before publishing at the rotation boundary, and recover has no
+// open tail — so no (second) seal-sync happens here. Caller holds j.mu
 // (or is Open/recover).
 func (j *Journal) createSegmentLocked(index, baseSeq uint64) error {
-	// Seal the old tail with an fsync first: frames of the in-flight
-	// group commit may have been written (not yet synced) into it, and
-	// Close alone would let a power cut tear records the batch is about
-	// to acknowledge as durable.
-	if j.tail != nil && !j.opt.NoSync {
-		if err := j.tail.Sync(); err != nil {
-			return err
-		}
-	}
 	path := segmentPath(j.dir, j.gen, index)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
 	if err != nil {
 		return err
 	}
+	// A failure past this point must remove the created file: it is not in
+	// j.segs, so leaving it would make every retry of this rotation fail on
+	// O_EXCL — a transient error would permanently disable appends.
+	abort := func(err error) error {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
 	header := segmentHeader{gen: j.gen, index: index, baseSeq: baseSeq, chainIn: j.chain}
 	if _, err := f.Write(header.encode()); err != nil {
-		f.Close()
-		return err
+		return abort(err)
 	}
 	if !j.opt.NoSync {
 		if err := f.Sync(); err != nil {
-			f.Close()
-			return err
+			return abort(err)
 		}
 	}
 	if err := syncDir(j.dir); err != nil {
-		f.Close()
-		return err
+		return abort(err)
 	}
 	if j.tail != nil {
 		j.tail.Close()
@@ -346,11 +392,20 @@ func (j *Journal) replayLocked(after uint64, fn func(Record) error) error {
 	if j.closed {
 		return ErrClosed
 	}
+	// scanned tracks the highest seq accounted for so far (parsed frames
+	// plus whole skipped segments via their baseSeq). Once it reaches
+	// j.lastSeq, every committed record has been seen, so anything further
+	// on disk is leftovers of a failed commit whose rollback also failed —
+	// tolerated like recovery tolerates a torn tail, never delivered.
+	var scanned uint64
 	for i, s := range j.segs {
 		// Skip whole segments the cursor has passed: a segment is
 		// skippable when the next one starts at or before after+1.
 		if i+1 < len(j.segs) && j.segs[i+1].baseSeq <= after+1 {
 			continue
+		}
+		if s.baseSeq > 0 && s.baseSeq-1 > scanned {
+			scanned = s.baseSeq - 1
 		}
 		data, err := os.ReadFile(s.path)
 		if err != nil {
@@ -360,8 +415,15 @@ func (j *Journal) replayLocked(after uint64, fn func(Record) error) error {
 		for off < len(data) {
 			rec, n, perr := parseFrame(data[off:])
 			if perr != nil {
+				if scanned >= j.lastSeq {
+					return nil // unparseable bytes past the published state
+				}
 				return fmt.Errorf("journal: replay hit invalid frame in %s at %d: %w", s.path, off, perr)
 			}
+			if rec.Seq > j.lastSeq {
+				return nil // whole frames past the published state
+			}
+			scanned = rec.Seq
 			if rec.Seq > after {
 				if ferr := fn(rec); ferr != nil {
 					return ferr
@@ -394,24 +456,35 @@ func (j *Journal) ReadAfter(after uint64, limit int) ([]Record, uint64, error) {
 	return out, j.lastSeq, nil
 }
 
+// markFailedLocked records a sticky failure: every later Append is refused
+// with this error until restart, while committed records stay readable.
+// Caller holds j.mu.
+func (j *Journal) markFailedLocked(err error) error {
+	j.failed = err
+	log.Printf("%v (journal refuses appends until restart)", err)
+	return err
+}
+
 // Close flushes pending appends, fsyncs, and closes the journal. Appends
-// issued after Close report ErrClosed.
+// issued after Close report ErrClosed. Close is safe to call from
+// concurrent goroutines; every call blocks until shutdown completes.
 func (j *Journal) Close() error {
-	j.mu.Lock()
-	if j.closed {
-		j.mu.Unlock()
-		return nil
-	}
-	j.mu.Unlock()
-	close(j.stop)
+	j.closeOnce.Do(func() { close(j.stop) })
 	<-j.done
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.closed = true
-	if j.tail != nil {
-		err := j.tail.Close()
-		j.tail = nil
-		return err
+	if j.closed {
+		return nil
 	}
-	return nil
+	j.closed = true
+	var err error
+	if j.tail != nil {
+		err = j.tail.Close()
+		j.tail = nil
+	}
+	if j.lock != nil {
+		j.lock.Close() // releases the flock
+		j.lock = nil
+	}
+	return err
 }

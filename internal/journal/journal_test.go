@@ -3,6 +3,8 @@ package journal
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -250,6 +252,274 @@ func TestCompactDedupesAndPreservesSeqs(t *testing.T) {
 	if recs := collect(t, j2, 0); len(recs) != 31 {
 		t.Fatalf("replayed %d after compaction+restart, want 31", len(recs))
 	}
+}
+
+func TestEmptyCompactionPreservesSeqAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{NoSync: true, MaxAge: time.Hour}
+	j, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1_700_000_000, 0)
+	clock := base
+	j.SetNowFunc(func() time.Time { return clock })
+	appendN(t, j, 0, 10) // seqs 1..10
+	clock = base.Add(2 * time.Hour)
+	if err := j.Compact(); err != nil { // everything expired: empty generation
+		t.Fatal(err)
+	}
+	if recs := collect(t, j, 0); len(recs) != 0 {
+		t.Fatalf("%d records after full-expiry compaction, want 0", len(recs))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restarted journal must not rewind the sequence counter: the
+	// empty tail segment's header baseSeq is the only trace of seqs 1..10.
+	j2, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := j2.Append(key(10), val(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 11 {
+		t.Fatalf("seq after empty-compaction restart = %d, want 11 (counter must not rewind)", seq)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And the record appended after the restart survives the NEXT restart
+	// (a rewound counter would have written seq 1 into a baseSeq-11
+	// segment, which recovery destroys as an ordering break).
+	j3, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	recs := collect(t, j3, 0)
+	if len(recs) != 1 || recs[0].Seq != 11 {
+		t.Fatalf("second restart recovered %d records (want 1 with seq 11)", len(recs))
+	}
+}
+
+func TestCommitRotationErrorKeepsJournalConsistent(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SegmentBytes: 1, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(key(0), val(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Block the next rotation: the segment file the rotation would create
+	// already exists, so createSegmentLocked's O_EXCL open fails mid-commit.
+	blocker := segmentPath(dir, 0, 1)
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(key(1), val(1)); err == nil {
+		t.Fatal("append succeeded despite failed rotation")
+	}
+	// The failed append left no trace: readers see only the acknowledged
+	// record, and its sequence number was not burned.
+	recs, last, err := j.ReadAfter(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || last != 1 {
+		t.Fatalf("after failed append: %d records, last seq %d; want 1, 1", len(recs), last)
+	}
+	if err := os.Remove(blocker); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := j.Append(key(2), val(2))
+	if err != nil {
+		t.Fatalf("append after rotation unblocked: %v", err)
+	}
+	if seq != 2 {
+		t.Fatalf("seq after recovered rotation = %d, want 2", seq)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	recs2 := collect(t, j2, 0)
+	if len(recs2) != 2 || recs2[0].Seq != 1 || recs2[1].Seq != 2 {
+		t.Fatalf("restart recovered %d records (want seqs 1,2)", len(recs2))
+	}
+	if !bytes.Equal(recs2[1].Key, key(2)) {
+		t.Fatalf("second record key %q, want %q", recs2[1].Key, key(2))
+	}
+}
+
+func TestRollbackTruncatesUnpublishedFrames(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, 0, 3)
+	// Simulate the failure shape rollbackLocked exists for: a group commit
+	// that flushed frames into the tail and then errored (e.g. ENOSPC on a
+	// later write or the final sync) before publishing them.
+	j.mu.Lock()
+	stable := j.tailSize
+	orphan := appendFrame(nil, Record{Seq: j.lastSeq + 1, Time: 1, Key: []byte("orphan"), Value: []byte("x")})
+	if _, werr := j.tail.Write(orphan); werr != nil {
+		j.mu.Unlock()
+		t.Fatal(werr)
+	}
+	j.tailSize += int64(len(orphan))
+	j.rollbackLocked(stable)
+	failedErr := j.failed
+	j.mu.Unlock()
+	if failedErr != nil {
+		t.Fatalf("rollback reported failure: %v", failedErr)
+	}
+	// The orphan is gone: the next append reuses its offset and sequence
+	// number cleanly, and nothing phantom is ever read back.
+	seq, err := j.Append(key(3), val(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 4 {
+		t.Fatalf("seq after rollback = %d, want 4", seq)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	recs := collect(t, j2, 0)
+	if len(recs) != 4 {
+		t.Fatalf("recovered %d records, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) || bytes.Equal(rec.Key, []byte("orphan")) {
+			t.Fatalf("record %d: seq %d key %q", i, rec.Seq, rec.Key)
+		}
+	}
+}
+
+func TestFailedRollbackRefusesAppends(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, 0, 2)
+	// Swap the tail for a read-only descriptor on the same file: the
+	// commit's write fails, and so does the rollback's truncate, which must
+	// leave the journal failed rather than risk writing after orphans.
+	j.mu.Lock()
+	good := j.tail
+	ro, oerr := os.Open(j.segs[len(j.segs)-1].path)
+	if oerr != nil {
+		j.mu.Unlock()
+		t.Fatal(oerr)
+	}
+	j.tail = ro
+	j.mu.Unlock()
+	defer good.Close()
+	if _, err := j.Append(key(2), val(2)); err == nil {
+		t.Fatal("append with unwritable tail succeeded")
+	}
+	j.mu.Lock()
+	failedErr := j.failed
+	j.mu.Unlock()
+	if failedErr == nil {
+		t.Fatal("journal not marked failed after rollback failure")
+	}
+	if _, err := j.Append(key(3), val(3)); err == nil || !strings.Contains(err.Error(), "rollback") {
+		t.Fatalf("append on failed journal: %v, want the sticky rollback error", err)
+	}
+	// Committed records stay readable even in the failed state.
+	recs, last, err := j.ReadAfter(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || last != 2 {
+		t.Fatalf("failed journal served %d records, last %d; want 2, 2", len(recs), last)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayToleratesTornOrphanTail(t *testing.T) {
+	j, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	appendN(t, j, 0, 3)
+	// A failed commit whose rollback also failed can leave a torn frame
+	// past the published state; readers must keep serving the committed
+	// prefix rather than erroring on the leftovers.
+	j.mu.Lock()
+	if _, werr := j.tail.Write([]byte{0x55, 0x00, 0x00, 0x00, 0xde, 0xad}); werr != nil {
+		j.mu.Unlock()
+		t.Fatal(werr)
+	}
+	j.mu.Unlock()
+	recs, last, err := j.ReadAfter(0, 0)
+	if err != nil {
+		t.Fatalf("ReadAfter over torn orphan tail: %v", err)
+	}
+	if len(recs) != 3 || last != 3 {
+		t.Fatalf("served %d records, last %d; want 3, 3", len(recs), last)
+	}
+}
+
+func TestOpenLocksDirectory(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2, err := Open(dir, Options{NoSync: true}); err == nil {
+		j2.Close()
+		t.Fatal("second Open of a live journal directory succeeded; its recovery would truncate the owner's tail")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	j3.Close()
+}
+
+func TestCloseConcurrent(t *testing.T) {
+	j, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, 0, 5)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := j.Close(); err != nil {
+				t.Errorf("concurrent close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestCompactAgeAndCountPolicy(t *testing.T) {
