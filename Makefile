@@ -1,11 +1,14 @@
 GO ?= go
 # BENCH_TAG is the single source of the snapshot name; bump it once per PR
 # (CI and cmd/xbarbench both take the name from here).
-BENCH_TAG ?= pr5
+BENCH_TAG ?= pr6
 BENCH_OUT ?= BENCH_$(BENCH_TAG).json
 BENCHTIME ?= 0.5s
+# bench-diff compares against the previous PR's committed snapshot.
+BENCH_BASELINE ?= BENCH_pr5.json
+MAX_DRIFT ?= 0.10
 
-.PHONY: build test bench bench-json vet
+.PHONY: build test bench bench-json bench-diff vet
 
 build: vet
 	$(GO) build ./...
@@ -23,3 +26,10 @@ bench:
 # (ns/op, B/op, allocs/op per benchmark) for the committed perf trajectory.
 bench-json:
 	$(GO) run ./cmd/xbarbench -out $(BENCH_OUT) -benchtime $(BENCHTIME)
+
+# bench-diff is the perf regression gate: bench the tier now and fail when
+# the geomean ns/op drifts more than MAX_DRIFT past BENCH_BASELINE. Only
+# meaningful when the baseline came from the same machine.
+bench-diff:
+	$(GO) run ./cmd/xbarbench -out $(BENCH_OUT) -benchtime $(BENCHTIME) \
+		-compare $(BENCH_BASELINE) -max-drift $(MAX_DRIFT)

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// comparison is the result of diffing two snapshots: per-benchmark ns/op
+// ratios (new/old) over the benches both snapshots contain, and their
+// geometric mean. Geomean is the gate statistic because it weights every
+// bench equally regardless of absolute ns/op scale and cancels symmetric
+// noise (one bench 5% up, another 5% down ≈ 1.0), so it moves only when
+// the tier drifts as a whole.
+type comparison struct {
+	common  []benchDelta
+	geomean float64
+	onlyOld []string
+	onlyNew []string
+}
+
+type benchDelta struct {
+	key   string
+	oldNs float64
+	newNs float64
+	ratio float64 // new/old: > 1 is a regression
+}
+
+func loadSnapshot(path string) (Snapshot, error) {
+	var s Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return s, fmt.Errorf("%s: no benchmarks in snapshot", path)
+	}
+	return s, nil
+}
+
+func benchKey(r Result) string { return r.Package + "." + r.Name }
+
+// compare diffs new against old by package-qualified benchmark name.
+// Benches present on only one side are reported but excluded from the
+// geomean (a renamed or added bench is not a regression).
+func compare(old, new Snapshot) comparison {
+	oldNs := make(map[string]float64, len(old.Benchmarks))
+	for _, r := range old.Benchmarks {
+		if r.NsPerOp > 0 {
+			oldNs[benchKey(r)] = r.NsPerOp
+		}
+	}
+	var c comparison
+	seen := make(map[string]bool, len(new.Benchmarks))
+	logSum := 0.0
+	for _, r := range new.Benchmarks {
+		key := benchKey(r)
+		seen[key] = true
+		prev, ok := oldNs[key]
+		if !ok || r.NsPerOp <= 0 {
+			c.onlyNew = append(c.onlyNew, key)
+			continue
+		}
+		ratio := r.NsPerOp / prev
+		c.common = append(c.common, benchDelta{key: key, oldNs: prev, newNs: r.NsPerOp, ratio: ratio})
+		logSum += math.Log(ratio)
+	}
+	for key := range oldNs {
+		if !seen[key] {
+			c.onlyOld = append(c.onlyOld, key)
+		}
+	}
+	sort.Strings(c.onlyOld)
+	sort.Strings(c.onlyNew)
+	sort.Slice(c.common, func(i, j int) bool { return c.common[i].ratio > c.common[j].ratio })
+	if len(c.common) > 0 {
+		c.geomean = math.Exp(logSum / float64(len(c.common)))
+	}
+	return c
+}
+
+// gate prints the comparison and reports whether the geomean drifted past
+// maxDrift (0.10 = fail beyond +10% mean ns/op). Cross-machine snapshots
+// are noisy — the gate is meant for same-machine same-session pairs (CI
+// benches the base and head of one runner); README documents the caveat.
+func gate(c comparison, maxDrift float64, w *os.File) bool {
+	if len(c.common) == 0 {
+		fmt.Fprintln(w, "xbarbench: no common benchmarks to compare")
+		return false
+	}
+	fmt.Fprintf(w, "xbarbench: %d common benchmarks, geomean ns/op ratio %.4f (gate: <= %.4f)\n",
+		len(c.common), c.geomean, 1+maxDrift)
+	show := c.common
+	if len(show) > 8 {
+		show = show[:8]
+	}
+	for _, d := range show {
+		fmt.Fprintf(w, "  %+7.2f%%  %-60s %10.1f -> %10.1f ns/op\n",
+			100*(d.ratio-1), d.key, d.oldNs, d.newNs)
+	}
+	for _, key := range c.onlyOld {
+		fmt.Fprintf(w, "  only in old snapshot: %s\n", key)
+	}
+	for _, key := range c.onlyNew {
+		fmt.Fprintf(w, "  only in new snapshot: %s\n", key)
+	}
+	if c.geomean > 1+maxDrift {
+		fmt.Fprintf(w, "xbarbench: FAIL: geomean ns/op drifted +%.2f%% (limit +%.2f%%)\n",
+			100*(c.geomean-1), 100*maxDrift)
+		return false
+	}
+	fmt.Fprintf(w, "xbarbench: OK: geomean within limit\n")
+	return true
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"math"
+	"os"
+	"testing"
+)
+
+func snap(ns map[string]float64) Snapshot {
+	var s Snapshot
+	for name, v := range ns {
+		s.Benchmarks = append(s.Benchmarks, Result{Package: "repro/internal/x", Name: name, NsPerOp: v})
+	}
+	return s
+}
+
+func TestCompareGeomean(t *testing.T) {
+	old := snap(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200, "BenchmarkC": 50})
+	// A +21%, B -10%, C unchanged: geomean = (1.21 * 0.9 * 1.0)^(1/3).
+	cur := snap(map[string]float64{"BenchmarkA": 121, "BenchmarkB": 180, "BenchmarkC": 50})
+	c := compare(old, cur)
+	if len(c.common) != 3 {
+		t.Fatalf("common = %d, want 3", len(c.common))
+	}
+	want := math.Pow(1.21*0.9*1.0, 1.0/3)
+	if math.Abs(c.geomean-want) > 1e-9 {
+		t.Fatalf("geomean = %v, want %v", c.geomean, want)
+	}
+	// Sorted worst-first: A leads.
+	if c.common[0].key != "repro/internal/x.BenchmarkA" {
+		t.Fatalf("worst regression = %s", c.common[0].key)
+	}
+}
+
+func TestCompareDisjointBenches(t *testing.T) {
+	old := snap(map[string]float64{"BenchmarkA": 100, "BenchmarkGone": 10})
+	cur := snap(map[string]float64{"BenchmarkA": 100, "BenchmarkNew": 10})
+	c := compare(old, cur)
+	if len(c.common) != 1 || c.geomean != 1 {
+		t.Fatalf("common = %d, geomean = %v; want 1 and 1.0", len(c.common), c.geomean)
+	}
+	if len(c.onlyOld) != 1 || c.onlyOld[0] != "repro/internal/x.BenchmarkGone" {
+		t.Fatalf("onlyOld = %v", c.onlyOld)
+	}
+	if len(c.onlyNew) != 1 || c.onlyNew[0] != "repro/internal/x.BenchmarkNew" {
+		t.Fatalf("onlyNew = %v", c.onlyNew)
+	}
+}
+
+func TestGate(t *testing.T) {
+	old := snap(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100})
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+
+	// +5% on both: geomean 1.05, inside a 10% gate, outside a 2% gate.
+	cur := snap(map[string]float64{"BenchmarkA": 105, "BenchmarkB": 105})
+	if !gate(compare(old, cur), 0.10, null) {
+		t.Error("5% drift failed a 10% gate")
+	}
+	if gate(compare(old, cur), 0.02, null) {
+		t.Error("5% drift passed a 2% gate")
+	}
+	// An empty comparison cannot pass: a gate with nothing to measure
+	// gating nothing would silently approve anything.
+	if gate(compare(snap(nil), snap(nil)), 0.10, null) {
+		t.Error("empty comparison passed the gate")
+	}
+}

@@ -10,6 +10,15 @@
 //
 //	go run ./cmd/xbarbench -out BENCH_pr4.json
 //	make bench-json
+//
+// With -compare it doubles as a regression gate: after benching, the fresh
+// snapshot is diffed against a committed baseline and the process exits
+// non-zero when the geometric-mean ns/op ratio drifts past -max-drift
+// (default +10%). -diff compares two existing snapshots without running
+// anything:
+//
+//	go run ./cmd/xbarbench -out BENCH_new.json -compare BENCH_pr5.json
+//	go run ./cmd/xbarbench -diff BENCH_pr5.json BENCH_new.json
 package main
 
 import (
@@ -63,7 +72,28 @@ func main() {
 	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "0.5s", "go test -benchtime (e.g. 0.5s, 100x)")
 	pkgs := flag.String("packages", "./...", "comma-separated package patterns to bench")
+	baseline := flag.String("compare", "", "after benching, gate against this baseline snapshot (exit 1 past -max-drift)")
+	maxDrift := flag.Float64("max-drift", 0.10, "allowed geomean ns/op drift vs the -compare baseline (0.10 = +10%)")
+	diff := flag.Bool("diff", false, "compare two existing snapshots (args: old.json new.json) without benching")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-diff wants exactly two snapshot paths, got %d", flag.NArg()))
+		}
+		old, err := loadSnapshot(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		cur, err := loadSnapshot(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		if !gate(compare(old, cur), *maxDrift, os.Stderr) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	args := []string{"test", "-run=XXX", "-bench", *bench, "-benchmem", "-benchtime", *benchtime}
 	args = append(args, strings.Split(*pkgs, ",")...)
@@ -105,6 +135,16 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "xbarbench: wrote %d benchmarks to %s\n", len(results), *out)
+
+	if *baseline != "" {
+		old, err := loadSnapshot(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		if !gate(compare(old, snap), *maxDrift, os.Stderr) {
+			os.Exit(1)
+		}
+	}
 }
 
 // parse reads `go test -bench` output, tracking the current package from the

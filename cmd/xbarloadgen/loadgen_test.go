@@ -1,0 +1,170 @@
+package main
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("1:4,8:2,64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.total != 7 || len(m.vals) != 3 || m.vals[2] != "64" || m.weights[2] != 1 {
+		t.Fatalf("parsed mix = %+v", m)
+	}
+	counts := map[string]int{}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 7000; i++ {
+		counts[m.pick(r)]++
+	}
+	// ~4000 / ~2000 / ~1000; generous bounds, the draw is random.
+	if counts["1"] < 3000 || counts["8"] < 1200 || counts["64"] < 500 {
+		t.Fatalf("weighted draw off: %v", counts)
+	}
+	for _, bad := range []string{"", "1:0", "1:x", ":2"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseMetrics(t *testing.T) {
+	body := `# HELP xbar_engine_jobs_total Finished jobs.
+# TYPE xbar_engine_jobs_total counter
+xbar_engine_jobs_total{kind="map-hba",outcome="ok"} 3
+xbar_engine_jobs_total{kind="map-hba",outcome="error"} 1
+xbar_engine_cache_hits_total 7
+`
+	snap, err := parseMetrics(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.sum("xbar_engine_jobs_total", ""); got != 4 {
+		t.Errorf("sum(jobs_total) = %v, want 4", got)
+	}
+	if got := snap.sum("xbar_engine_jobs_total", `outcome="error"`); got != 1 {
+		t.Errorf("sum(jobs_total, error) = %v, want 1", got)
+	}
+	if got := snap.sum("xbar_engine_cache_hits_total", ""); got != 7 {
+		t.Errorf("sum(cache_hits) = %v, want 7", got)
+	}
+	if got := snap.sum("xbar_engine_cache_hits_total", "x"); got != 0 {
+		t.Errorf("label filter on unlabeled series = %v, want 0", got)
+	}
+}
+
+func TestQuantileDur(t *testing.T) {
+	lat := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := quantileDur(lat, 0.5); q != 5 {
+		t.Errorf("p50 = %v, want 5", q)
+	}
+	if q := quantileDur(lat, 1); q != 10 {
+		t.Errorf("max = %v, want 10", q)
+	}
+	if q := quantileDur(nil, 0.5); q != 0 {
+		t.Errorf("empty = %v, want 0", q)
+	}
+}
+
+// TestRunAgainstLiveServer is the end-to-end check: a short closed-loop run
+// against an in-process xbarserver must produce a fully populated SLO
+// report — latencies, rates, and the server-side metrics delta.
+func TestRunAgainstLiveServer(t *testing.T) {
+	e := engine.New(engine.Options{Workers: 2})
+	defer e.Close()
+	srv := httptest.NewServer(engine.NewHTTPHandler(e))
+	defer srv.Close()
+
+	cfg, err := parseFlags([]string{
+		"-url", srv.URL,
+		"-duration", "600ms",
+		"-concurrency", "2",
+		"-batch-sizes", "1:2,2:1",
+		"-kinds", "synthesize-two-level:2,map-hba:1",
+		"-benchmarks", "rd53,misex1",
+		"-spec-space", "4",
+		"-clients", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "closed-loop" {
+		t.Errorf("mode = %q", rep.Mode)
+	}
+	if rep.Requests == 0 || rep.JobsSent < rep.Requests {
+		t.Errorf("requests = %d, jobs = %d", rep.Requests, rep.JobsSent)
+	}
+	if rep.Accepted != rep.Requests {
+		t.Errorf("accepted = %d of %d (errors %d, throttled %d)",
+			rep.Accepted, rep.Requests, rep.Errors, rep.Throttled)
+	}
+	if rep.ErrorRate != 0 {
+		t.Errorf("error rate = %v, want 0", rep.ErrorRate)
+	}
+	if rep.LatencyMS.P99 <= 0 || rep.LatencyMS.Max < rep.LatencyMS.P50 {
+		t.Errorf("latency percentiles unpopulated: %+v", rep.LatencyMS)
+	}
+	if rep.AchievedRPS <= 0 {
+		t.Errorf("achieved rps = %v", rep.AchievedRPS)
+	}
+	if rep.Server == nil {
+		t.Fatal("server-side metrics delta missing")
+	}
+	// The tiny spec space forces repeats within the run, so the server must
+	// have seen cache activity.
+	if rep.Server.CacheHits+rep.Server.CacheMisses == 0 {
+		t.Errorf("no cache lookups recorded: %+v", rep.Server)
+	}
+
+	var buf strings.Builder
+	rep.print(&buf)
+	if !strings.Contains(buf.String(), "latency ms") {
+		t.Errorf("human report missing latency line:\n%s", buf.String())
+	}
+}
+
+// TestRunOpenLoop checks the ticker-paced mode fires roughly the target
+// number of requests and reports the open-loop mode.
+func TestRunOpenLoop(t *testing.T) {
+	e := engine.New(engine.Options{Workers: 2})
+	defer e.Close()
+	srv := httptest.NewServer(engine.NewHTTPHandler(e))
+	defer srv.Close()
+
+	cfg, err := parseFlags([]string{
+		"-url", srv.URL,
+		"-duration", "500ms",
+		"-rps", "40",
+		"-batch-sizes", "1",
+		"-kinds", "synthesize-two-level",
+		"-benchmarks", "rd53",
+		"-spec-space", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "open-loop" || rep.TargetRPS != 40 {
+		t.Errorf("mode = %q, target = %v", rep.Mode, rep.TargetRPS)
+	}
+	// 40 rps for 0.5s ≈ 20 requests; allow wide slop for slow CI machines.
+	if rep.Requests < 5 || rep.Requests > 40 {
+		t.Errorf("open-loop fired %d requests, want ≈20", rep.Requests)
+	}
+	if rep.ErrorRate != 0 {
+		t.Errorf("error rate = %v (errors %d)", rep.ErrorRate, rep.Errors)
+	}
+}

@@ -1,0 +1,376 @@
+// Command xbarloadgen drives synthetic traffic at an xbarserver and prints
+// an SLO report: request-latency percentiles, error and throttle (429)
+// rates, achieved throughput, and the server-side cache hit ratio over the
+// run (scraped from GET /metrics before and after).
+//
+//	xbarloadgen -url http://localhost:8080 -duration 30s -rps 200 \
+//	    -batch-sizes 1:6,8:3,64:1 -kinds synthesize-two-level:3,map-hba:2 \
+//	    -clients 8 -spec-space 256 -out report.json
+//
+// Two pacing modes: with -rps the generator is open-loop (requests fire on
+// a fixed schedule regardless of how slowly the server answers, so queueing
+// delay shows up as latency, not as reduced load); without it the generator
+// is closed-loop (-concurrency workers submit back-to-back, measuring peak
+// sustainable throughput). Job specs are drawn from a bounded space
+// (-spec-space seeds per kind/benchmark mix), so longer runs naturally
+// repeat specs and exercise the server's result cache and singleflight
+// dedup paths.
+//
+// The process exits non-zero when -max-error-rate is set and exceeded,
+// which is how CI turns a smoke run into a gate.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xbarloadgen: ")
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.print(os.Stdout)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if cfg.out != "" {
+		if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote JSON report to %s", cfg.out)
+	} else {
+		fmt.Println(string(data))
+	}
+	if cfg.maxErrorRate >= 0 && rep.ErrorRate > cfg.maxErrorRate {
+		log.Fatalf("error rate %.4f exceeds -max-error-rate %.4f", rep.ErrorRate, cfg.maxErrorRate)
+	}
+}
+
+type config struct {
+	url          string
+	duration     time.Duration
+	rps          float64
+	concurrency  int
+	batchSizes   mix
+	kinds        mix
+	benchmarks   []string
+	clients      int
+	specSpace    int
+	samples      int
+	seed         int64
+	timeout      time.Duration
+	out          string
+	maxErrorRate float64
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("xbarloadgen", flag.ExitOnError)
+	var (
+		cfg        config
+		batchSizes = fs.String("batch-sizes", "1:4,4:3,16:2,64:1", "batch-size mix as size:weight pairs")
+		kinds      = fs.String("kinds", "synthesize-two-level:3,synthesize-multilevel:1,map-hba:2,map-ea:1,monte-carlo-yield:1", "job-kind mix as kind:weight pairs")
+		benchlist  = fs.String("benchmarks", "rd53,squar5,misex1,inc,sqrt8", "benchmark pool (comma-separated built-in names)")
+	)
+	fs.StringVar(&cfg.url, "url", "http://localhost:8080", "xbarserver base URL")
+	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to generate load")
+	fs.Float64Var(&cfg.rps, "rps", 0, "open-loop target request rate (0 = closed loop at -concurrency)")
+	fs.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop workers, and the in-flight cap in open loop")
+	fs.IntVar(&cfg.clients, "clients", 4, "distinct X-Client-ID values to spread submissions across")
+	fs.IntVar(&cfg.specSpace, "spec-space", 256, "distinct seeds per kind/benchmark combination (smaller = more cache hits)")
+	fs.IntVar(&cfg.samples, "samples", 40, "Monte Carlo samples per monte-carlo-yield job")
+	fs.Int64Var(&cfg.seed, "seed", 1, "RNG seed for the traffic mix (runs are reproducible)")
+	fs.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request HTTP timeout")
+	fs.StringVar(&cfg.out, "out", "", "write the JSON report to this file (default: print to stdout)")
+	fs.Float64Var(&cfg.maxErrorRate, "max-error-rate", -1, "exit non-zero when the error rate exceeds this fraction (negative disables)")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	var err error
+	if cfg.batchSizes, err = parseMix(*batchSizes); err != nil {
+		return cfg, fmt.Errorf("-batch-sizes: %w", err)
+	}
+	for _, v := range cfg.batchSizes.vals {
+		if n, err := strconv.Atoi(v); err != nil || n < 1 {
+			return cfg, fmt.Errorf("-batch-sizes: bad size %q (want a positive integer)", v)
+		}
+	}
+	if cfg.kinds, err = parseMix(*kinds); err != nil {
+		return cfg, fmt.Errorf("-kinds: %w", err)
+	}
+	cfg.benchmarks = splitList(*benchlist)
+	if len(cfg.benchmarks) == 0 {
+		return cfg, fmt.Errorf("-benchmarks: empty pool")
+	}
+	if cfg.concurrency < 1 {
+		return cfg, fmt.Errorf("-concurrency must be >= 1")
+	}
+	if cfg.clients < 1 {
+		return cfg, fmt.Errorf("-clients must be >= 1")
+	}
+	if cfg.specSpace < 1 {
+		return cfg, fmt.Errorf("-spec-space must be >= 1")
+	}
+	return cfg, nil
+}
+
+// Report is the JSON SLO report. Latencies are for the POST /v1/jobs
+// submission round trip (the latency a synchronous client observes);
+// server-side execution cost shows up in /metrics, summarized in Server.
+type Report struct {
+	URL       string    `json:"url"`
+	Mode      string    `json:"mode"` // "open-loop" or "closed-loop"
+	TargetRPS float64   `json:"target_rps,omitempty"`
+	Duration  float64   `json:"duration_seconds"`
+	Started   time.Time `json:"started"`
+
+	Requests     int64   `json:"requests"`
+	JobsSent     int64   `json:"jobs_sent"`
+	Accepted     int64   `json:"accepted"`
+	Throttled    int64   `json:"throttled_429"`
+	Errors       int64   `json:"errors"`
+	AchievedRPS  float64 `json:"achieved_rps"`
+	ErrorRate    float64 `json:"error_rate"`
+	ThrottleRate float64 `json:"throttle_rate"`
+
+	LatencyMS percentiles `json:"latency_ms"`
+
+	Server *serverDelta `json:"server,omitempty"`
+}
+
+type percentiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// serverDelta is what the before/after /metrics scrapes say happened on
+// the server during the run.
+type serverDelta struct {
+	JobsCompleted float64 `json:"jobs_completed"`
+	JobsErrored   float64 `json:"jobs_errored"`
+	CacheHits     float64 `json:"cache_hits"`
+	CacheMisses   float64 `json:"cache_misses"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	Deduped       float64 `json:"deduped"`
+	Rejected      float64 `json:"rejected"`
+	QuotaRejected float64 `json:"quota_rejected"`
+}
+
+func (r *Report) print(w io.Writer) {
+	fmt.Fprintf(w, "xbarloadgen %s against %s\n", r.Mode, r.URL)
+	if r.TargetRPS > 0 {
+		fmt.Fprintf(w, "  target rate     %.1f req/s\n", r.TargetRPS)
+	}
+	fmt.Fprintf(w, "  duration        %.1fs\n", r.Duration)
+	fmt.Fprintf(w, "  requests        %d (%d jobs)\n", r.Requests, r.JobsSent)
+	fmt.Fprintf(w, "  achieved rate   %.1f req/s\n", r.AchievedRPS)
+	fmt.Fprintf(w, "  accepted        %d\n", r.Accepted)
+	fmt.Fprintf(w, "  throttled (429) %d (%.2f%%)\n", r.Throttled, 100*r.ThrottleRate)
+	fmt.Fprintf(w, "  errors          %d (%.2f%%)\n", r.Errors, 100*r.ErrorRate)
+	fmt.Fprintf(w, "  latency ms      p50=%.2f p90=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+		r.LatencyMS.P50, r.LatencyMS.P90, r.LatencyMS.P95, r.LatencyMS.P99, r.LatencyMS.Max)
+	if s := r.Server; s != nil {
+		fmt.Fprintf(w, "  server          %0.f jobs completed (%.0f errored), cache hit ratio %.2f%% (%.0f hits / %.0f misses), %.0f deduped\n",
+			s.JobsCompleted, s.JobsErrored, 100*s.CacheHitRatio, s.CacheHits, s.CacheMisses, s.Deduped)
+		if s.Rejected > 0 || s.QuotaRejected > 0 {
+			fmt.Fprintf(w, "  server rejects  %.0f admission, %.0f quota\n", s.Rejected, s.QuotaRejected)
+		}
+	}
+}
+
+// sample is one finished request.
+type sample struct {
+	latency time.Duration
+	status  int // 0 = transport error
+	jobs    int
+}
+
+func run(cfg config) (*Report, error) {
+	client := &http.Client{Timeout: cfg.timeout}
+	before, berr := scrape(client, cfg.url)
+	if berr != nil {
+		log.Printf("pre-run metrics scrape failed: %v (server-side section will be empty)", berr)
+	}
+
+	mode := "closed-loop"
+	if cfg.rps > 0 {
+		mode = "open-loop"
+	}
+	rep := &Report{URL: cfg.url, Mode: mode, TargetRPS: cfg.rps, Started: time.Now()}
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+		inUse   atomic.Int64
+		dropped atomic.Int64
+	)
+	record := func(s sample) {
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	}
+	gen := newSpecGen(cfg)
+	fire := func(r *rand.Rand) {
+		body, jobs, clientID := gen.nextBatch(r)
+		start := time.Now()
+		status := post(client, cfg.url, clientID, body)
+		record(sample{latency: time.Since(start), status: status, jobs: jobs})
+	}
+
+	deadline := time.Now().Add(cfg.duration)
+	var wg sync.WaitGroup
+	if cfg.rps > 0 {
+		// Open loop: a ticker fires requests on schedule; each runs in its
+		// own goroutine so a slow response delays nothing. The -concurrency
+		// flag caps in-flight requests as a self-protection backstop —
+		// beyond it the generator drops sends (and says so) rather than
+		// spawning unbounded goroutines against a stuck server.
+		interval := time.Duration(float64(time.Second) / cfg.rps)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		var n int64
+		for time.Now().Before(deadline) {
+			<-ticker.C
+			if int(inUse.Load()) >= cfg.concurrency*64 {
+				dropped.Add(1)
+				continue
+			}
+			n++
+			seq := n
+			inUse.Add(1)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer inUse.Add(-1)
+				fire(rand.New(rand.NewSource(cfg.seed + seq)))
+			}()
+		}
+	} else {
+		for i := 0; i < cfg.concurrency; i++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(cfg.seed + int64(worker)))
+				for time.Now().Before(deadline) {
+					fire(r)
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(rep.Started)
+	if d := dropped.Load(); d > 0 {
+		log.Printf("open loop: dropped %d sends (in-flight cap %d hit — server much slower than target rate)", d, cfg.concurrency*64)
+	}
+
+	after, aerr := scrape(client, cfg.url)
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("no requests completed within %s", cfg.duration)
+	}
+
+	lat := make([]time.Duration, 0, len(samples))
+	for _, s := range samples {
+		rep.Requests++
+		rep.JobsSent += int64(s.jobs)
+		lat = append(lat, s.latency)
+		switch {
+		case s.status == http.StatusAccepted:
+			rep.Accepted++
+		case s.status == http.StatusTooManyRequests:
+			rep.Throttled++
+		default:
+			rep.Errors++
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	ms := func(q float64) float64 { return float64(quantileDur(lat, q)) / float64(time.Millisecond) }
+	rep.LatencyMS = percentiles{P50: ms(0.50), P90: ms(0.90), P95: ms(0.95), P99: ms(0.99), Max: ms(1)}
+	rep.Duration = elapsed.Seconds()
+	rep.AchievedRPS = float64(rep.Requests) / elapsed.Seconds()
+	rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
+	rep.ThrottleRate = float64(rep.Throttled) / float64(rep.Requests)
+
+	if berr == nil && aerr == nil {
+		rep.Server = diffScrapes(before, after)
+	} else if aerr != nil {
+		log.Printf("post-run metrics scrape failed: %v (server-side section will be empty)", aerr)
+	}
+	return rep, nil
+}
+
+// post submits one batch and returns the HTTP status (0 on transport
+// error). The response body is drained so connections are reused.
+func post(client *http.Client, baseURL, clientID string, body []byte) int {
+	req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return 0
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if clientID != "" {
+		req.Header.Set("X-Client-ID", clientID)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// quantileDur picks the q-th quantile from sorted latencies by
+// nearest-rank (q=1 is the max).
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func diffScrapes(before, after metricsSnapshot) *serverDelta {
+	d := func(family, labelSubstr string) float64 {
+		return after.sum(family, labelSubstr) - before.sum(family, labelSubstr)
+	}
+	s := &serverDelta{
+		JobsCompleted: d("xbar_engine_jobs_total", ""),
+		JobsErrored:   d("xbar_engine_jobs_total", `outcome="error"`),
+		CacheHits:     d("xbar_engine_cache_hits_total", ""),
+		CacheMisses:   d("xbar_engine_cache_misses_total", ""),
+		Deduped:       d("xbar_engine_dedup_total", ""),
+		Rejected:      d("xbar_engine_rejects_total", ""),
+		QuotaRejected: d("xbar_quota_rejects_total", ""),
+	}
+	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
+		s.CacheHitRatio = s.CacheHits / lookups
+	}
+	return s
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// mix is a weighted choice over string values, parsed from
+// "value:weight,value:weight" flag syntax (weight defaults to 1).
+type mix struct {
+	vals    []string
+	weights []int
+	total   int
+}
+
+func parseMix(s string) (mix, error) {
+	var m mix
+	for _, part := range splitList(s) {
+		val, w := part, 1
+		if i := strings.LastIndexByte(part, ':'); i >= 0 {
+			var err error
+			if w, err = strconv.Atoi(part[i+1:]); err != nil || w < 1 {
+				return m, fmt.Errorf("bad weight in %q (want value:positive-int)", part)
+			}
+			val = part[:i]
+		}
+		if val == "" {
+			return m, fmt.Errorf("empty value in %q", s)
+		}
+		m.vals = append(m.vals, val)
+		m.weights = append(m.weights, w)
+		m.total += w
+	}
+	if m.total == 0 {
+		return m, fmt.Errorf("empty mix %q", s)
+	}
+	return m, nil
+}
+
+func (m mix) pick(r *rand.Rand) string {
+	n := r.Intn(m.total)
+	for i, w := range m.weights {
+		if n < w {
+			return m.vals[i]
+		}
+		n -= w
+	}
+	return m.vals[len(m.vals)-1]
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// specGen draws job batches from the configured traffic mix. Specs come
+// from a bounded space — spec-space seeds per kind/benchmark pair — so a
+// sustained run repeats specs and the server's cache-hit and dedup paths
+// carry realistic load, not zero.
+type specGen struct {
+	cfg config
+}
+
+func newSpecGen(cfg config) *specGen { return &specGen{cfg: cfg} }
+
+// nextBatch renders one POST /v1/jobs body, returning it with the job
+// count and the X-Client-ID to submit under.
+func (g *specGen) nextBatch(r *rand.Rand) (body []byte, jobs int, clientID string) {
+	size, err := strconv.Atoi(g.cfg.batchSizes.pick(r))
+	if err != nil || size < 1 {
+		size = 1 // parseFlags validated; defensive for hand-built configs
+	}
+	specs := make([]engine.JobSpec, size)
+	for i := range specs {
+		specs[i] = g.nextSpec(r)
+	}
+	body, err = json.Marshal(struct {
+		Jobs []engine.JobSpec `json:"jobs"`
+	}{specs})
+	if err != nil {
+		panic(err) // specs are plain data; marshal cannot fail
+	}
+	return body, size, fmt.Sprintf("loadgen-%d", r.Intn(g.cfg.clients))
+}
+
+func (g *specGen) nextSpec(r *rand.Rand) engine.JobSpec {
+	spec := engine.JobSpec{
+		Kind:      engine.Kind(g.cfg.kinds.pick(r)),
+		Benchmark: g.cfg.benchmarks[r.Intn(len(g.cfg.benchmarks))],
+	}
+	seed := int64(r.Intn(g.cfg.specSpace)) + 1
+	switch spec.Kind {
+	case engine.SynthTwoLevel, engine.SynthMultiLevel:
+		// Synthesis is deterministic per benchmark; Minimize doubles the
+		// spec space and exercises both code paths.
+		spec.Minimize = seed%2 == 0
+	case engine.MapHBA, engine.MapEA:
+		spec.OpenRate = 0.10
+		spec.Seed = seed
+	case engine.MonteCarloYield:
+		spec.OpenRate = 0.10
+		spec.Samples = g.cfg.samples
+		spec.Seed = seed
+	default:
+		// Unknown kinds pass through: the server answers 202 + per-job
+		// error, which is exactly what a mix typo should surface as.
+		spec.Seed = seed
+	}
+	return spec
+}

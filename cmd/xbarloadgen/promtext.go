@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// metricsSnapshot is one parsed /metrics scrape: every sample line keyed by
+// its full series name (metric name plus label set, exactly as exposed).
+type metricsSnapshot map[string]float64
+
+// parseMetrics reads Prometheus text exposition, keeping sample lines and
+// skipping comments. It understands exactly what the server emits — one
+// `name{labels} value` or `name value` sample per line — which is all a
+// before/after diff needs.
+func parseMetrics(r io.Reader) (metricsSnapshot, error) {
+	snap := make(metricsSnapshot)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value follows the last space; label values never contain one
+		// in this server's exposition (kinds, routes, and reasons are
+		// identifier-like).
+		cut := strings.LastIndexByte(line, ' ')
+		if cut <= 0 {
+			return nil, fmt.Errorf("bad exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[cut+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad sample value in %q: %w", line, err)
+		}
+		snap[strings.TrimSpace(line[:cut])] = v
+	}
+	return snap, sc.Err()
+}
+
+// sum adds every series of one family (exact metric-name match), optionally
+// filtered to series whose label set contains labelSubstr.
+func (s metricsSnapshot) sum(family, labelSubstr string) float64 {
+	var total float64
+	for series, v := range s {
+		name, labels := series, ""
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			name, labels = series[:i], series[i:]
+		}
+		if name != family {
+			continue
+		}
+		if labelSubstr != "" && !strings.Contains(labels, labelSubstr) {
+			continue
+		}
+		total += v
+	}
+	return total
+}
+
+// scrape fetches and parses GET /metrics.
+func scrape(client *http.Client, baseURL string) (metricsSnapshot, error) {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	return parseMetrics(resp.Body)
+}

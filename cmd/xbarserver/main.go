@@ -22,6 +22,9 @@
 //	                             journal records past ?after=N (long-polls
 //	                             with ?wait=25s); requires -journal-dir
 //	GET  /healthz                liveness plus engine counters
+//	GET  /metrics                Prometheus text exposition: engine,
+//	                             journal, HTTP, quota, and replication
+//	                             metric families (see README, Observability)
 //
 // Job kinds: synthesize-two-level, synthesize-multilevel, map-hba, map-ea,
 // monte-carlo-yield. Functions come from a built-in "benchmark" name or

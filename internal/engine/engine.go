@@ -140,6 +140,18 @@ type Stats struct {
 	Errors        int64 `json:"errors"`
 	MaxConcurrent int64 `json:"max_concurrent"`
 	CacheEntries  int   `json:"cache_entries"`
+	// Deduped counts jobs coalesced onto an identical in-flight execution
+	// (they also count as CacheHits when the leader succeeds).
+	Deduped int64 `json:"deduped,omitempty"`
+	// Rejected counts batch submissions refused by admission control
+	// (overload and batch-too-large); QuotaRejected counts submissions the
+	// HTTP layer refused for a per-client quota before they reached
+	// admission.
+	Rejected      int64 `json:"rejected,omitempty"`
+	QuotaRejected int64 `json:"quota_rejected,omitempty"`
+	// QueueDepth and OpenBatches are the live admission-control levels.
+	QueueDepth  int `json:"queue_depth,omitempty"`
+	OpenBatches int `json:"open_batches,omitempty"`
 	// Replicated counts results applied from a followed peer's journal.
 	Replicated int64 `json:"replicated,omitempty"`
 	// JournalRecords and JournalSeq describe the durable job journal when
@@ -165,6 +177,7 @@ type Engine struct {
 	queue   chan *task
 	cache   *resultCache
 	journal *journal.Journal
+	met     *engineMetrics
 
 	workerWG sync.WaitGroup
 	submitWG sync.WaitGroup
@@ -190,15 +203,18 @@ type Engine struct {
 
 	streamStop chan struct{} // guarded by mu; closed and replaced by StopStreams
 
-	nextID       atomic.Int64
-	nextBatch    atomic.Int64
-	stSubmitted  atomic.Int64
-	stCompleted  atomic.Int64
-	stCacheHits  atomic.Int64
-	stErrors     atomic.Int64
-	stActive     atomic.Int64
-	stMaxActive  atomic.Int64
-	stReplicated atomic.Int64
+	nextID        atomic.Int64
+	nextBatch     atomic.Int64
+	stSubmitted   atomic.Int64
+	stCompleted   atomic.Int64
+	stCacheHits   atomic.Int64
+	stErrors      atomic.Int64
+	stActive      atomic.Int64
+	stMaxActive   atomic.Int64
+	stReplicated  atomic.Int64
+	stDeduped     atomic.Int64
+	stRejected    atomic.Int64
+	stQuotaReject atomic.Int64
 }
 
 // flight is one in-progress execution of a job identity, shared by every
@@ -219,6 +235,7 @@ type task struct {
 	out   chan JobResult
 	wg    *sync.WaitGroup
 	batch *batchState
+	enq   time.Time // when the task entered the queue (queue-wait metric)
 }
 
 // New starts an engine. Callers must Close it to release the workers.
@@ -236,7 +253,9 @@ func New(opt Options) *Engine {
 		inflight:   make(map[string]*flight),
 		batches:    make(map[string]*batchState),
 		streamStop: make(chan struct{}),
+		met:        newEngineMetrics(),
 	}
+	e.registerEngineGauges()
 	if opt.CacheSize >= 0 {
 		e.cache = newResultCache(opt.CacheSize, opt.CacheShards)
 	}
@@ -298,17 +317,20 @@ func (e *Engine) Submit(ctx context.Context, specs []JobSpec) (*Batch, error) {
 	}
 	if e.opt.MaxQueuedJobs > 0 && len(specs) > e.opt.MaxQueuedJobs {
 		e.mu.Unlock()
+		e.rejected("batch_too_large")
 		return nil, fmt.Errorf("%w: batch of %d jobs > queue limit %d (split the batch)",
 			ErrBatchTooLarge, len(specs), e.opt.MaxQueuedJobs)
 	}
 	if e.opt.MaxBatches > 0 && e.openBatches >= e.opt.MaxBatches {
 		e.mu.Unlock()
+		e.rejected("overloaded")
 		return nil, fmt.Errorf("%w: %d batches open (limit %d)",
 			ErrOverloaded, e.opt.MaxBatches, e.opt.MaxBatches)
 	}
 	if e.opt.MaxQueuedJobs > 0 && e.queuedJobs+len(specs) > e.opt.MaxQueuedJobs {
 		queued := e.queuedJobs
 		e.mu.Unlock()
+		e.rejected("overloaded")
 		return nil, fmt.Errorf("%w: %d jobs queued and batch adds %d (limit %d)",
 			ErrOverloaded, queued, len(specs), e.opt.MaxQueuedJobs)
 	}
@@ -331,7 +353,7 @@ func (e *Engine) Submit(ctx context.Context, specs []JobSpec) (*Batch, error) {
 	go func() {
 		defer e.submitWG.Done()
 		for i := range specs {
-			t := &task{id: ids[i], spec: specs[i], ctx: ctx, out: out, wg: &wg, batch: bs}
+			t := &task{id: ids[i], spec: specs[i], ctx: ctx, out: out, wg: &wg, batch: bs, enq: time.Now()}
 			select {
 			case e.queue <- t:
 			case <-ctx.Done():
@@ -393,10 +415,17 @@ func (e *Engine) Stats() Stats {
 		Errors:        e.stErrors.Load(),
 		MaxConcurrent: e.stMaxActive.Load(),
 		Replicated:    e.stReplicated.Load(),
+		Deduped:       e.stDeduped.Load(),
+		Rejected:      e.stRejected.Load(),
+		QuotaRejected: e.stQuotaReject.Load(),
 	}
 	if e.cache != nil {
 		s.CacheEntries = e.cache.Len()
 	}
+	e.mu.Lock()
+	s.QueueDepth = e.queuedJobs
+	s.OpenBatches = e.openBatches
+	e.mu.Unlock()
 	s.JournalRecords, s.JournalSeq = e.journalStats()
 	return s
 }
@@ -472,6 +501,7 @@ func (e *Engine) worker() {
 				break
 			}
 		}
+		e.met.observeQueueWait(t.spec.Kind, time.Since(t.enq))
 		e.setRunning(t.id)
 		res := e.runTask(t)
 		e.stActive.Add(-1)
@@ -496,6 +526,7 @@ func (e *Engine) runTask(t *task) JobResult {
 		if e.cache != nil {
 			if r, ok := e.cache.Get(key); ok {
 				e.stCacheHits.Add(1)
+				e.met.cacheHits.Inc()
 				r.ID, r.CacheHit, r.Elapsed = t.id, true, 0
 				return r
 			}
@@ -506,10 +537,13 @@ func (e *Engine) runTask(t *task) JobResult {
 			// Identical work is already running on another worker: wait
 			// for it instead of computing it twice.
 			e.mu.Unlock()
+			e.stDeduped.Add(1)
+			e.met.dedup.Inc()
 			select {
 			case <-fl.done:
 				if fl.res.Err == "" {
 					e.stCacheHits.Add(1)
+					e.met.cacheHits.Inc()
 					r := fl.res
 					r.ID, r.CacheHit, r.Elapsed = t.id, true, 0
 					return r
@@ -531,12 +565,14 @@ func (e *Engine) runTask(t *task) JobResult {
 		fl = &flight{done: make(chan struct{})}
 		e.inflight[key] = fl
 		e.mu.Unlock()
+		e.met.cacheMisses.Inc()
 		// The leader runs the kernel on this worker goroutine, so
 		// concurrent compute never exceeds the Workers cap: cancellation
 		// and deadlines reach cooperative kernels (Monte Carlo) through
 		// ctx, while the uninterruptible synthesis/map kernels run to
 		// completion and report their (possibly late) result.
 		fl.res = Execute(ctx, t.spec)
+		e.met.observeJob(t.spec.Kind, fl.res.Elapsed)
 		fl.ctxFailed = fl.res.Err != "" && ctx.Err() != nil
 		if fl.res.Err == "" && e.cache != nil {
 			// Durable before published: the journal fsync completes before
@@ -561,6 +597,7 @@ func (e *Engine) finish(t *task, r JobResult) {
 		e.stErrors.Add(1)
 	}
 	e.stCompleted.Add(1)
+	e.met.countJob(t.spec.Kind, r.Err)
 	e.mu.Lock()
 	if st, ok := e.status[t.id]; ok {
 		st.Status = StatusDone
@@ -626,6 +663,13 @@ func pruneOrder(order []string, limit int, evictable func(id string) bool, evict
 		kept = append(kept, id)
 	}
 	return kept
+}
+
+// rejected books one admission-control refusal under both counter systems
+// (Stats and /metrics).
+func (e *Engine) rejected(reason string) {
+	e.stRejected.Add(1)
+	e.met.rejects.With(reason).Inc()
 }
 
 func errResult(t *task, err error) JobResult {

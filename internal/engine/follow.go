@@ -61,6 +61,7 @@ func (e *Engine) followLoop(ctx context.Context) {
 			if ctx.Err() != nil {
 				return
 			}
+			e.met.replPullErrs.Inc()
 			if !errLogged {
 				log.Printf("engine: follower: %v (will keep retrying every %s)", err, interval)
 				errLogged = true
@@ -120,6 +121,9 @@ func (e *Engine) followLoop(ctx context.Context) {
 		if resp.MaxSeq > cursor {
 			cursor = resp.MaxSeq
 		}
+		e.met.replCursor.Set(int64(cursor))
+		e.met.replLeader.Set(int64(resp.LastSeq))
+		e.met.replLag.Set(int64(resp.LastSeq) - int64(cursor))
 	}
 }
 

@@ -50,6 +50,9 @@ type healthResponse struct {
 //	                              cursor (?after=N&limit=M&wait=25s), the
 //	                              follower-replication feed
 //	GET  /healthz                 -> {"status":"ok","stats":{...}}
+//	GET  /metrics                 -> Prometheus text exposition of the
+//	                              engine's registry (engine, journal, HTTP,
+//	                              quota, and replication families)
 //
 // Submission is asynchronous: the response returns as soon as the batch is
 // queued, and clients stream the batch id (or poll job ids — identical jobs
@@ -65,9 +68,21 @@ type healthResponse struct {
 func NewHTTPHandler(e *Engine) http.Handler {
 	limiter := newClientLimiter(e.opt.ClientRPS, e.opt.ClientBurst)
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+	// handle registers one route with per-route latency and status-count
+	// instrumentation; the route label is the pattern, so cardinality is
+	// fixed regardless of path values.
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			sw := &statusWriter{ResponseWriter: w}
+			h(sw, r)
+			e.met.observeHTTP(route, sw.status(), time.Since(start))
+		})
+	}
+	handle("POST /v1/jobs", "/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		if limiter != nil {
 			if ok, retry := limiter.allow(clientQuotaID(r)); !ok {
+				e.quotaRejected(r)
 				w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
 				httpError(w, http.StatusTooManyRequests, "client over submission quota")
 				return
@@ -111,7 +126,7 @@ func NewHTTPHandler(e *Engine) http.Handler {
 		}()
 		writeJSON(w, http.StatusAccepted, submitResponse{BatchID: b.ID, JobIDs: b.IDs})
 	})
-	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/jobs/{id}", "/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, ok := e.Job(r.PathValue("id"))
 		if !ok {
 			httpError(w, http.StatusNotFound, "unknown job id")
@@ -119,16 +134,70 @@ func NewHTTPHandler(e *Engine) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, st)
 	})
-	mux.HandleFunc("GET /v1/batches/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/batches/{id}/events", "/v1/batches/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		serveBatchEvents(e, w, r)
 	})
-	mux.HandleFunc("GET /v1/journal/tail", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/journal/tail", "/v1/journal/tail", func(w http.ResponseWriter, r *http.Request) {
 		serveJournalTail(e, w, r)
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /healthz", "/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Stats: e.Stats()})
 	})
+	// The scrape itself is deliberately not instrumented: a request-latency
+	// series for /metrics would grow the exposition it is measuring.
+	mux.Handle("GET /metrics", e.met.reg.Handler())
 	return mux
+}
+
+// statusWriter records the response status for the per-route request
+// counters. It forwards Flush so the SSE endpoint still reaches the real
+// http.Flusher through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// status is the effective response code: a handler that never wrote (the
+// client disconnected mid-long-poll) counts as 200, matching what net/http
+// would have sent.
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// quotaRejected books one submission bounced by the per-client quota,
+// labeled by bucket namespace (authenticated header vs anonymous IP) so a
+// noisy-anonymous-traffic problem is distinguishable from a misbehaving
+// identified client.
+func (e *Engine) quotaRejected(r *http.Request) {
+	e.stQuotaReject.Add(1)
+	kind := "ip"
+	if r.Header.Get("X-Client-ID") != "" {
+		kind = "hdr"
+	}
+	e.met.quotaRejects.With(kind).Inc()
 }
 
 // serveBatchEvents streams a batch's job results as Server-Sent Events.
@@ -152,6 +221,8 @@ func serveBatchEvents(e *Engine, w http.ResponseWriter, r *http.Request) {
 	h.Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
+	e.met.sseSubs.Inc()
+	defer e.met.sseSubs.Dec()
 	stop := e.streamStopChan()
 	// A reconnecting SSE client sends the last event id it processed;
 	// resume past it so reconnects keep the exactly-once delivery.

@@ -33,6 +33,7 @@ func (e *Engine) openJournal() {
 		NoSync:       e.opt.JournalNoSync,
 		MaxAge:       e.opt.JournalMaxAge,
 		MaxRecords:   e.opt.JournalMaxRecords,
+		Metrics:      e.met.reg,
 	})
 	if err != nil {
 		log.Printf("engine: opening journal in %s: %v (running WITHOUT durability)", e.opt.JournalDir, err)
@@ -151,6 +152,7 @@ func (e *Engine) applyReplicated(key []byte, r JobResult) {
 	}
 	r = canonicalResult(r)
 	if cur, ok := e.cache.Get(string(key)); ok && reflect.DeepEqual(cur, r) {
+		e.met.replSkipped.Inc()
 		return
 	}
 	// Durable before published, same order as runTask: once the cache can
@@ -158,6 +160,7 @@ func (e *Engine) applyReplicated(key []byte, r JobResult) {
 	e.journalAppend(string(key), r)
 	e.cache.Put(string(key), r)
 	e.stReplicated.Add(1)
+	e.met.replApplied.Inc()
 }
 
 // tailRecord is the wire form of one journal record on the replication

@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// engineMetrics holds every instrument the engine's hot paths record into.
+// One instance (and one metrics.Registry) lives per Engine; cmd/xbarserver
+// exposes the registry at GET /metrics. Per-kind histogram children are
+// resolved once at construction so the worker loop does an atomic add per
+// observation, not a map lookup under a lock.
+type engineMetrics struct {
+	reg *metrics.Registry
+
+	queueWait *metrics.HistogramVec // kind
+	jobSecs   *metrics.HistogramVec // kind
+	jobs      *metrics.CounterVec   // kind, outcome
+
+	queueWaitByKind map[Kind]*metrics.Histogram
+	jobSecsByKind   map[Kind]*metrics.Histogram
+
+	cacheHits   *metrics.Counter
+	cacheMisses *metrics.Counter
+	dedup       *metrics.Counter
+	rejects     *metrics.CounterVec // reason
+
+	httpSeconds  *metrics.HistogramVec // route
+	httpRequests *metrics.CounterVec   // route, code
+	sseSubs      *metrics.Gauge
+	quotaRejects *metrics.CounterVec // key ("hdr" or "ip")
+
+	replApplied  *metrics.Counter
+	replSkipped  *metrics.Counter
+	replPullErrs *metrics.Counter
+	replCursor   *metrics.Gauge
+	replLeader   *metrics.Gauge
+	replLag      *metrics.Gauge
+}
+
+// knownKinds is the fixed set of job kinds, used to pre-resolve per-kind
+// histogram children off the hot path.
+var knownKinds = []Kind{SynthTwoLevel, SynthMultiLevel, MapHBA, MapEA, MonteCarloYield}
+
+func newEngineMetrics() *engineMetrics {
+	reg := metrics.NewRegistry()
+	m := &engineMetrics{
+		reg: reg,
+		queueWait: reg.NewHistogramVec("xbar_engine_queue_wait_seconds",
+			"Time from batch admission to a worker picking the job up.",
+			nil, "kind"),
+		jobSecs: reg.NewHistogramVec("xbar_engine_job_seconds",
+			"Kernel execution time of jobs actually run (cache hits and dedup waits excluded).",
+			nil, "kind"),
+		jobs: reg.NewCounterVec("xbar_engine_jobs_total",
+			"Finished jobs by kind and outcome.", "kind", "outcome"),
+		cacheHits: reg.NewCounter("xbar_engine_cache_hits_total",
+			"Jobs answered from the result cache (dedup waits on an identical in-flight job included)."),
+		cacheMisses: reg.NewCounter("xbar_engine_cache_misses_total",
+			"Jobs that ran a kernel because no cached result existed."),
+		dedup: reg.NewCounter("xbar_engine_dedup_total",
+			"Jobs coalesced onto an identical in-flight execution instead of running twice."),
+		rejects: reg.NewCounterVec("xbar_engine_rejects_total",
+			"Batch submissions refused by admission control, by reason.", "reason"),
+		httpSeconds: reg.NewHistogramVec("xbar_http_request_seconds",
+			"HTTP request latency by route (SSE streams observe their whole lifetime).",
+			nil, "route"),
+		httpRequests: reg.NewCounterVec("xbar_http_requests_total",
+			"HTTP responses by route and status code.", "route", "code"),
+		sseSubs: reg.NewGauge("xbar_http_sse_subscribers",
+			"Currently connected Server-Sent-Events subscribers."),
+		quotaRejects: reg.NewCounterVec("xbar_quota_rejects_total",
+			"Submissions refused by the per-client quota, by bucket key kind (hdr = X-Client-ID, ip = remote address).",
+			"key"),
+		replApplied: reg.NewCounter("xbar_replication_applied_total",
+			"Records replicated from the followed peer and applied locally."),
+		replSkipped: reg.NewCounter("xbar_replication_skipped_total",
+			"Replicated records skipped because the local cache already held them verbatim."),
+		replPullErrs: reg.NewCounter("xbar_replication_pull_errors_total",
+			"Failed tail pulls against the followed peer."),
+		replCursor: reg.NewGauge("xbar_replication_cursor",
+			"The follower's replication cursor (highest peer sequence number applied or skipped)."),
+		replLeader: reg.NewGauge("xbar_replication_leader_seq",
+			"The followed peer's newest committed journal sequence number, as of the last pull."),
+		replLag: reg.NewGauge("xbar_replication_lag",
+			"Records the follower still trails the leader by (leader_seq - cursor)."),
+	}
+	m.queueWaitByKind = make(map[Kind]*metrics.Histogram, len(knownKinds))
+	m.jobSecsByKind = make(map[Kind]*metrics.Histogram, len(knownKinds))
+	for _, k := range knownKinds {
+		m.queueWaitByKind[k] = m.queueWait.With(string(k))
+		m.jobSecsByKind[k] = m.jobSecs.With(string(k))
+	}
+	return m
+}
+
+// registerEngineGauges installs the scrape-time gauges that read live
+// engine state. Split from newEngineMetrics because the closures need the
+// Engine, which needs the metrics first.
+func (e *Engine) registerEngineGauges() {
+	reg := e.met.reg
+	reg.NewGaugeFunc("xbar_engine_workers",
+		"Size of the worker pool.", func() float64 { return float64(e.opt.Workers) })
+	reg.NewGaugeFunc("xbar_engine_active_workers",
+		"Workers currently executing a job.", func() float64 { return float64(e.stActive.Load()) })
+	reg.NewGaugeFunc("xbar_engine_queue_depth",
+		"Jobs admitted but not yet finished.", func() float64 {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return float64(e.queuedJobs)
+		})
+	reg.NewGaugeFunc("xbar_engine_open_batches",
+		"Batches submitted but not fully finished.", func() float64 {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return float64(e.openBatches)
+		})
+	reg.NewGaugeFunc("xbar_engine_cache_entries",
+		"Entries in the result cache.", func() float64 {
+			if e.cache == nil {
+				return 0
+			}
+			return float64(e.cache.Len())
+		})
+}
+
+// Metrics returns the engine's metrics registry; cmd/xbarserver serves it
+// at GET /metrics, and library callers can render or inspect it directly.
+func (e *Engine) Metrics() *metrics.Registry { return e.met.reg }
+
+func (m *engineMetrics) observeQueueWait(k Kind, d time.Duration) {
+	h, ok := m.queueWaitByKind[k]
+	if !ok {
+		h = m.queueWait.With(string(k))
+	}
+	h.Observe(d.Seconds())
+}
+
+func (m *engineMetrics) observeJob(k Kind, d time.Duration) {
+	h, ok := m.jobSecsByKind[k]
+	if !ok {
+		h = m.jobSecs.With(string(k))
+	}
+	h.Observe(d.Seconds())
+}
+
+func (m *engineMetrics) countJob(k Kind, errStr string) {
+	outcome := "ok"
+	if errStr != "" {
+		outcome = "error"
+	}
+	m.jobs.With(string(k), outcome).Inc()
+}
+
+// observeHTTP records one finished request (or stream) on a route.
+func (m *engineMetrics) observeHTTP(route string, code int, d time.Duration) {
+	m.httpSeconds.With(route).Observe(d.Seconds())
+	m.httpRequests.With(route, strconv.Itoa(code)).Inc()
+}

@@ -3,6 +3,7 @@ package journal
 import (
 	"fmt"
 	"io"
+	"time"
 )
 
 // Group-commit batcher: every Append enqueues a request and blocks until
@@ -106,6 +107,7 @@ func (j *Journal) run() {
 // fully-written orphan frames are indistinguishable from committed records
 // and recover as such (see the Append contract).
 func (j *Journal) commit(batch []*appendReq) {
+	start := time.Now()
 	j.mu.Lock()
 	if j.closed || j.tail == nil || j.failed != nil {
 		err := ErrClosed
@@ -113,6 +115,7 @@ func (j *Journal) commit(batch []*appendReq) {
 			err = j.failed
 		}
 		j.mu.Unlock()
+		j.met.countRefused(len(batch))
 		for _, req := range batch {
 			req.resp <- appendRes{err: err}
 		}
@@ -142,8 +145,17 @@ func (j *Journal) commit(batch []*appendReq) {
 	stable := j.tailSize
 	publish := func(upTo int) {
 		j.lastSeq, j.chain, j.records = lastSeq, chain, records
-		for _, req := range batch[published:upTo] {
+		for i := published; i < upTo; i++ {
+			req := batch[i]
 			j.keys[string(req.key)]++
+			// The ring owns copies: the appender's key/value slices are the
+			// caller's to reuse once Append returns.
+			j.ring.push(Record{
+				Seq:   seqs[i],
+				Time:  now,
+				Key:   append([]byte(nil), req.key...),
+				Value: append([]byte(nil), req.value...),
+			})
 		}
 		if j.oldest == 0 && upTo > 0 {
 			j.oldest = now
@@ -197,6 +209,7 @@ func (j *Journal) commit(batch []*appendReq) {
 		j.notify = make(chan struct{})
 	}
 	j.mu.Unlock()
+	j.met.observeCommit(time.Since(start), len(batch), published)
 	for i, req := range batch {
 		if i < published {
 			req.resp <- appendRes{seq: seqs[i]}

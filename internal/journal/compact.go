@@ -22,6 +22,13 @@ var compactCrashHook func() error
 // by policy. Appends block for the duration (compaction holds the journal
 // lock), which keeps the swap trivially consistent.
 func (j *Journal) Compact() error {
+	start := time.Now()
+	err := j.compact()
+	j.met.observeCompact(time.Since(start), err)
+	return err
+}
+
+func (j *Journal) compact() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
@@ -99,6 +106,10 @@ func (j *Journal) Compact() error {
 			j.oldest = rec.Time
 		}
 	}
+	// Keep the tail ring mirroring the on-disk state: records compaction
+	// dropped (superseded or expired) leave the ring too, so ring-served
+	// and scan-served tail reads agree.
+	j.ring.rebuild(live)
 	// The swap is committed; failing to reopen the tail now leaves nothing
 	// to append into, so the journal is marked failed — appenders get this
 	// error instead of a misleading ErrClosed, and readers keep serving the

@@ -23,6 +23,8 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Options tunes a journal.
@@ -40,6 +42,16 @@ type Options struct {
 	// MaxRecords keeps only the newest this-many live records at
 	// compaction; zero keeps all.
 	MaxRecords int
+	// RingRecords bounds the in-memory ring of recent committed records
+	// that answers tail reads (ReadAfter) without re-reading segment files
+	// under the journal lock; zero means DefaultRingRecords, negative
+	// disables the ring (every tail read scans files).
+	RingRecords int
+	// Metrics, when non-nil, registers the journal's instrument families
+	// (commit latency by sync mode, group-commit batch size, append/
+	// compaction outcomes, seq/records/segments gauges, tail-read sources)
+	// on this registry. The engine passes its per-engine registry through.
+	Metrics *metrics.Registry
 }
 
 const (
@@ -74,8 +86,11 @@ type Journal struct {
 	keys     map[string]int // on-disk record count per key (dup detection)
 	oldest   int64          // oldest record Time in the generation, 0 when empty
 	notify   chan struct{}  // closed and replaced on every commit
+	ring     *recordRing    // recent committed records; nil when disabled
 	closed   bool
 	failed   error // sticky: rollback of a failed commit failed, appends refused
+
+	met *journalMetrics // nil-safe instrument set (nil without Options.Metrics)
 
 	in        chan *appendReq
 	stop      chan struct{}
@@ -132,6 +147,14 @@ func Open(dir string, opt Options) (*Journal, error) {
 		done:   make(chan struct{}),
 		now:    time.Now,
 		lock:   lock,
+		met:    newJournalMetrics(opt.Metrics, opt.NoSync),
+	}
+	ringCap := opt.RingRecords
+	if ringCap == 0 {
+		ringCap = DefaultRingRecords
+	}
+	if ringCap > 0 {
+		j.ring = newRecordRing(ringCap)
 	}
 	m, ok, err := readManifest(dir)
 	if err != nil {
@@ -162,6 +185,9 @@ func Open(dir string, opt Options) (*Journal, error) {
 	if err := j.recover(byGen[j.gen]); err != nil {
 		return nil, err
 	}
+	if opt.Metrics != nil {
+		j.registerGauges(opt.Metrics)
+	}
 	opened = true
 	go j.run()
 	return j, nil
@@ -189,7 +215,12 @@ func lockDir(dir string) (*os.File, error) {
 func (j *Journal) recover(segs []segmentInfo) error {
 	kept := segs[:0]
 	for i, s := range segs {
-		valid, header, err := j.scanSegment(s.path, s.index, func(Record) error { return nil })
+		// Recovery seeds the tail ring with the newest committed records,
+		// so tail reads serve from memory from the first request.
+		valid, header, err := j.scanSegment(s.path, s.index, func(rec Record) error {
+			j.ring.push(rec)
+			return nil
+		})
 		if err != nil {
 			log.Printf("journal: dropping segment %s and all after it: %v", s.path, err)
 			for _, drop := range segs[i:] {
@@ -437,10 +468,22 @@ func (j *Journal) replayLocked(after uint64, fn func(Record) error) error {
 
 // ReadAfter returns up to limit committed records with Seq > after, oldest
 // first, plus the journal's newest committed sequence number. limit <= 0
-// means no bound.
+// means no bound. Cursors within the tail ring's window (the common case:
+// a caught-up follower trails by at most one pull) are answered from
+// memory; older cursors fall back to a segment-file scan under the journal
+// lock. Returned records may share backing memory with the ring; callers
+// must treat Key and Value as read-only.
 func (j *Journal) ReadAfter(after uint64, limit int) ([]Record, uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.closed {
+		return nil, 0, ErrClosed
+	}
+	if j.ring.covers(after) {
+		j.met.countTailRead(true)
+		return j.ring.readAfter(after, limit), j.lastSeq, nil
+	}
+	j.met.countTailRead(false)
 	var out []Record
 	errStop := errors.New("journal: read limit")
 	err := j.replayLocked(after, func(rec Record) error {

@@ -1,0 +1,126 @@
+package journal
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// journalMetrics holds the journal's instruments, registered on the
+// caller's registry when Options.Metrics is set (the engine passes its
+// per-engine registry through). All methods are nil-safe so the hot paths
+// record unconditionally; a journal opened without a registry pays one nil
+// check per event.
+type journalMetrics struct {
+	commitSecs    *metrics.Histogram // pre-resolved for this journal's sync mode
+	commitRecords *metrics.Histogram
+	appends       *metrics.Counter
+	appendErrs    *metrics.Counter
+	compactions   *metrics.Counter
+	compactErrs   *metrics.Counter
+	compactSecs   *metrics.Histogram
+	tailRing      *metrics.Counter
+	tailScan      *metrics.Counter
+}
+
+// commitBatchBuckets sizes the group-commit batch histogram: powers of two
+// up to the default batch cap.
+var commitBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// newJournalMetrics registers the journal families. The sync label on the
+// commit latency histogram is fixed per journal (fsync vs nosync is an
+// Options decision, not a per-append one), so the child is resolved once.
+func newJournalMetrics(reg *metrics.Registry, noSync bool) *journalMetrics {
+	if reg == nil {
+		return nil
+	}
+	syncLabel := "fsync"
+	if noSync {
+		syncLabel = "nosync"
+	}
+	commitSecs := reg.NewHistogramVec("xbar_journal_commit_seconds",
+		"Group-commit latency (write + fsync of one batch), by sync mode.",
+		metrics.ExponentialBuckets(10e-6, 4, 10), "sync")
+	appends := reg.NewCounterVec("xbar_journal_appends_total",
+		"Appended records by result (an errored append was not committed).", "result")
+	compactions := reg.NewCounterVec("xbar_journal_compactions_total",
+		"Compaction runs by result.", "result")
+	tailReads := reg.NewCounterVec("xbar_journal_tail_reads_total",
+		"ReadAfter calls by source: served from the in-memory ring of recent records, or from a segment-file scan under the journal lock.",
+		"source")
+	return &journalMetrics{
+		commitSecs: commitSecs.With(syncLabel),
+		commitRecords: reg.NewHistogram("xbar_journal_commit_records",
+			"Records per group commit (batching emerges from backlog).",
+			commitBatchBuckets),
+		appends:    appends.With("ok"),
+		appendErrs: appends.With("error"),
+		compactSecs: reg.NewHistogram("xbar_journal_compact_seconds",
+			"Compaction duration (appends block for it).",
+			metrics.ExponentialBuckets(100e-6, 4, 10)),
+		compactions: compactions.With("ok"),
+		compactErrs: compactions.With("error"),
+		tailRing:    tailReads.With("ring"),
+		tailScan:    tailReads.With("scan"),
+	}
+}
+
+// registerGauges installs scrape-time views of the journal's live state.
+// Called once from Open after j is fully constructed; the closures take
+// j.mu, so a scrape briefly queues behind an in-flight group commit.
+func (j *Journal) registerGauges(reg *metrics.Registry) {
+	reg.NewGaugeFunc("xbar_journal_last_seq",
+		"Newest committed journal sequence number (the follower cursor high-water mark).",
+		func() float64 { return float64(j.LastSeq()) })
+	reg.NewGaugeFunc("xbar_journal_records",
+		"Records on disk in the active generation (superseded duplicates included until compaction).",
+		func() float64 { return float64(j.Records()) })
+	reg.NewGaugeFunc("xbar_journal_segments",
+		"Segment files in the active generation.",
+		func() float64 { return float64(j.Segments()) })
+}
+
+func (m *journalMetrics) observeCommit(d time.Duration, batch, published int) {
+	if m == nil {
+		return
+	}
+	m.commitSecs.Observe(d.Seconds())
+	m.commitRecords.Observe(float64(batch))
+	m.appends.Add(int64(published))
+	if batch > published {
+		m.appendErrs.Add(int64(batch - published))
+	}
+}
+
+// countRefused books appends bounced without a commit attempt (journal
+// closed or sticky-failed); no latency observation, the batch never
+// touched disk.
+func (m *journalMetrics) countRefused(n int) {
+	if m == nil {
+		return
+	}
+	m.appendErrs.Add(int64(n))
+}
+
+func (m *journalMetrics) observeCompact(d time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	m.compactSecs.Observe(d.Seconds())
+	if err != nil {
+		m.compactErrs.Inc()
+	} else {
+		m.compactions.Inc()
+	}
+}
+
+func (m *journalMetrics) countTailRead(fromRing bool) {
+	if m == nil {
+		return
+	}
+	if fromRing {
+		m.tailRing.Inc()
+	} else {
+		m.tailScan.Inc()
+	}
+}

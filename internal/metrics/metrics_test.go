@@ -1,0 +1,213 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact Prometheus text rendering of one
+// registry holding every instrument shape: an external scraper parses this
+// byte-for-byte, so format drift is a wire-compatibility break, not a
+// cosmetic one.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_ops_total", "Total operations.")
+	c.Add(3)
+	g := r.NewGauge("test_depth", "Current depth.")
+	g.Set(-2)
+	r.NewGaugeFunc("test_pulled", "Pulled at scrape.", func() float64 { return 7.5 })
+	cv := r.NewCounterVec("test_rejects_total", "Rejects by reason.", "reason")
+	cv.With("overloaded").Add(2)
+	cv.With("quota").Inc()
+	h := r.NewHistogram("test_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_ops_total Total operations.
+# TYPE test_ops_total counter
+test_ops_total 3
+# HELP test_depth Current depth.
+# TYPE test_depth gauge
+test_depth -2
+# HELP test_pulled Pulled at scrape.
+# TYPE test_pulled gauge
+test_pulled 7.5
+# HELP test_rejects_total Rejects by reason.
+# TYPE test_rejects_total counter
+test_rejects_total{reason="overloaded"} 2
+test_rejects_total{reason="quota"} 1
+# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.1"} 1
+test_latency_seconds_bucket{le="1"} 3
+test_latency_seconds_bucket{le="+Inf"} 4
+test_latency_seconds_sum 6.05
+test_latency_seconds_count 4
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestHistogramBuckets checks boundary placement: le buckets are inclusive
+// upper bounds, values past the last bound land in +Inf only.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 4, 4.5, 100} {
+		h.Observe(v)
+	}
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	// Non-cumulative: (<=1): 0.5, 1 -> 2; (<=2): 1.0000001, 2 -> 2;
+	// (<=4): 4 -> 1; +Inf: 4.5, 100 -> 2.
+	want := []int64{2, 2, 1, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, counts[i], want[i])
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("Count = %d, want 7", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+1.0000001+2+4+4.5+100; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h", "", []float64{10, 20, 40})
+	if h.Quantile(0.99) != 0 {
+		t.Errorf("empty quantile = %v, want 0", h.Quantile(0.99))
+	}
+	// 100 observations uniform in (0,10]: p50 interpolates to ~5 within
+	// the first bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("p50 = %v, want 5", got)
+	}
+	// Push 100 more into (10,20]; p99 now lands in the second bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(15)
+	}
+	if got := h.Quantile(0.99); got <= 10 || got > 20 {
+		t.Errorf("p99 = %v, want within (10,20]", got)
+	}
+	// A quantile past every finite bound reports the last finite bound.
+	h.Observe(1000)
+	if got := h.Quantile(1); got != 40 {
+		t.Errorf("p100 = %v, want 40 (last finite bound)", got)
+	}
+}
+
+// TestConcurrentScrape hammers every instrument kind from parallel
+// goroutines while scraping; run under -race this is the data-race proof
+// for the lock-free update paths.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	g := r.NewGauge("g", "")
+	cv := r.NewCounterVec("cv_total", "", "k")
+	hv := r.NewHistogramVec("hv_seconds", "", nil, "k")
+	r.NewGaugeFunc("gf", "", func() float64 { return float64(c.Value()) })
+
+	const writers = 8
+	const perWriter = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := []string{"a", "b", "c"}[w%3]
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				cv.With(key).Inc()
+				hv.With(key).Observe(float64(i) * 1e-5)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if _, err := r.WriteTo(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+			if !strings.Contains(sb.String(), "c_total") {
+				t.Error("scrape missing c_total")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != writers*perWriter {
+		t.Errorf("counter = %d, want %d", c.Value(), writers*perWriter)
+	}
+	total := int64(0)
+	for _, k := range []string{"a", "b", "c"} {
+		total += cv.With(k).Value()
+	}
+	if total != writers*perWriter {
+		t.Errorf("vec total = %d, want %d", total, writers*perWriter)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x_total", "X.").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "x_total 1") {
+		t.Errorf("body = %q", buf[:n])
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "")
+	for name, fn := range map[string]func(){
+		"duplicate":   func() { r.NewCounter("dup_total", "") },
+		"bad name":    func() { r.NewCounter("9bad", "") },
+		"bad label":   func() { r.NewCounterVec("ok_total", "", "bad-label") },
+		"bad bounds":  func() { r.NewHistogram("h_rev", "", []float64{2, 1}) },
+		"label arity": func() { r.NewCounterVec("arity_total", "", "a", "b").With("only-one") },
+		"empty name":  func() { r.NewGauge("", "") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
