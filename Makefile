@@ -1,14 +1,18 @@
 GO ?= go
 # BENCH_TAG is the single source of the snapshot name; bump it once per PR
 # (CI and cmd/xbarbench both take the name from here).
-BENCH_TAG ?= pr6
+BENCH_TAG ?= pr7
 BENCH_OUT ?= BENCH_$(BENCH_TAG).json
 BENCHTIME ?= 0.5s
 # bench-diff compares against the previous PR's committed snapshot.
-BENCH_BASELINE ?= BENCH_pr5.json
+BENCH_BASELINE ?= BENCH_pr6.json
+# bench-best compares against the best snapshot ever committed, so a slow
+# regression across several PRs can't hide behind per-PR drift budgets.
+BENCH_BEST ?= BENCH_best.json
 MAX_DRIFT ?= 0.10
+MAX_ALLOC_GROWTH ?= 0
 
-.PHONY: build test bench bench-json bench-diff vet
+.PHONY: build test bench bench-json bench-diff bench-best vet
 
 build: vet
 	$(GO) build ./...
@@ -28,8 +32,18 @@ bench-json:
 	$(GO) run ./cmd/xbarbench -out $(BENCH_OUT) -benchtime $(BENCHTIME)
 
 # bench-diff is the perf regression gate: bench the tier now and fail when
-# the geomean ns/op drifts more than MAX_DRIFT past BENCH_BASELINE. Only
-# meaningful when the baseline came from the same machine.
+# the geomean ns/op drifts more than MAX_DRIFT past BENCH_BASELINE, or when
+# any benchmark grows its allocs/op beyond MAX_ALLOC_GROWTH (default 0: the
+# zero-alloc loop contracts are load-bearing). Timing is only meaningful when
+# the baseline came from the same machine; the alloc gate holds anywhere.
 bench-diff:
 	$(GO) run ./cmd/xbarbench -out $(BENCH_OUT) -benchtime $(BENCHTIME) \
-		-compare $(BENCH_BASELINE) -max-drift $(MAX_DRIFT)
+		-compare $(BENCH_BASELINE) -max-drift $(MAX_DRIFT) \
+		-max-alloc-growth $(MAX_ALLOC_GROWTH)
+
+# bench-best gates against the all-time best committed snapshot. When a PR
+# beats it, re-copy: cp $(BENCH_OUT) $(BENCH_BEST).
+bench-best:
+	$(GO) run ./cmd/xbarbench -out $(BENCH_OUT) -benchtime $(BENCHTIME) \
+		-compare $(BENCH_BEST) -max-drift $(MAX_DRIFT) \
+		-max-alloc-growth $(MAX_ALLOC_GROWTH)

@@ -22,10 +22,12 @@ type comparison struct {
 }
 
 type benchDelta struct {
-	key   string
-	oldNs float64
-	newNs float64
-	ratio float64 // new/old: > 1 is a regression
+	key       string
+	oldNs     float64
+	newNs     float64
+	ratio     float64 // new/old: > 1 is a regression
+	oldAllocs float64
+	newAllocs float64
 }
 
 func loadSnapshot(path string) (Snapshot, error) {
@@ -49,10 +51,10 @@ func benchKey(r Result) string { return r.Package + "." + r.Name }
 // Benches present on only one side are reported but excluded from the
 // geomean (a renamed or added bench is not a regression).
 func compare(old, new Snapshot) comparison {
-	oldNs := make(map[string]float64, len(old.Benchmarks))
+	oldBy := make(map[string]Result, len(old.Benchmarks))
 	for _, r := range old.Benchmarks {
 		if r.NsPerOp > 0 {
-			oldNs[benchKey(r)] = r.NsPerOp
+			oldBy[benchKey(r)] = r
 		}
 	}
 	var c comparison
@@ -61,16 +63,19 @@ func compare(old, new Snapshot) comparison {
 	for _, r := range new.Benchmarks {
 		key := benchKey(r)
 		seen[key] = true
-		prev, ok := oldNs[key]
+		prev, ok := oldBy[key]
 		if !ok || r.NsPerOp <= 0 {
 			c.onlyNew = append(c.onlyNew, key)
 			continue
 		}
-		ratio := r.NsPerOp / prev
-		c.common = append(c.common, benchDelta{key: key, oldNs: prev, newNs: r.NsPerOp, ratio: ratio})
+		ratio := r.NsPerOp / prev.NsPerOp
+		c.common = append(c.common, benchDelta{
+			key: key, oldNs: prev.NsPerOp, newNs: r.NsPerOp, ratio: ratio,
+			oldAllocs: prev.AllocsPerOp, newAllocs: r.AllocsPerOp,
+		})
 		logSum += math.Log(ratio)
 	}
-	for key := range oldNs {
+	for key := range oldBy {
 		if !seen[key] {
 			c.onlyOld = append(c.onlyOld, key)
 		}
@@ -84,11 +89,15 @@ func compare(old, new Snapshot) comparison {
 	return c
 }
 
-// gate prints the comparison and reports whether the geomean drifted past
-// maxDrift (0.10 = fail beyond +10% mean ns/op). Cross-machine snapshots
-// are noisy — the gate is meant for same-machine same-session pairs (CI
-// benches the base and head of one runner); README documents the caveat.
-func gate(c comparison, maxDrift float64, w *os.File) bool {
+// gate prints the comparison and reports whether the snapshots pass both
+// regression checks: the geomean ns/op ratio must not drift past maxDrift
+// (0.10 = fail beyond +10% mean ns/op), and no common benchmark may grow its
+// allocs/op by more than maxAllocGrowth (0 = any increase fails — this is
+// what pins the 0 allocs/op loop contracts in CI). Cross-machine snapshots
+// are noisy on ns/op — that gate is meant for same-machine same-session
+// pairs (CI benches the base and head of one runner); allocs/op are
+// deterministic and gate reliably anywhere. README documents the caveat.
+func gate(c comparison, maxDrift, maxAllocGrowth float64, w *os.File) bool {
 	if len(c.common) == 0 {
 		fmt.Fprintln(w, "xbarbench: no common benchmarks to compare")
 		return false
@@ -109,11 +118,21 @@ func gate(c comparison, maxDrift float64, w *os.File) bool {
 	for _, key := range c.onlyNew {
 		fmt.Fprintf(w, "  only in new snapshot: %s\n", key)
 	}
+	ok := true
+	for _, d := range c.common {
+		if d.newAllocs > d.oldAllocs+maxAllocGrowth {
+			fmt.Fprintf(w, "xbarbench: FAIL: %s allocs/op grew %.0f -> %.0f (limit +%.0f)\n",
+				d.key, d.oldAllocs, d.newAllocs, maxAllocGrowth)
+			ok = false
+		}
+	}
 	if c.geomean > 1+maxDrift {
 		fmt.Fprintf(w, "xbarbench: FAIL: geomean ns/op drifted +%.2f%% (limit +%.2f%%)\n",
 			100*(c.geomean-1), 100*maxDrift)
-		return false
+		ok = false
 	}
-	fmt.Fprintf(w, "xbarbench: OK: geomean within limit\n")
-	return true
+	if ok {
+		fmt.Fprintf(w, "xbarbench: OK: geomean and allocs within limits\n")
+	}
+	return ok
 }

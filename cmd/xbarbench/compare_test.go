@@ -57,15 +57,58 @@ func TestGate(t *testing.T) {
 
 	// +5% on both: geomean 1.05, inside a 10% gate, outside a 2% gate.
 	cur := snap(map[string]float64{"BenchmarkA": 105, "BenchmarkB": 105})
-	if !gate(compare(old, cur), 0.10, null) {
+	if !gate(compare(old, cur), 0.10, 0, null) {
 		t.Error("5% drift failed a 10% gate")
 	}
-	if gate(compare(old, cur), 0.02, null) {
+	if gate(compare(old, cur), 0.02, 0, null) {
 		t.Error("5% drift passed a 2% gate")
 	}
 	// An empty comparison cannot pass: a gate with nothing to measure
 	// gating nothing would silently approve anything.
-	if gate(compare(snap(nil), snap(nil)), 0.10, null) {
+	if gate(compare(snap(nil), snap(nil)), 0.10, 0, null) {
 		t.Error("empty comparison passed the gate")
+	}
+}
+
+// allocSnap builds a snapshot with fixed ns/op and per-bench allocs/op, so
+// the alloc gate can be exercised independently of timing drift.
+func allocSnap(allocs map[string]float64) Snapshot {
+	var s Snapshot
+	for name, a := range allocs {
+		s.Benchmarks = append(s.Benchmarks, Result{
+			Package: "repro/internal/x", Name: name, NsPerOp: 100, AllocsPerOp: a,
+		})
+	}
+	return s
+}
+
+// TestGateAllocs pins the allocs/op regression check: with the default zero
+// growth budget, any increase — in particular 0 -> 1, the broken zero-alloc
+// contract — fails the gate even when timing is flat.
+func TestGateAllocs(t *testing.T) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+
+	old := allocSnap(map[string]float64{"BenchmarkA": 0, "BenchmarkB": 3})
+	if !gate(compare(old, allocSnap(map[string]float64{"BenchmarkA": 0, "BenchmarkB": 3})), 0.10, 0, null) {
+		t.Error("unchanged allocs failed the gate")
+	}
+	// Fewer allocations is an improvement, never a failure.
+	if !gate(compare(old, allocSnap(map[string]float64{"BenchmarkA": 0, "BenchmarkB": 1})), 0.10, 0, null) {
+		t.Error("reduced allocs failed the gate")
+	}
+	// 0 -> 1 breaks a zero-alloc contract.
+	if gate(compare(old, allocSnap(map[string]float64{"BenchmarkA": 1, "BenchmarkB": 3})), 0.10, 0, null) {
+		t.Error("0 -> 1 allocs passed a zero-growth gate")
+	}
+	// A relaxed budget tolerates growth up to the limit, not beyond it.
+	if !gate(compare(old, allocSnap(map[string]float64{"BenchmarkA": 0, "BenchmarkB": 5})), 0.10, 2, null) {
+		t.Error("+2 allocs failed a +2 gate")
+	}
+	if gate(compare(old, allocSnap(map[string]float64{"BenchmarkA": 0, "BenchmarkB": 6})), 0.10, 2, null) {
+		t.Error("+3 allocs passed a +2 gate")
 	}
 }

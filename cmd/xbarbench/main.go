@@ -55,16 +55,21 @@ type Result struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// Snapshot is the file format of BENCH_<tag>.json.
+// Snapshot is the file format of BENCH_<tag>.json. When the run was gated
+// with -compare, the baseline tag and the computed geomean ns/op ratio are
+// embedded so the snapshot records what it was measured against — the
+// trajectory reads directly out of the committed files.
 type Snapshot struct {
-	GoVersion  string   `json:"go_version"`
-	GOOS       string   `json:"goos"`
-	GOARCH     string   `json:"goarch"`
-	CPUs       int      `json:"cpus"`
-	Benchtime  string   `json:"benchtime"`
-	Bench      string   `json:"bench"`
-	Generated  string   `json:"generated"`
-	Benchmarks []Result `json:"benchmarks"`
+	GoVersion      string   `json:"go_version"`
+	GOOS           string   `json:"goos"`
+	GOARCH         string   `json:"goarch"`
+	CPUs           int      `json:"cpus"`
+	Benchtime      string   `json:"benchtime"`
+	Bench          string   `json:"bench"`
+	Generated      string   `json:"generated"`
+	Baseline       string   `json:"baseline,omitempty"`
+	GeomeanNsRatio float64  `json:"geomean_ns_ratio,omitempty"`
+	Benchmarks     []Result `json:"benchmarks"`
 }
 
 func main() {
@@ -72,8 +77,9 @@ func main() {
 	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "0.5s", "go test -benchtime (e.g. 0.5s, 100x)")
 	pkgs := flag.String("packages", "./...", "comma-separated package patterns to bench")
-	baseline := flag.String("compare", "", "after benching, gate against this baseline snapshot (exit 1 past -max-drift)")
+	baseline := flag.String("compare", "", "after benching, gate against this baseline snapshot (exit 1 past -max-drift or -max-alloc-growth)")
 	maxDrift := flag.Float64("max-drift", 0.10, "allowed geomean ns/op drift vs the -compare baseline (0.10 = +10%)")
+	maxAllocGrowth := flag.Float64("max-alloc-growth", 0, "allowed absolute allocs/op growth per benchmark vs the baseline (0 = any increase fails)")
 	diff := flag.Bool("diff", false, "compare two existing snapshots (args: old.json new.json) without benching")
 	flag.Parse()
 
@@ -89,7 +95,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if !gate(compare(old, cur), *maxDrift, os.Stderr) {
+		if !gate(compare(old, cur), *maxDrift, *maxAllocGrowth, os.Stderr) {
 			os.Exit(1)
 		}
 		return
@@ -126,6 +132,21 @@ func main() {
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		Benchmarks: results,
 	}
+
+	// Compute the baseline comparison before writing so the snapshot itself
+	// records the baseline tag and geomean; the file is written even when the
+	// gate fails, so a failed CI run still leaves the evidence behind.
+	var c comparison
+	if *baseline != "" {
+		old, err := loadSnapshot(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		c = compare(old, snap)
+		snap.Baseline = *baseline
+		snap.GeomeanNsRatio = c.geomean
+	}
+
 	buf, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -136,14 +157,8 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "xbarbench: wrote %d benchmarks to %s\n", len(results), *out)
 
-	if *baseline != "" {
-		old, err := loadSnapshot(*baseline)
-		if err != nil {
-			fatal(err)
-		}
-		if !gate(compare(old, snap), *maxDrift, os.Stderr) {
-			os.Exit(1)
-		}
+	if *baseline != "" && !gate(c, *maxDrift, *maxAllocGrowth, os.Stderr) {
+		os.Exit(1)
 	}
 }
 

@@ -7,15 +7,20 @@ package bitmat
 // bitset of an FM row — bit j set iff fmRow &^ cmRow_j == 0 — which the
 // mapping algorithms then enumerate with word scans instead of re-testing
 // pairs.
+//
+// The inner loops process eight CM rows per iteration with the bounds checks
+// hoisted out of the word loop, and the single-word fast path (every Table II
+// fabric is <= 64 columns) dispatches to a per-architecture kernel: amd64
+// builds get a hand-scheduled branchless variant (batch_amd64.go), everything
+// else — and any build with the purego tag — runs the portable kernel below.
+// All variants are property-tested against matchRowAgainstScalar.
 
 // MatchRowAgainst computes the candidate bitset of one packed FM row against
 // every row of a CM matrix: bit j of out is set iff fm is a subset of
 // cm.Row(j) (fm &^ cmRow == 0, the paper's row-matching rule). fm must be
 // packed for cm.Cols columns (len(fm) == Words(cm.Cols)) and out for cm.Rows
-// columns (len(out) == Words(cm.Rows)); out is overwritten. The kernel
-// processes four CM rows per inner iteration over the matrix words, with the
-// bounds checks hoisted out of the word loop, and preserves the packed-row
-// contract on out (bits at positions >= cm.Rows stay zero).
+// columns (len(out) == Words(cm.Rows)); out is overwritten, and the
+// packed-row contract is preserved (bits at positions >= cm.Rows stay zero).
 func MatchRowAgainst(fm Row, cm *Matrix, out Row) {
 	for i := range out {
 		out[i] = 0
@@ -31,67 +36,106 @@ func MatchRowAgainst(fm Row, cm *Matrix, out Row) {
 	bits := cm.bits
 	fm = fm[:w] // one check here buys bounds-check-free access below
 	if w == 1 {
-		// Single-word fabric (<= 64 columns, every Table II circuit): each CM
-		// row is one word, so the candidate test is one AND-NOT and the four
-		// per-iteration rows share one bounds-checked subslice.
-		f := fm[0]
-		j := 0
-		for ; j+3 < rows; j += 4 {
-			blk := bits[j : j+4 : j+4]
-			var nib uint64
-			if f&^blk[0] == 0 {
-				nib |= 1
-			}
-			if f&^blk[1] == 0 {
-				nib |= 2
-			}
-			if f&^blk[2] == 0 {
-				nib |= 4
-			}
-			if f&^blk[3] == 0 {
-				nib |= 8
-			}
-			if nib != 0 {
-				out[j>>6] |= nib << uint(j&63)
-			}
-		}
-		for ; j < rows; j++ {
-			if f&^bits[j] == 0 {
-				out[j>>6] |= 1 << uint(j&63)
-			}
-		}
+		matchSingleWord(fm[0], bits, out, rows)
 		return
 	}
+	matchMultiWord(fm, bits, out, rows, w)
+}
+
+// matchSingleWordPortable is the portable single-word kernel (<= 64 fabric
+// columns): each CM row is one word, so the candidate test is one AND-NOT and
+// the eight per-iteration rows share one bounds-checked subslice. It is the
+// !amd64/purego implementation of matchSingleWord and the reference the
+// amd64 variant is parity-tested against.
+func matchSingleWordPortable(f uint64, bits []uint64, out Row, rows int) {
 	j := 0
-	for ; j+3 < rows; j += 4 {
-		base := j * w
-		r0 := bits[base+0*w : base+1*w][:w]
-		r1 := bits[base+1*w : base+2*w][:w]
-		r2 := bits[base+2*w : base+3*w][:w]
-		r3 := bits[base+3*w : base+4*w][:w]
-		var m0, m1, m2, m3 uint64
-		for k, f := range fm {
-			m0 |= f &^ r0[k]
-			m1 |= f &^ r1[k]
-			m2 |= f &^ r2[k]
-			m3 |= f &^ r3[k]
+	for ; j+7 < rows; j += 8 {
+		blk := bits[j : j+8 : j+8]
+		var oct uint64
+		if f&^blk[0] == 0 {
+			oct |= 1 << 0
 		}
-		var nib uint64
+		if f&^blk[1] == 0 {
+			oct |= 1 << 1
+		}
+		if f&^blk[2] == 0 {
+			oct |= 1 << 2
+		}
+		if f&^blk[3] == 0 {
+			oct |= 1 << 3
+		}
+		if f&^blk[4] == 0 {
+			oct |= 1 << 4
+		}
+		if f&^blk[5] == 0 {
+			oct |= 1 << 5
+		}
+		if f&^blk[6] == 0 {
+			oct |= 1 << 6
+		}
+		if f&^blk[7] == 0 {
+			oct |= 1 << 7
+		}
+		// j is a multiple of 8, so the octet never straddles a word.
+		if oct != 0 {
+			out[j>>6] |= oct << uint(j&63)
+		}
+	}
+	for ; j < rows; j++ {
+		if f&^bits[j] == 0 {
+			out[j>>6] |= 1 << uint(j&63)
+		}
+	}
+}
+
+// matchMultiWordPortable handles fabrics wider than 64 columns: eight CM rows
+// per outer iteration, one accumulator each, all eight fed from a single
+// bounds-checked window over the row words so the inner loop is
+// bounds-check-free. An accumulator ends zero iff its row contains the FM
+// row.
+func matchMultiWordPortable(fm Row, bits []uint64, out Row, rows, w int) {
+	j := 0
+	for ; j+7 < rows; j += 8 {
+		base := j * w
+		blk := bits[base : base+8*w : base+8*w]
+		var m0, m1, m2, m3, m4, m5, m6, m7 uint64
+		for k, f := range fm {
+			m0 |= f &^ blk[k]
+			m1 |= f &^ blk[w+k]
+			m2 |= f &^ blk[2*w+k]
+			m3 |= f &^ blk[3*w+k]
+			m4 |= f &^ blk[4*w+k]
+			m5 |= f &^ blk[5*w+k]
+			m6 |= f &^ blk[6*w+k]
+			m7 |= f &^ blk[7*w+k]
+		}
+		var oct uint64
 		if m0 == 0 {
-			nib |= 1
+			oct |= 1 << 0
 		}
 		if m1 == 0 {
-			nib |= 2
+			oct |= 1 << 1
 		}
 		if m2 == 0 {
-			nib |= 4
+			oct |= 1 << 2
 		}
 		if m3 == 0 {
-			nib |= 8
+			oct |= 1 << 3
 		}
-		// j is a multiple of 4, so the nibble never straddles a word.
-		if nib != 0 {
-			out[j>>6] |= nib << uint(j&63)
+		if m4 == 0 {
+			oct |= 1 << 4
+		}
+		if m5 == 0 {
+			oct |= 1 << 5
+		}
+		if m6 == 0 {
+			oct |= 1 << 6
+		}
+		if m7 == 0 {
+			oct |= 1 << 7
+		}
+		if oct != 0 {
+			out[j>>6] |= oct << uint(j&63)
 		}
 	}
 	for ; j < rows; j++ {
@@ -106,8 +150,8 @@ func MatchRowAgainst(fm Row, cm *Matrix, out Row) {
 	}
 }
 
-// matchRowAgainstScalar is the one-row-at-a-time reference the batch kernel
-// is property-tested and benchmarked against.
+// matchRowAgainstScalar is the one-row-at-a-time reference the batch kernels
+// are property-tested and benchmarked against.
 func matchRowAgainstScalar(fm Row, cm *Matrix, out Row) {
 	for i := range out {
 		out[i] = 0

@@ -1,0 +1,66 @@
+//go:build amd64 && !purego
+
+package bitmat
+
+// Hand-scheduled amd64 kernels. Build with -tags purego to force the
+// portable implementations on amd64 too (that is the CI fallback leg).
+
+// KernelVariant names the row-matching kernel compiled into this binary.
+func KernelVariant() string { return "amd64" }
+
+func matchSingleWord(f uint64, bits []uint64, out Row, rows int) {
+	matchSingleWordWide(f, bits, out, rows)
+}
+
+func matchMultiWord(fm Row, bits []uint64, out Row, rows, w int) {
+	matchMultiWordPortable(fm, bits, out, rows, w)
+}
+
+// matchSingleWordWide is the hand-scheduled single-word kernel: it retires a
+// full 64-row output word per outer iteration, accumulating the eight octets
+// in a register and storing once — the portable kernel's eight per-octet
+// read-modify-writes of out[j>>6] collapse into a single MOVQ. The subset
+// tests keep the comparison form the compiler lowers to TESTQ+SETEQ (flag
+// ops, no branches), so throughput stays density-independent. Parity with
+// matchSingleWordPortable is pinned by TestMatchSingleWordVariantsAgree.
+func matchSingleWordWide(f uint64, bits []uint64, out Row, rows int) {
+	full := rows &^ 63
+	for base := 0; base < full; base += 64 {
+		blk := bits[base : base+64 : base+64]
+		var w uint64
+		for k := 0; k < 64; k += 8 {
+			var oct uint64
+			if f&^blk[k] == 0 {
+				oct = 1
+			}
+			if f&^blk[k+1] == 0 {
+				oct |= 1 << 1
+			}
+			if f&^blk[k+2] == 0 {
+				oct |= 1 << 2
+			}
+			if f&^blk[k+3] == 0 {
+				oct |= 1 << 3
+			}
+			if f&^blk[k+4] == 0 {
+				oct |= 1 << 4
+			}
+			if f&^blk[k+5] == 0 {
+				oct |= 1 << 5
+			}
+			if f&^blk[k+6] == 0 {
+				oct |= 1 << 6
+			}
+			if f&^blk[k+7] == 0 {
+				oct |= 1 << 7
+			}
+			w |= oct << uint(k)
+		}
+		// out is zeroed by MatchRowAgainst, so a plain store suffices.
+		out[base>>6] = w
+	}
+	// Tail rows (< 64) via the portable 8-wide + scalar path.
+	if full < rows {
+		matchSingleWordPortable(f, bits[full:rows], out[full>>6:], rows-full)
+	}
+}

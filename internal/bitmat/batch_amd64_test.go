@@ -1,0 +1,43 @@
+//go:build amd64 && !purego
+
+package bitmat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMatchSingleWordVariantsAgree pins the hand-scheduled amd64 single-word
+// kernel against the portable one, bit for bit, across row counts that
+// exercise the 8-wide body and every tail length, at candidate densities
+// from never-matching to always-matching.
+func TestMatchSingleWordVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, rows := range []int{1, 5, 8, 9, 16, 63, 64, 65, 100, 128, 129, 191, 300} {
+		for _, density := range []float64{0, 0.3, 0.7, 1} {
+			bits := make([]uint64, rows)
+			for i := range bits {
+				if rng.Float64() < density {
+					bits[i] = ^uint64(0)
+				} else {
+					bits[i] = rng.Uint64()
+				}
+			}
+			f := rng.Uint64() >> (rng.Intn(63) + 1) // vary the popcount of fm
+			wide, portable := NewRow(rows), NewRow(rows)
+			matchSingleWordWide(f, bits, wide, rows)
+			matchSingleWordPortable(f, bits, portable, rows)
+			if !Equal(wide, portable) {
+				t.Fatalf("rows=%d density=%.1f: amd64 kernel disagrees with portable", rows, density)
+			}
+		}
+	}
+}
+
+// TestKernelVariantAMD64 pins which variant this build selected, so the CI
+// matrix visibly exercises both.
+func TestKernelVariantAMD64(t *testing.T) {
+	if KernelVariant() != "amd64" {
+		t.Fatalf("expected amd64 kernel in this build, got %q", KernelVariant())
+	}
+}

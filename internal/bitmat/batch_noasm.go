@@ -1,0 +1,17 @@
+//go:build !amd64 || purego
+
+package bitmat
+
+// Portable kernel selection: every non-amd64 architecture, plus amd64
+// builds with -tags purego (the CI leg that keeps this path exercised).
+
+// KernelVariant names the row-matching kernel compiled into this binary.
+func KernelVariant() string { return "portable" }
+
+func matchSingleWord(f uint64, bits []uint64, out Row, rows int) {
+	matchSingleWordPortable(f, bits, out, rows)
+}
+
+func matchMultiWord(fm Row, bits []uint64, out Row, rows, w int) {
+	matchMultiWordPortable(fm, bits, out, rows, w)
+}

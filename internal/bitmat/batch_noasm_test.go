@@ -1,0 +1,13 @@
+//go:build !amd64 || purego
+
+package bitmat
+
+import "testing"
+
+// TestKernelVariantPortable pins that non-amd64 and purego builds select the
+// portable kernel, so the CI matrix visibly exercises both paths.
+func TestKernelVariantPortable(t *testing.T) {
+	if KernelVariant() != "portable" {
+		t.Fatalf("expected portable kernel in this build, got %q", KernelVariant())
+	}
+}

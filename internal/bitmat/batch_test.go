@@ -20,7 +20,7 @@ func randMatrix(rng *rand.Rand, rows, cols int, p float64) *Matrix {
 }
 
 // TestMatchRowAgainstQuick is the batch-kernel property: on random FM rows
-// and CM matrices — widths straddling word boundaries included — the 4-wide
+// and CM matrices — widths straddling word boundaries included — the 8-wide
 // kernel agrees bit for bit with the one-row-at-a-time SubsetOf reference,
 // and the output obeys the packed-row contract.
 func TestMatchRowAgainstQuick(t *testing.T) {
@@ -213,7 +213,7 @@ func TestReshapeReuse(t *testing.T) {
 }
 
 // BenchmarkMatchRowKernel measures candidate-bitset construction — one FM
-// row against a 300-row CM — with the 4-wide batch kernel versus the
+// row against a 300-row CM — with the 8-wide batch kernel versus the
 // per-pair SubsetOf loop it replaces.
 func BenchmarkMatchRowKernel(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))

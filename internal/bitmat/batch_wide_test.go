@@ -1,0 +1,145 @@
+package bitmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestMatchRowAgainstWidths sweeps the kernel across the widths that exercise
+// every dispatch and tail combination — single-word, exactly one word,
+// word-straddling, two words, and beyond — at several densities, with row
+// counts that leave 0..7 rows for the tail loop. Deterministic complement to
+// the quick/fuzz properties.
+func TestMatchRowAgainstWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, cols := range []int{63, 64, 65, 127, 128, 129} {
+		for _, rows := range []int{1, 7, 8, 9, 63, 64, 65, 127, 128, 129} {
+			for _, density := range []float64{0.0, 0.35, 0.9, 1.0} {
+				cm := randMatrix(rng, rows, cols, density)
+				fm := NewRow(cols)
+				for c := 0; c < cols; c++ {
+					if rng.Float64() < 0.3 {
+						fm.Set(c)
+					}
+				}
+				got, want := NewRow(rows), NewRow(rows)
+				MatchRowAgainst(fm, cm, got)
+				matchRowAgainstScalar(fm, cm, want)
+				if !Equal(got, want) {
+					t.Fatalf("%dx%d density %.2f: wide kernel disagrees with scalar", rows, cols, density)
+				}
+			}
+		}
+	}
+}
+
+// TestMatchSingleAndMultiWordAgree pins the two portable kernels against each
+// other on the one width both can express semantically: a w-word kernel run
+// on <=64 columns must equal the single-word fast path.
+func TestMatchSingleAndMultiWordAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		rows := 1 + rng.Intn(130)
+		cols := 1 + rng.Intn(64)
+		cm := randMatrix(rng, rows, cols, 0.8)
+		fm := NewRow(cols)
+		for c := 0; c < cols; c++ {
+			if rng.Float64() < 0.3 {
+				fm.Set(c)
+			}
+		}
+		single, multi := NewRow(rows), NewRow(rows)
+		matchSingleWordPortable(fm[0], cm.bits, single, rows)
+		matchMultiWordPortable(fm, cm.bits, multi, rows, cm.words)
+		if !Equal(single, multi) {
+			t.Fatalf("trial %d (%dx%d): single-word and multi-word kernels disagree", trial, rows, cols)
+		}
+	}
+}
+
+// TestTransposeUpdateQuick is the incremental-transpose property: after a
+// random sequence of bit mutations to the source, TransposeUpdate applied
+// with the exact dirty row/column masks reproduces, block for block, what a
+// full TransposeInto of the mutated source builds.
+func TestTransposeUpdateQuick(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := []int{1, 2, 63, 64, 65, 120, 128, 130}
+		rows := dims[rng.Intn(len(dims))]
+		cols := dims[rng.Intn(len(dims))]
+		m := randMatrix(rng, rows, cols, 0.4)
+		view := TransposeInto(nil, m)
+
+		dirtyRows, dirtyCols := NewRow(rows), NewRow(cols)
+		for n := rng.Intn(20); n > 0; n-- {
+			r, c := rng.Intn(rows), rng.Intn(cols)
+			if rng.Intn(2) == 0 {
+				m.Set(r, c)
+			} else {
+				m.Clear(r, c)
+			}
+			dirtyRows.Set(r)
+			dirtyCols.Set(c)
+		}
+		TransposeUpdate(view, m, dirtyRows, dirtyCols)
+
+		want := TransposeInto(nil, m)
+		for c := 0; c < cols; c++ {
+			if !Equal(view.Row(c), want.Row(c)) {
+				t.Logf("seed %d (%dx%d): incremental view wrong at column %d", seed, rows, cols, c)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTransposeUpdateDimMismatch pins the desync guard: refreshing a view
+// whose shape does not match the source must panic, not silently corrupt.
+func TestTransposeUpdateDimMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TransposeUpdate accepted a mismatched view")
+		}
+	}()
+	m := New(10, 20)
+	TransposeUpdate(New(10, 20), m, NewRow(10), NewRow(20))
+}
+
+// FuzzMatchRowAgainst drives the wide kernel with fuzz-shaped matrices and
+// rows, checking it against the scalar reference. The corpus seeds cover the
+// word-boundary widths; the fuzzer mutates dimensions, density, and content.
+func FuzzMatchRowAgainst(f *testing.F) {
+	f.Add(int64(1), uint16(300), uint16(44), 0.8, 0.3)
+	for _, w := range []uint16{63, 64, 65, 127, 128, 129} {
+		f.Add(int64(w), w, w, 0.5, 0.5)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, rows, cols uint16, cmDensity, fmDensity float64) {
+		nr := int(rows%512) + 1
+		nc := int(cols%512) + 1
+		if cmDensity < 0 || cmDensity > 1 {
+			cmDensity = 0.5
+		}
+		if fmDensity < 0 || fmDensity > 1 {
+			fmDensity = 0.5
+		}
+		rng := rand.New(rand.NewSource(seed))
+		cm := randMatrix(rng, nr, nc, cmDensity)
+		fm := NewRow(nc)
+		for c := 0; c < nc; c++ {
+			if rng.Float64() < fmDensity {
+				fm.Set(c)
+			}
+		}
+		got, want := NewRow(nr), NewRow(nr)
+		MatchRowAgainst(fm, cm, got)
+		matchRowAgainstScalar(fm, cm, want)
+		if !Equal(got, want) {
+			t.Fatalf("%dx%d: wide kernel disagrees with scalar reference", nr, nc)
+		}
+	})
+}

@@ -59,6 +59,18 @@ type Map struct {
 	closedColMask bitmat.Row
 	// open / closed are whole-map defect totals for Summarize.
 	open, closed int
+
+	// Delta window (see delta.go): version counts effective mutations;
+	// deltaRows/deltaCols mark the lines changed since the last ResetDelta,
+	// unless deltaAll says the whole map must be treated as dirty. deltaBase
+	// is the version the window started at, and prevCells is the grow-once
+	// snapshot buffer Regenerate diffs against.
+	version   uint64
+	deltaBase uint64
+	deltaAll  bool
+	deltaRows bitmat.Row
+	deltaCols bitmat.Row
+	prevCells []Kind
 }
 
 // NewMap returns an all-functional defect map.
@@ -66,6 +78,11 @@ func NewMap(rows, cols int) *Map {
 	if rows < 0 || cols < 0 {
 		panic("defect: negative dimensions")
 	}
+	// All four per-line masks (closed-row/col caches and the delta window)
+	// share one backing slice: half the mask allocations of separate
+	// bitmat.NewRow calls, and the delta window costs nothing extra.
+	rw, cw := (rows+63)/64, (cols+63)/64
+	masks := make([]uint64, 2*rw+2*cw)
 	m := &Map{
 		Rows:          rows,
 		Cols:          cols,
@@ -73,8 +90,11 @@ func NewMap(rows, cols int) *Map {
 		functional:    bitmat.New(rows, cols),
 		closedRow:     make([]int32, rows),
 		closedCol:     make([]int32, cols),
-		closedRowMask: bitmat.NewRow(rows),
-		closedColMask: bitmat.NewRow(cols),
+		closedRowMask: masks[0:rw:rw],
+		closedColMask: masks[rw : rw+cw : rw+cw],
+		deltaAll:      true,
+		deltaRows:     masks[rw+cw : rw+cw+rw : rw+cw+rw],
+		deltaCols:     masks[rw+cw+rw:],
 	}
 	m.functional.Fill()
 	return m
@@ -121,16 +141,48 @@ func (m *Map) Regenerate(p Params, rng *rand.Rand) error {
 	if err := p.validate(rng); err != nil {
 		return err
 	}
-	m.Reset()
+	if m.deltaAll {
+		// No consumer is tracking a window, so there is nothing to diff for.
+		m.Reset()
+		m.sample(p, rng)
+		return nil
+	}
+	// Snapshot, resample, then report the exact delta: the rows/columns
+	// holding a cell whose kind differs between the old and new trial. The
+	// rng draw order is untouched, so the resampled map is bit-identical to
+	// the non-tracking path.
+	if cap(m.prevCells) < len(m.cells) {
+		m.prevCells = make([]Kind, len(m.cells))
+	}
+	prev := m.prevCells[:len(m.cells)]
+	copy(prev, m.cells)
+	m.Reset() // sets deltaAll; undone below once the exact delta is known
 	m.sample(p, rng)
+	m.deltaAll = false
+	for r := 0; r < m.Rows; r++ {
+		base := r * m.Cols
+		dirty := false
+		for c := 0; c < m.Cols; c++ {
+			if m.cells[base+c] != prev[base+c] {
+				dirty = true
+				m.deltaCols.Set(c)
+			}
+		}
+		if dirty {
+			m.deltaRows.Set(r)
+		}
+	}
 	return nil
 }
 
 // Reset clears the map to all-functional in place without allocating: the
 // reuse primitive of both Regenerate and the column-aware mapper's scratch
-// projection (ProjectDefectsInto rebuilds a preallocated projected map per
-// retry attempt).
+// projection. Clearing rewrites every cell, so the delta window degrades to
+// all-dirty (Regenerate narrows it back down by diffing against a snapshot).
 func (m *Map) Reset() {
+	if m.open == 0 && m.closed == 0 {
+		return // already all-functional; nothing changed, keep the window
+	}
 	for i := range m.cells {
 		m.cells[i] = OK
 	}
@@ -144,6 +196,8 @@ func (m *Map) Reset() {
 	m.closedRowMask.Zero()
 	m.closedColMask.Zero()
 	m.open, m.closed = 0, 0
+	m.version++
+	m.deltaAll = true
 }
 
 // sample draws every cell in row-major order (the rng consumption order is
@@ -172,6 +226,11 @@ func (m *Map) set(r, c int, k Kind) {
 	old := m.cells[r*m.Cols+c]
 	if old == k {
 		return
+	}
+	m.version++
+	if !m.deltaAll {
+		m.deltaRows.Set(r)
+		m.deltaCols.Set(c)
 	}
 	switch old {
 	case StuckOpen:

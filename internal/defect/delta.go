@@ -1,0 +1,71 @@
+package defect
+
+import "repro/internal/bitmat"
+
+// Delta window: incremental-maintenance support for consumers that cache a
+// derived view of a Map (candidate bitsets, transposed functional views) and
+// want to refresh only what changed instead of rebuilding per trial.
+//
+// The protocol is version-floored. A consumer records Version() when it
+// (re)builds its view and calls ResetDelta() to open a window. On the next
+// refresh it may apply the delta incrementally iff
+//
+//	!DeltaAll() && DeltaBase() == recordedVersion
+//
+// i.e. the window covers exactly the span since its last build. Any other
+// state — a fresh map, a Reset, a second consumer having consumed the window
+// in between — fails the check and the consumer falls back to a full
+// rebuild, which is always correct. The window accumulates across multiple
+// mutations and Regenerates, so a consumer that skips trials still sees the
+// union of everything it missed.
+//
+// Mutation sources maintain the window as follows: Set marks the touched
+// row/column in O(1); Reset degrades to all-dirty (DeltaAll); Regenerate
+// diffs the new trial against a snapshot of the old one and marks exactly
+// the rows/columns holding a cell whose kind changed (so back-to-back trials
+// at the paper's defect rates mark only the small symmetric difference of
+// the two defect sets). Version() advances on every effective mutation —
+// an unchanged map keeps its version, letting consumers skip refreshes
+// entirely.
+
+// Version returns the mutation counter: it advances every time a cell's kind
+// effectively changes (writes of the current kind are free). Equal versions
+// across two observations guarantee identical map contents in between.
+func (m *Map) Version() uint64 { return m.version }
+
+// DeltaBase returns the version the current delta window was opened at (by
+// the last ResetDelta). The window describes every change from DeltaBase to
+// Version.
+func (m *Map) DeltaBase() uint64 { return m.deltaBase }
+
+// DeltaAll reports whether the window has degraded to whole-map dirty (fresh
+// map, Reset, or dimension-scale rewrites); consumers must then rebuild.
+func (m *Map) DeltaAll() bool { return m.deltaAll }
+
+// DeltaRows returns the packed mask of rows changed within the window.
+// Read-only view, meaningless while DeltaAll is set.
+func (m *Map) DeltaRows() bitmat.Row { return m.deltaRows }
+
+// DeltaCols returns the packed mask of columns changed within the window.
+// Read-only view, meaningless while DeltaAll is set.
+func (m *Map) DeltaCols() bitmat.Row { return m.deltaCols }
+
+// ResetDelta closes the current window and opens a fresh one at the current
+// version. The caller must have just (re)built its derived view from the
+// map's present contents.
+func (m *Map) ResetDelta() {
+	m.deltaRows.Zero()
+	m.deltaCols.Zero()
+	m.deltaAll = false
+	m.deltaBase = m.version
+}
+
+// CloseDelta closes the window without opening a new one: the map goes back
+// to the untracked all-dirty state, so Set stops marking and Regenerate
+// stops snapshotting and diffing trials. Consumers call it instead of
+// ResetDelta when tracking has stopped paying for itself — a Monte Carlo
+// loop resampling the whole map every trial produces only dense diffs, and
+// the snapshot+diff per Regenerate is then pure overhead. A later
+// ResetDelta reopens tracking at any time. Version() keeps advancing
+// regardless, so version-equality skip paths survive a closed window.
+func (m *Map) CloseDelta() { m.deltaAll = true }

@@ -259,6 +259,12 @@ func executeSynthMultiLevel(spec JobSpec) (JobResult, error) {
 	}, nil
 }
 
+// mapScratchPool shares mapping scratches (candidate matrices, Munkres
+// buffers) across map jobs instead of allocating a fresh one per request;
+// under concurrent single-map traffic the scratch is the dominant per-job
+// allocation once layouts are cached.
+var mapScratchPool = sync.Pool{New: func() any { return mapping.NewScratch() }}
+
 func executeMap(spec JobSpec) (JobResult, error) {
 	l, err := buildLayout(spec)
 	if err != nil {
@@ -276,10 +282,18 @@ func executeMap(spec JobSpec) (JobResult, error) {
 	if spec.Kind == MapEA {
 		algo = mapping.ExactScratch
 	}
-	r := algo(p, mapping.NewScratch())
+	scratch := mapScratchPool.Get().(*mapping.Scratch)
+	r := algo(p, scratch)
+	// r.Assignment aliases the scratch; copy it out before the scratch goes
+	// back to the pool and another job overwrites the buffer.
+	var assignment []int
+	if r.Assignment != nil {
+		assignment = append([]int(nil), r.Assignment...)
+	}
+	mapScratchPool.Put(scratch)
 	return JobResult{
 		Rows: l.Rows, Cols: l.Cols, Area: l.Area(), IR: l.InclusionRatio(),
-		Valid: r.Valid, Assignment: r.Assignment, Reason: r.Reason,
+		Valid: r.Valid, Assignment: assignment, Reason: r.Reason,
 		Backtracks: r.Stats.Backtracks, MatchChecks: r.Stats.MatchChecks,
 	}, nil
 }

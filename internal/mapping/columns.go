@@ -105,6 +105,30 @@ type ColumnScratch struct {
 	physOrder, physKey []int
 	logOrder, logKey   []int
 	rng                *rand.Rand
+
+	// viewMap/viewVersion identify the (fabric map, version) colsView was
+	// last built for; when the map's delta window matches, the view is
+	// refreshed per dirty 64×64 block instead of a full re-transpose.
+	// viewStreak is the dense-window give-up counter (see
+	// Scratch.denseStreak): while positive, the map's window is closed
+	// instead of reopened so wholesale-resampled maps stop paying
+	// Regenerate's diff for it.
+	viewMap     *defect.Map
+	viewVersion uint64
+	viewStreak  uint8
+	// projSrc/projSrcVersion/projVersion and the prev* assignment snapshots
+	// identify what s.projected currently holds: the projection of projSrc
+	// at projSrcVersion under the prev* column assignment, with s.projected
+	// itself at projVersion (guarding against external mutation of the
+	// handed-out Projected map). When all of it still holds, an attempt
+	// re-projects only the columns whose assignment entry changed.
+	// The three prev* snapshots are subslices of the shared prevBuf backing
+	// (one allocation, resized per spec).
+	projSrc                   *defect.Map
+	projSrcVersion            uint64
+	projVersion               uint64
+	prevIn, prevWire, prevOut []int
+	prevBuf                   []int
 }
 
 // NewColumnScratch returns an empty ColumnScratch (buffers grow on first
@@ -143,7 +167,7 @@ func ColumnAwareScratch(l *xbar.Layout, dm *defect.Map, spec FabricSpec, opt Col
 	}
 
 	s.columnUsage(l)
-	s.colsView = bitmat.TransposeInto(s.colsView, dm.FunctionalMatrix())
+	s.refreshColumnView(dm)
 	s.greedyColumns(l, dm, spec)
 	if s.rng == nil {
 		s.rng = rand.New(rand.NewSource(opt.Seed))
@@ -152,6 +176,7 @@ func ColumnAwareScratch(l *xbar.Layout, dm *defect.Map, spec FabricSpec, opt Col
 	}
 	if s.projected == nil || s.projected.Rows != dm.Rows || s.projected.Cols != l.Cols {
 		s.projected = defect.NewMap(dm.Rows, l.Cols)
+		s.projSrc = nil // fresh target: the incremental-projection state is void
 	}
 	p := &s.problem
 	p.Layout, p.Defects = l, s.projected
@@ -159,7 +184,7 @@ func ColumnAwareScratch(l *xbar.Layout, dm *defect.Map, spec FabricSpec, opt Col
 	res := ColumnResult{}
 	for attempt := 0; attempt <= opt.Retries; attempt++ {
 		res.Attempts++
-		projectDefectsInto(s.projected, dm, spec, l, s.assign)
+		s.projectAssigned(dm, spec, l)
 		if ok, _ := p.ColumnFeasible(); ok {
 			var rows Result
 			if opt.RowAlgorithm != nil {
@@ -202,6 +227,45 @@ func (s *ColumnScratch) columnUsage(l *xbar.Layout) {
 			}
 		}
 	}
+}
+
+// refreshColumnView brings colsView (the word-transposed functional view the
+// greedy penalty scans popcount over) up to date with dm. On a reused
+// scratch whose map delta window spans exactly the changes since the last
+// call, only the 64×64 blocks intersecting a dirty row and a dirty column
+// are re-transposed (bitmat.TransposeUpdate); an unchanged map skips the
+// work entirely; anything else falls back to the full transpose.
+func (s *ColumnScratch) refreshColumnView(dm *defect.Map) {
+	fn := dm.FunctionalMatrix()
+	if s.viewMap == dm && s.colsView != nil && s.colsView.Rows == dm.Cols && s.colsView.Cols == dm.Rows {
+		v := dm.Version()
+		if v == s.viewVersion {
+			return
+		}
+		if !dm.DeltaAll() && dm.DeltaBase() == s.viewVersion {
+			// A window marking most of the map buys nothing over the full
+			// transpose; treat it as evidence the map is being wholesale
+			// resampled between calls (see Scratch.denseStreak).
+			if 2*bitmat.PopCount(dm.DeltaRows()) < dm.Rows {
+				bitmat.TransposeUpdate(s.colsView, fn, dm.DeltaRows(), dm.DeltaCols())
+				s.viewStreak = 0
+				dm.ResetDelta()
+				s.viewVersion = v
+				return
+			}
+			if s.viewStreak <= 240 {
+				s.viewStreak += 8
+			}
+		}
+	}
+	s.colsView = bitmat.TransposeInto(s.colsView, fn)
+	if s.viewStreak > 0 {
+		s.viewStreak--
+		dm.CloseDelta()
+	} else {
+		dm.ResetDelta()
+	}
+	s.viewMap, s.viewVersion = dm, dm.Version()
 }
 
 // columnPenalty ranks one physical column for the greedy assignment: pairs
@@ -373,36 +437,83 @@ func ProjectDefectsInto(dst *defect.Map, dm *defect.Map, spec FabricSpec, l *xba
 }
 
 // projectDefectsInto rebuilds dst (dimensions already correct) as the
-// projection of dm onto the assigned columns in layout order.
+// projection of dm onto the assigned columns in layout order. Every
+// destination column is rewritten in full via projectColumn, so no prior
+// Reset is needed and dst's own delta window stays precise: cells that keep
+// their kind are free (defect.Map.Set early-returns), which is what lets a
+// row Scratch consuming dst refresh its candidate bitsets incrementally.
 func projectDefectsInto(dst *defect.Map, dm *defect.Map, spec FabricSpec, l *xbar.Layout, a ColumnAssignment) {
-	dst.Reset()
-	copyCol := func(k, src int) {
-		for r := 0; r < dm.Rows; r++ {
-			if kind := dm.At(r, src); kind != defect.OK {
-				dst.Set(r, k, kind)
-			}
-		}
-	}
-	k := 0
 	for i := 0; i < l.NumIn; i++ {
-		copyCol(k, a.InputPair[i])
-		k++
-	}
-	for i := 0; i < l.NumIn; i++ {
-		copyCol(k, spec.InputPairs+a.InputPair[i])
-		k++
+		projectColumn(dst, i, dm, a.InputPair[i])
+		projectColumn(dst, l.NumIn+i, dm, spec.InputPairs+a.InputPair[i])
 	}
 	for w := 0; w < len(a.Wire); w++ {
-		copyCol(k, 2*spec.InputPairs+a.Wire[w])
-		k++
+		projectColumn(dst, 2*l.NumIn+w, dm, 2*spec.InputPairs+a.Wire[w])
 	}
-	base := 2*spec.InputPairs + spec.Wires
+	srcBase := 2*spec.InputPairs + spec.Wires
+	dstBase := 2*l.NumIn + len(a.Wire)
 	for j := 0; j < l.NumOut; j++ {
-		copyCol(k, base+a.OutputPair[j])
-		k++
+		projectColumn(dst, dstBase+j, dm, srcBase+a.OutputPair[j])
+		projectColumn(dst, dstBase+l.NumOut+j, dm, srcBase+spec.OutputPairs+a.OutputPair[j])
 	}
-	for j := 0; j < l.NumOut; j++ {
-		copyCol(k, base+spec.OutputPairs+a.OutputPair[j])
-		k++
+}
+
+// projectColumn overwrites destination column k with source column src of
+// the fabric map, cell by cell through Set so the caches and the delta
+// window of dst stay exact.
+func projectColumn(dst *defect.Map, k int, dm *defect.Map, src int) {
+	for r := 0; r < dm.Rows; r++ {
+		dst.Set(r, k, dm.At(r, src))
 	}
+}
+
+// projectAssigned maintains s.projected as the projection of dm under the
+// current s.assign. When neither dm nor s.projected changed since the last
+// attempt (versions match) and the assignment vectors have their previous
+// lengths, only the destination columns whose assignment entry differs from
+// the recorded snapshot are re-projected — between retry attempts that is
+// the handful of columns perturb touched, not the whole map. Any staleness
+// falls back to the full projection, which itself marks precise deltas.
+func (s *ColumnScratch) projectAssigned(dm *defect.Map, spec FabricSpec, l *xbar.Layout) {
+	dst := s.projected
+	a := s.assign
+	incremental := s.projSrc == dm && s.projSrcVersion == dm.Version() &&
+		s.projVersion == dst.Version() &&
+		len(s.prevIn) == len(a.InputPair) &&
+		len(s.prevWire) == len(a.Wire) &&
+		len(s.prevOut) == len(a.OutputPair)
+	srcBase := 2*spec.InputPairs + spec.Wires
+	dstBase := 2*l.NumIn + len(a.Wire)
+	for i, pair := range a.InputPair {
+		if incremental && s.prevIn[i] == pair {
+			continue
+		}
+		projectColumn(dst, i, dm, pair)
+		projectColumn(dst, l.NumIn+i, dm, spec.InputPairs+pair)
+	}
+	for w, wire := range a.Wire {
+		if incremental && s.prevWire[w] == wire {
+			continue
+		}
+		projectColumn(dst, 2*l.NumIn+w, dm, 2*spec.InputPairs+wire)
+	}
+	for j, pair := range a.OutputPair {
+		if incremental && s.prevOut[j] == pair {
+			continue
+		}
+		projectColumn(dst, dstBase+j, dm, srcBase+pair)
+		projectColumn(dst, dstBase+l.NumOut+j, dm, srcBase+spec.OutputPairs+pair)
+	}
+	ni, nw, no := len(a.InputPair), len(a.Wire), len(a.OutputPair)
+	if cap(s.prevBuf) < ni+nw+no {
+		s.prevBuf = make([]int, ni+nw+no)
+	}
+	buf := s.prevBuf[:ni+nw+no]
+	s.prevIn = buf[0:ni:ni]
+	s.prevWire = buf[ni : ni+nw : ni+nw]
+	s.prevOut = buf[ni+nw:]
+	copy(s.prevIn, a.InputPair)
+	copy(s.prevWire, a.Wire)
+	copy(s.prevOut, a.OutputPair)
+	s.projSrc, s.projSrcVersion, s.projVersion = dm, dm.Version(), dst.Version()
 }
