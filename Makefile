@@ -12,13 +12,34 @@ BENCH_BEST ?= BENCH_best.json
 MAX_DRIFT ?= 0.10
 MAX_ALLOC_GROWTH ?= 0
 
-.PHONY: build test bench bench-json bench-diff bench-best vet
+.PHONY: build test bench bench-json bench-diff bench-best vet xbarvet lint fuzz-smoke
 
 build: vet
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+	$(GO) vet -tags purego ./...
+
+# xbarvet runs the repo-invariant analyzers (cmd/xbarvet) on both build
+# legs: hot-path allocation bans, journal lock/IO discipline, kernel
+# dispatch parity, metrics naming, and durable-write error checking.
+xbarvet:
+	$(GO) run ./cmd/xbarvet ./...
+	$(GO) run ./cmd/xbarvet -tags purego ./...
+
+lint: vet xbarvet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# fuzz-smoke gives the two parser/kernel fuzz targets a short budget; CI
+# runs the same legs so every PR fuzzes the frame decoder and match kernel.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParseFrame -fuzztime=$(FUZZTIME) ./internal/journal
+	$(GO) test -run='^$$' -fuzz=FuzzMatchRowAgainst -fuzztime=$(FUZZTIME) ./internal/bitmat
 
 test:
 	$(GO) test -race ./...

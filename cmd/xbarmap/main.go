@@ -106,6 +106,7 @@ func load(bench, plaPath string) (*memxbar.Function, error) {
 		if err != nil {
 			return nil, err
 		}
+		//xbar:allow errcheck-durable the PLA input is read-only; close cannot lose data and parse errors surface from ParsePLA
 		defer file.Close()
 		return memxbar.ParsePLA(file)
 	default:

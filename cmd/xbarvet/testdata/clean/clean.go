@@ -1,0 +1,5 @@
+// Package clean has nothing for any analyzer to object to.
+package clean
+
+// Answer is the only symbol.
+func Answer() int { return 42 }

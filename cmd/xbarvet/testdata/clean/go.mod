@@ -1,0 +1,3 @@
+module cleantest
+
+go 1.24

@@ -1,0 +1,3 @@
+module dirtytest
+
+go 1.24

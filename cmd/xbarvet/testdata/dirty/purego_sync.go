@@ -1,0 +1,9 @@
+//go:build purego
+
+package dirty
+
+import "os"
+
+func puregoSkip(f *os.File) {
+	f.Close()
+}

@@ -1,0 +1,9 @@
+// Package dirty seeds one default-leg violation and one purego-only
+// violation so driver tests can tell the legs apart.
+package dirty
+
+import "os"
+
+func skipSync(f *os.File) {
+	f.Sync()
+}

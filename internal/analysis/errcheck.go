@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrcheckDurable forbids discarding the error of a durability-critical
+// call: journal appends and closes, *os.File Sync/Close, and os.Rename.
+// These are exactly the calls whose lost error silently converts "durable"
+// into "probably durable" — a Close that reports a deferred write error, a
+// Sync that failed, a rename that never happened. Both discard shapes are
+// flagged: the bare expression statement (including defer) and assignment
+// of the error position to _.
+var ErrcheckDurable = &Analyzer{
+	Name: errcheckDurableName,
+	Doc:  "errors from journal append/close, file sync/close, and rename must be handled",
+	Run:  runErrcheckDurable,
+}
+
+func runErrcheckDurable(m *Module) []Finding {
+	var out []Finding
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok {
+						if what := durableCall(pkg, call); what != "" {
+							out = append(out, errcheckFinding(m, call, "%s error discarded by bare call statement", what))
+						}
+					}
+				case *ast.DeferStmt:
+					if what := durableCall(pkg, n.Call); what != "" {
+						out = append(out, errcheckFinding(m, n.Call, "%s error discarded by defer; use a named-return or logging wrapper", what))
+					}
+				case *ast.AssignStmt:
+					if len(n.Rhs) != 1 {
+						return true
+					}
+					call, ok := n.Rhs[0].(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					what := durableCall(pkg, call)
+					if what == "" {
+						return true
+					}
+					// The error is the last result; flag when its LHS is _.
+					if last, ok := n.Lhs[len(n.Lhs)-1].(*ast.Ident); ok && last.Name == "_" {
+						out = append(out, errcheckFinding(m, call, "%s error assigned to _", what))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func errcheckFinding(m *Module, call *ast.CallExpr, format string, args ...any) Finding {
+	return Finding{
+		Pos:      m.Fset.Position(call.Pos()),
+		Analyzer: errcheckDurableName,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// durableCall reports the human name of a durability-critical callee whose
+// final result is an error, or "" when the call is out of scope.
+func durableCall(pkg *Package, call *ast.CallExpr) string {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[fun.Sel]
+	default:
+		return ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 || !isErrorType(sig.Results().At(sig.Results().Len()-1).Type()) {
+		return ""
+	}
+	if sig.Recv() == nil {
+		if fn.Pkg().Path() == "os" && fn.Name() == "Rename" {
+			return "os.Rename"
+		}
+		return ""
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	rp, rn := named.Obj().Pkg().Path(), named.Obj().Name()
+	switch {
+	case rp == "os" && rn == "File" && (fn.Name() == "Sync" || fn.Name() == "Close"):
+		return "(*os.File)." + fn.Name()
+	case (rp == "journal" || strings.HasSuffix(rp, "/journal")) && rn == "Journal":
+		switch fn.Name() {
+		case "Append", "AppendBatch", "Close", "Compact":
+			return "(*journal.Journal)." + fn.Name()
+		}
+	}
+	return ""
+}
+
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}

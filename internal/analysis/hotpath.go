@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotpathAlloc enforces the zero-allocation contract on functions annotated
+// //xbar:hotpath: no allocating constructs (make/new, slice/map composite
+// literals, &T{} literals, append, string concatenation, string<->[]byte
+// conversions, conversions to interface types, escaping closures, go
+// statements) and no calls except to other hotpath-annotated functions, a
+// small whitelist of non-allocating stdlib (math, math/bits, sync/atomic,
+// *rand.Rand methods, time.Now/Since), or builtins. The bench gate catches
+// a regression after the fact; this catches it in review.
+var HotpathAlloc = &Analyzer{
+	Name: hotpathAllocName,
+	Doc:  "//xbar:hotpath functions must not allocate or call unannotated functions",
+	Run:  runHotpathAlloc,
+}
+
+// hotpathCallWhitelist lists full-name prefixes (types.Func.FullName form)
+// of stdlib calls allowed in hot paths: intrinsics and methods that do not
+// allocate.
+var hotpathCallWhitelist = []string{
+	"math.",
+	"math/bits.",
+	"sync/atomic.",
+	"(*math/rand.Rand).",
+	"(math/rand.", // Source interface methods promoted onto Rand values
+	"time.Now",
+	"time.Since",
+	"(time.Time).",
+	"(time.Duration).",
+}
+
+func hotpathWhitelisted(full string) bool {
+	for _, p := range hotpathCallWhitelist {
+		if strings.HasPrefix(full, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotpathAlloc(m *Module) []Finding {
+	var out []Finding
+	for _, pkg := range m.Packages {
+		for obj, decl := range m.hotpath {
+			if obj.Pkg() != pkg.Pkg || decl.Body == nil {
+				continue
+			}
+			hw := &hotpathWalker{m: m, pkg: pkg, localFns: localClosures(pkg, decl.Body)}
+			hw.node(decl.Body, nil)
+			out = append(out, hw.out...)
+		}
+	}
+	return out
+}
+
+type hotpathWalker struct {
+	m        *Module
+	pkg      *Package
+	out      []Finding
+	localFns map[types.Object]bool // idents bound once to a local func literal
+}
+
+// localClosures finds variables bound exactly once, by :=, to a func
+// literal in body. A call through such a variable is as verifiable as a
+// direct call — the literal's body is on the hot path and walked anyway —
+// so it is exempt from the indirect-call report. Any reassignment disquali-
+// fies the variable.
+func localClosures(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	bound := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			_, isLit := as.Rhs[i].(*ast.FuncLit)
+			if as.Tok == token.DEFINE && isLit {
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					bound[obj] = true
+				}
+				continue
+			}
+			// Plain assignment (or := shadowing resolved to a use): the
+			// binding is no longer single; drop it.
+			if obj := pkg.Info.Uses[id]; obj != nil {
+				delete(bound, obj)
+			}
+		}
+		return true
+	})
+	return bound
+}
+
+func (w *hotpathWalker) report(pos token.Pos, format string, args ...any) {
+	w.out = append(w.out, Finding{
+		Pos:      w.m.Fset.Position(pos),
+		Analyzer: hotpathAllocName,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// node walks one AST node with its parent, so context-sensitive rules
+// (&T{} literals, closures in escaping positions, map-key conversions) see
+// where an expression appears.
+func (w *hotpathWalker) node(n ast.Node, parent ast.Node) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		w.call(n, parent)
+	case *ast.CompositeLit:
+		w.compositeLit(n, parent)
+	case *ast.FuncLit:
+		if escapingFuncLit(parent) {
+			w.report(n.Pos(), "closure in escaping position allocates")
+		}
+		// The body runs on the hot path either way; walk it.
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD {
+			if tv, ok := w.pkg.Info.Types[n]; ok && tv.Value == nil && isString(tv.Type) {
+				w.report(n.Pos(), "string concatenation allocates")
+			}
+		}
+	case *ast.GoStmt:
+		w.report(n.Pos(), "go statement on a hot path allocates a goroutine")
+	}
+	for _, child := range children(n) {
+		w.node(child, n)
+	}
+}
+
+// call checks one call expression: builtin allocators, type conversions,
+// and the callee contract (hotpath-annotated, whitelisted, or reported).
+func (w *hotpathWalker) call(call *ast.CallExpr, parent ast.Node) {
+	info := w.pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		w.conversion(call, tv.Type, parent)
+		return
+	}
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	switch callee := obj.(type) {
+	case *types.Builtin:
+		switch callee.Name() {
+		case "make":
+			w.report(call.Pos(), "make allocates")
+		case "new":
+			w.report(call.Pos(), "new allocates")
+		case "append":
+			w.report(call.Pos(), "append may grow its backing array; preallocate or justify with //xbar:allow")
+		}
+	case *types.Func:
+		full := callee.FullName()
+		if strings.HasPrefix(full, "fmt.") {
+			w.report(call.Pos(), "%s allocates (fmt is banned on hot paths)", full)
+			return
+		}
+		if w.m.Hotpath(callee) || hotpathWhitelisted(full) {
+			return
+		}
+		w.report(call.Pos(), "calls %s, which is neither //xbar:hotpath nor whitelisted", full)
+	case nil:
+		// No object: a called function value (closure variable, callback
+		// parameter) the checker cannot follow.
+		w.report(call.Pos(), "indirect call cannot be verified allocation-free")
+	default:
+		if w.localFns[obj] {
+			return // single-assignment local closure; its body is walked
+		}
+		// A variable of function type reached through an identifier.
+		w.report(call.Pos(), "indirect call through %s cannot be verified allocation-free", obj.Name())
+	}
+}
+
+// conversion flags the converting calls that allocate: string<->byte/rune
+// slices (except the map-index idiom m[string(b)], which the compiler does
+// not materialize) and conversions to interface types.
+func (w *hotpathWalker) conversion(call *ast.CallExpr, target types.Type, parent ast.Node) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src := w.pkg.Info.Types[call.Args[0]].Type
+	if src == nil {
+		return
+	}
+	if types.IsInterface(target) && !types.IsInterface(src) {
+		w.report(call.Pos(), "conversion to interface %s allocates", types.TypeString(target, nil))
+		return
+	}
+	toString := isString(target) && isByteOrRuneSlice(src)
+	fromString := isString(src) && isByteOrRuneSlice(target)
+	if toString || fromString {
+		if toString {
+			if idx, ok := parent.(*ast.IndexExpr); ok && idx.Index == call {
+				if t := w.pkg.Info.Types[idx.X].Type; t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						return // m[string(b)] lookup does not copy
+					}
+				}
+			}
+		}
+		w.report(call.Pos(), "string conversion copies its operand")
+	}
+}
+
+func (w *hotpathWalker) compositeLit(lit *ast.CompositeLit, parent ast.Node) {
+	if inner, ok := parent.(*ast.CompositeLit); ok && inner != nil {
+		// Nested literal inside a flagged (or value-typed) outer literal;
+		// the outer decision covers it.
+		return
+	}
+	tv, ok := w.pkg.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		w.report(lit.Pos(), "slice literal allocates")
+	case *types.Map:
+		w.report(lit.Pos(), "map literal allocates")
+	default:
+		if u, ok := parent.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			w.report(lit.Pos(), "&%s literal allocates", types.TypeString(tv.Type, types.RelativeTo(w.pkg.Pkg)))
+		}
+	}
+}
+
+func escapingFuncLit(parent ast.Node) bool {
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		// fn := func(){...} with direct calls stays on the stack; storing
+		// into a field or element escapes.
+		for _, lhs := range p.Lhs {
+			if _, ok := lhs.(*ast.Ident); !ok {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		return true // passed as an argument
+	case *ast.ReturnStmt, *ast.KeyValueExpr, *ast.CompositeLit:
+		return true
+	case *ast.DeferStmt, *ast.GoStmt, *ast.ExprStmt:
+		return false // go/defer/immediate invocation are flagged elsewhere
+	}
+	return true
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// children returns the direct child nodes of n in source order, the walk
+// order ast.Inspect would use, but with the parent kept by the caller.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	firstLevel := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return false
+		}
+		if firstLevel {
+			firstLevel = false
+			return true // descend past n itself
+		}
+		out = append(out, c)
+		return false // collect only direct children
+	})
+	return out
+}

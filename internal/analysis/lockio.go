@@ -1,0 +1,482 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockIO enforces the lock discipline that PR 6's tail-ring fix made a
+// design rule: no file I/O, network call, or sleep while a sync.Mutex or
+// sync.RWMutex is held. Tracking is intraprocedural: Lock()/Unlock() calls
+// (and defer Unlock) update a hold set keyed by the mutex expression, and
+// functions whose name ends in "Locked" are analyzed with every mutex field
+// of their receiver held on entry (the repo's caller-holds convention). A
+// return on a path that still holds a lock with no deferred unlock is also
+// reported — the leak half of the same bug class.
+var LockIO = &Analyzer{
+	Name: lockIOName,
+	Doc:  "no file/network I/O or sleep while a mutex is held; no lock leaks on return",
+	Run:  runLockIO,
+}
+
+// lockioBannedOSFile lists *os.File methods that hit the filesystem.
+var lockioBannedOSFile = map[string]bool{
+	"Read": true, "ReadAt": true, "Write": true, "WriteAt": true,
+	"WriteString": true, "Sync": true, "Seek": true, "Truncate": true,
+	"Close": true, "Stat": true, "Chmod": true, "ReadDir": true,
+}
+
+// lockioBannedOSFunc lists package-level os functions that hit the
+// filesystem.
+var lockioBannedOSFunc = map[string]bool{
+	"ReadFile": true, "WriteFile": true, "Open": true, "OpenFile": true,
+	"Create": true, "Rename": true, "Remove": true, "RemoveAll": true,
+	"Stat": true, "Lstat": true, "Truncate": true, "Mkdir": true,
+	"MkdirAll": true, "ReadDir": true,
+}
+
+func runLockIO(m *Module) []Finding {
+	var out []Finding
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				lw := &lockWalker{m: m, pkg: pkg}
+				st := newLockState()
+				if strings.HasSuffix(fd.Name.Name, "Locked") {
+					lw.holdReceiverMutexes(fd, st)
+				}
+				lw.block(fd.Body.List, st)
+				lw.flush()
+				out = append(out, lw.out...)
+			}
+		}
+	}
+	return out
+}
+
+type lockState struct {
+	held     map[string]token.Pos // mutex expr -> Lock position
+	deferred map[string]bool      // mutex expr -> defer Unlock seen
+	// entry marks mutexes already held when this body was entered — the
+	// *Locked caller-holds convention, or a closure defined under a lock.
+	// They stay banned for I/O but returning with them held is the
+	// contract, not a leak.
+	entry map[string]bool
+}
+
+func newLockState() *lockState {
+	return &lockState{
+		held:     make(map[string]token.Pos),
+		deferred: make(map[string]bool),
+		entry:    make(map[string]bool),
+	}
+}
+
+func (s *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k, v := range s.deferred {
+		c.deferred[k] = v
+	}
+	for k, v := range s.entry {
+		c.entry[k] = v
+	}
+	return c
+}
+
+// markEntry freezes the current hold set as the body's entry obligation.
+func (s *lockState) markEntry() {
+	for k := range s.held {
+		s.entry[k] = true
+	}
+}
+
+// merge folds another fall-through path into s: a mutex counts as held when
+// any continuing path holds it (may-held, the strict direction for I/O).
+func (s *lockState) merge(o *lockState) {
+	for k, v := range o.held {
+		if _, ok := s.held[k]; !ok {
+			s.held[k] = v
+		}
+	}
+	for k := range o.deferred {
+		s.deferred[k] = true
+	}
+}
+
+type lockWalker struct {
+	m    *Module
+	pkg  *Package
+	out  []Finding
+	lits []deferredLit // closures analyzed after the enclosing body
+}
+
+type deferredLit struct {
+	lit *ast.FuncLit
+	st  *lockState
+}
+
+func (w *lockWalker) report(pos token.Pos, format string, args ...any) {
+	w.out = append(w.out, Finding{
+		Pos:      w.m.Fset.Position(pos),
+		Analyzer: lockIOName,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// holdReceiverMutexes marks every sync.Mutex/RWMutex field of the receiver
+// as held on entry — the *Locked naming convention.
+func (w *lockWalker) holdReceiverMutexes(fd *ast.FuncDecl, st *lockState) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return
+	}
+	recvName := fd.Recv.List[0].Names[0].Name
+	obj := w.pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+	if obj == nil {
+		return
+	}
+	t := obj.Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	s, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < s.NumFields(); i++ {
+		f := s.Field(i)
+		if isMutexType(f.Type()) {
+			st.held[recvName+"."+f.Name()] = fd.Pos()
+		}
+	}
+	st.markEntry()
+}
+
+func isMutexType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex"
+}
+
+// mutexKey returns the canonical expression string of a Lock/Unlock target
+// when recv is mutex-typed, else "".
+func (w *lockWalker) mutexKey(recv ast.Expr) string {
+	t := w.pkg.Info.Types[recv].Type
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if !isMutexType(t) {
+		return ""
+	}
+	return types.ExprString(recv)
+}
+
+// lockTransition applies call if it is a Lock/Unlock on a mutex; returns
+// true when it was one.
+func (w *lockWalker) lockTransition(call *ast.CallExpr, st *lockState, deferred bool) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	key := w.mutexKey(sel.X)
+	if key == "" {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		if deferred {
+			return true
+		}
+		if _, already := st.held[key]; already {
+			w.report(call.Pos(), "%s locked twice on the same path (deadlock)", key)
+		}
+		st.held[key] = call.Pos()
+		return true
+	case "Unlock", "RUnlock":
+		if deferred {
+			st.deferred[key] = true
+		} else {
+			delete(st.held, key)
+		}
+		return true
+	case "TryLock", "TryRLock":
+		return true // result-dependent; out of scope for the linear tracker
+	}
+	return false
+}
+
+// block walks a statement list, threading the hold state through it, and
+// reports whether every path through it terminates (return/panic).
+func (w *lockWalker) block(stmts []ast.Stmt, st *lockState) bool {
+	for _, s := range stmts {
+		if w.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt processes one statement; true means control does not continue past
+// it on any path.
+func (w *lockWalker) stmt(s ast.Stmt, st *lockState) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && w.lockTransition(call, st, false) {
+			return false
+		}
+		w.scan(s.X, st)
+	case *ast.DeferStmt:
+		if w.lockTransition(s.Call, st, true) {
+			return false
+		}
+		w.scan(s.Call, st)
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+		w.scan(s, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.scan(r, st)
+		}
+		for key, pos := range st.held {
+			if !st.deferred[key] && !st.entry[key] {
+				w.report(s.Pos(), "return with %s held (locked at line %d, no unlock on this path)",
+					key, w.m.Fset.Position(pos).Line)
+			}
+		}
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.scan(s.Cond, st)
+		thenSt := st.clone()
+		thenDone := w.block(s.Body.List, thenSt)
+		var elseSt *lockState
+		elseDone := false
+		if s.Else != nil {
+			elseSt = st.clone()
+			elseDone = w.stmt(s.Else, elseSt)
+		}
+		// Rebuild st as the merge of the continuing paths.
+		switch {
+		case s.Else == nil:
+			if !thenDone {
+				st.merge(thenSt)
+			}
+			return false
+		case thenDone && elseDone:
+			return true
+		case thenDone:
+			*st = *elseSt
+			return false
+		case elseDone:
+			*st = *thenSt
+			return false
+		default:
+			*st = *thenSt
+			st.merge(elseSt)
+			return false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.scan(s.Cond, st)
+		}
+		bodySt := st.clone()
+		w.block(s.Body.List, bodySt)
+		if s.Post != nil {
+			w.stmt(s.Post, bodySt)
+		}
+		st.merge(bodySt)
+	case *ast.RangeStmt:
+		w.scan(s.X, st)
+		bodySt := st.clone()
+		w.block(s.Body.List, bodySt)
+		st.merge(bodySt)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.scan(s.Tag, st)
+		}
+		w.caseClauses(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.scan(s.Assign, st)
+		w.caseClauses(s.Body, st)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			caseSt := st.clone()
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, caseSt)
+			}
+			if !w.block(cc.Body, caseSt) {
+				st.merge(caseSt)
+			}
+		}
+	case *ast.BlockStmt:
+		return w.block(s.List, st)
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the caller's hold set.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.lits = append(w.lits, deferredLit{lit: lit, st: newLockState()})
+		}
+		for _, a := range s.Call.Args {
+			w.scan(a, st)
+		}
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		// break/continue/goto: stop the linear walk of this path; the
+		// enclosing loop/switch already analyzed the body on a clone.
+		return true
+	}
+	return false
+}
+
+func (w *lockWalker) caseClauses(body *ast.BlockStmt, st *lockState) {
+	entry := st.clone()
+	first := true
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		caseSt := entry.clone()
+		for _, e := range cc.List {
+			w.scan(e, caseSt)
+		}
+		if !w.block(cc.Body, caseSt) {
+			if first {
+				*st = *caseSt
+				first = false
+			} else {
+				st.merge(caseSt)
+			}
+		}
+	}
+	if first {
+		*st = *entry // every case terminated (or no cases): entry state stands
+	}
+}
+
+// scan inspects an expression (or simple statement) for banned calls under
+// the current hold set. Nested closures are queued and analyzed as separate
+// bodies entered with the hold state at their definition point.
+func (w *lockWalker) scan(n ast.Node, st *lockState) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			litSt := st.clone()
+			litSt.markEntry()
+			w.lits = append(w.lits, deferredLit{lit: c, st: litSt})
+			return false
+		case *ast.CallExpr:
+			if w.lockTransition(c, st, false) {
+				return false
+			}
+			w.checkBanned(c, st)
+		}
+		return true
+	})
+}
+
+// flush analyzes queued closures (which may queue more).
+func (w *lockWalker) flush() {
+	for len(w.lits) > 0 {
+		d := w.lits[0]
+		w.lits = w.lits[1:]
+		w.block(d.lit.Body.List, d.st)
+	}
+}
+
+// checkBanned reports call if it performs I/O or sleeps while any mutex is
+// held.
+func (w *lockWalker) checkBanned(call *ast.CallExpr, st *lockState) {
+	if len(st.held) == 0 {
+		return
+	}
+	what := w.bannedCall(call)
+	if what == "" {
+		return
+	}
+	keys := make([]string, 0, len(st.held))
+	for k := range st.held {
+		keys = append(keys, k)
+	}
+	if len(keys) > 1 {
+		// Deterministic message order.
+		for i := 1; i < len(keys); i++ {
+			for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			}
+		}
+	}
+	w.report(call.Pos(), "%s while holding %s", what, strings.Join(keys, ", "))
+}
+
+// bannedCall classifies a call as file I/O, network, or sleep; empty means
+// allowed.
+func (w *lockWalker) bannedCall(call *ast.CallExpr) string {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = w.pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = w.pkg.Info.Uses[fun.Sel]
+	default:
+		return ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	pkgPath := fn.Pkg().Path()
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if n, ok := rt.(*types.Named); ok && n.Obj().Pkg() != nil {
+			rp := n.Obj().Pkg().Path()
+			if rp == "os" && n.Obj().Name() == "File" && lockioBannedOSFile[fn.Name()] {
+				return fmt.Sprintf("(*os.File).%s", fn.Name())
+			}
+			if rp == "net" || strings.HasPrefix(rp, "net/") {
+				return fmt.Sprintf("(%s.%s).%s", rp, n.Obj().Name(), fn.Name())
+			}
+		}
+		return ""
+	}
+	switch {
+	case pkgPath == "os" && lockioBannedOSFunc[fn.Name()]:
+		return "os." + fn.Name()
+	case pkgPath == "time" && fn.Name() == "Sleep":
+		return "time.Sleep"
+	case pkgPath == "syscall":
+		return "syscall." + fn.Name()
+	case pkgPath == "net" || strings.HasPrefix(pkgPath, "net/"):
+		return pkgPath + "." + fn.Name()
+	}
+	return ""
+}

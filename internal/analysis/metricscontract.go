@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MetricsContract enforces the instrumentation naming rules the CI metrics
+// smoke test spot-checks: every metrics.Registry registration uses a
+// compile-time-constant name with the xbar_ prefix, no name is registered
+// by two different call sites (one engine registry receives every
+// subsystem's families, so a module-wide literal collision is a runtime
+// collision), and Vec label keys are constant and at most three per family
+// (label cardinality is a production cost).
+var MetricsContract = &Analyzer{
+	Name: metricsContractName,
+	Doc:  "registry names are xbar_-prefixed literals, unique, with <=3 literal label keys",
+	Run:  runMetricsContract,
+}
+
+// metricsRegFunc matches Registry constructor methods on any package whose
+// import path ends in /metrics (the real module and test fixtures alike).
+var metricsRegFunc = regexp.MustCompile(`^\(\*(?:[^)]*/)?metrics\.Registry\)\.New(Counter|Gauge|GaugeFunc|Histogram|CounterVec|GaugeVec|HistogramVec)$`)
+
+const metricsMaxLabels = 3
+
+func runMetricsContract(m *Module) []Finding {
+	var out []Finding
+	seen := make(map[string]Finding) // metric name -> first registration
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				out = append(out, checkRegistration(m, pkg, call, seen)...)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func checkRegistration(m *Module, pkg *Package, call *ast.CallExpr, seen map[string]Finding) []Finding {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil
+	}
+	match := metricsRegFunc.FindStringSubmatch(fn.FullName())
+	if match == nil || len(call.Args) == 0 {
+		return nil
+	}
+	kind := match[1]
+	report := func(pos ast.Node, format string, args ...any) Finding {
+		return Finding{
+			Pos:      m.Fset.Position(pos.Pos()),
+			Analyzer: metricsContractName,
+			Message:  fmt.Sprintf(format, args...),
+		}
+	}
+	var out []Finding
+	name, isConst := constString(pkg, call.Args[0])
+	switch {
+	case !isConst:
+		out = append(out, report(call.Args[0], "New%s name must be a string literal, not a computed value", kind))
+	case !strings.HasPrefix(name, "xbar_"):
+		out = append(out, report(call.Args[0], "metric name %q must carry the xbar_ prefix", name))
+	default:
+		if first, dup := seen[name]; dup {
+			out = append(out, report(call.Args[0], "metric name %q already registered at %s:%d",
+				name, first.Pos.Filename, first.Pos.Line))
+		} else {
+			seen[name] = report(call.Args[0], "")
+		}
+	}
+	if strings.HasSuffix(kind, "Vec") {
+		labelStart := 2 // (name, help, labels...)
+		if kind == "HistogramVec" {
+			labelStart = 3 // (name, help, bounds, labels...)
+		}
+		if len(call.Args) > labelStart {
+			labels := call.Args[labelStart:]
+			if len(labels) > metricsMaxLabels {
+				out = append(out, report(labels[metricsMaxLabels],
+					"New%s declares %d label keys; the contract caps label cardinality at %d",
+					kind, len(labels), metricsMaxLabels))
+			}
+			for _, l := range labels {
+				if _, ok := constString(pkg, l); !ok {
+					out = append(out, report(l, "New%s label keys must be string literals", kind))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// constString extracts a compile-time-constant string value.
+func constString(pkg *Package, e ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

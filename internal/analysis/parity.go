@@ -1,0 +1,279 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// DispatchParity keeps build-tag-gated kernel dispatch files in lockstep:
+// within a package, the files selected only by the default (amd64) leg and
+// the files selected only by the purego leg must declare the same
+// package-level symbols with the same signatures. This is what guarantees
+// that `-tags purego` is a drop-in build: a symbol added to batch_amd64.go
+// but not batch_noasm.go fails here instead of in the other leg's CI build.
+// The comparison is syntactic (both legs' files are parsed regardless of
+// the host architecture), and bodies are free to differ — that is the
+// point of the split.
+var DispatchParity = &Analyzer{
+	Name: dispatchParityName,
+	Doc:  "build-tag leg pairs must declare identical symbol sets with identical signatures",
+	Run:  runDispatchParity,
+}
+
+// parityGoarches are the filename-suffix architectures recognized as
+// implicit build constraints (the subset this module could plausibly grow).
+var parityGoarches = map[string]bool{
+	"amd64": true, "arm64": true, "386": true, "arm": true,
+	"riscv64": true, "ppc64le": true, "s390x": true, "wasm": true,
+}
+
+// parityLegTags evaluates a constraint tag for the two checked legs.
+func parityLegTags(purego bool) func(string) bool {
+	return func(tag string) bool {
+		switch tag {
+		case "purego":
+			return purego
+		case "amd64", "linux", "unix", "gc":
+			return true
+		}
+		return goVersionTag.MatchString(tag)
+	}
+}
+
+var goVersionTag = regexp.MustCompile(`^go1\.\d+$`)
+
+func runDispatchParity(m *Module) []Finding {
+	var out []Finding
+	for _, pkg := range m.Packages {
+		out = append(out, parityCheckDir(m.Fset, pkg.Dir)...)
+	}
+	return out
+}
+
+// paritySymbol is one package-level declaration in a leg-specific file.
+type paritySymbol struct {
+	kind string // "func", "type", "const", "var"
+	sig  string // normalized signature / type expression ("" for const/var)
+	pos  token.Pos
+	file string
+}
+
+func parityCheckDir(fset *token.FileSet, dir string) []Finding {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	legs := [2]map[string]paritySymbol{} // 0: default-only files, 1: purego-only files
+	legFiles := [2][]string{}
+	commonRefs := make(map[string]bool) // idents used by files built in both legs
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			continue // the loader reports parse errors; parity skips the file
+		}
+		inDefault := fileInLeg(f, name, false)
+		inPurego := fileInLeg(f, name, true)
+		var leg int
+		switch {
+		case inDefault && !inPurego:
+			leg = 0
+		case inPurego && !inDefault:
+			leg = 1
+		default:
+			// Built in both legs (or neither): no parity obligation of its
+			// own, but every name it references must resolve in both legs.
+			if inDefault && inPurego {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if id, ok := n.(*ast.Ident); ok {
+						commonRefs[id.Name] = true
+					}
+					return true
+				})
+			}
+			continue
+		}
+		if legs[leg] == nil {
+			legs[leg] = make(map[string]paritySymbol)
+		}
+		legFiles[leg] = append(legFiles[leg], name)
+		collectParitySymbols(fset, f, name, legs[leg])
+	}
+	if legs[0] == nil && legs[1] == nil {
+		return nil
+	}
+	var out []Finding
+	legName := [2]string{"default (amd64)", "purego"}
+	for side := 0; side < 2; side++ {
+		other := 1 - side
+		names := make([]string, 0, len(legs[side]))
+		for n := range legs[side] {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			sym := legs[side][n]
+			counterpart, ok := legs[other][n]
+			if !ok {
+				// A leg-private unexported helper is fine: only symbols that
+				// form the cross-leg contract — exported, or referenced by a
+				// file built in both legs — must exist on both sides.
+				if base := paritySymbolBase(n); !ast.IsExported(base) && !commonRefs[base] {
+					continue
+				}
+				out = append(out, Finding{
+					Pos:      fset.Position(sym.pos),
+					Analyzer: dispatchParityName,
+					Message: fmt.Sprintf("%s %s is declared in the %s leg but missing from the %s leg (%s)",
+						sym.kind, n, legName[side], legName[other], legFileList(legFiles[other])),
+				})
+				continue
+			}
+			if side == 0 && sym.sig != counterpart.sig {
+				out = append(out, Finding{
+					Pos:      fset.Position(sym.pos),
+					Analyzer: dispatchParityName,
+					Message: fmt.Sprintf("%s %s differs between legs: %s leg has %q, %s leg has %q",
+						sym.kind, n, legName[0], sym.sig, legName[1], counterpart.sig),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// paritySymbolBase strips a method's receiver qualifier ("(*Matrix).Get" ->
+// "Get") so exportedness is judged on the member name.
+func paritySymbolBase(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+func legFileList(files []string) string {
+	if len(files) == 0 {
+		return "no files in that leg"
+	}
+	sort.Strings(files)
+	return strings.Join(files, ", ")
+}
+
+// fileInLeg reports whether the file is selected when building the given
+// leg, combining the //go:build expression with the filename-implied
+// architecture constraint.
+func fileInLeg(f *ast.File, name string, purego bool) bool {
+	eval := parityLegTags(purego)
+	if arch := filenameGoarch(name); arch != "" && !eval(arch) {
+		return false
+	}
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if constraint.IsGoBuild(c.Text) {
+				expr, err := constraint.Parse(c.Text)
+				if err != nil {
+					return false
+				}
+				return expr.Eval(eval)
+			}
+		}
+	}
+	return true
+}
+
+// filenameGoarch extracts a trailing _GOARCH filename constraint ("" when
+// none).
+func filenameGoarch(name string) string {
+	base := strings.TrimSuffix(name, ".go")
+	i := strings.LastIndexByte(base, '_')
+	if i < 0 {
+		return ""
+	}
+	if suffix := base[i+1:]; parityGoarches[suffix] {
+		return suffix
+	}
+	return ""
+}
+
+// collectParitySymbols records the package-level declarations of one file.
+func collectParitySymbols(fset *token.FileSet, f *ast.File, filename string, into map[string]paritySymbol) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			name := d.Name.Name
+			if d.Recv != nil && len(d.Recv.List) > 0 {
+				name = exprText(fset, d.Recv.List[0].Type) + "." + name
+			}
+			into[name] = paritySymbol{
+				kind: "func",
+				sig:  exprText(fset, stripBody(d)),
+				pos:  d.Pos(),
+				file: filename,
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					into[s.Name.Name] = paritySymbol{
+						kind: "type",
+						sig:  exprText(fset, s.Type),
+						pos:  s.Pos(),
+						file: filename,
+					}
+				case *ast.ValueSpec:
+					kind := "var"
+					if d.Tok == token.CONST {
+						kind = "const"
+					}
+					var typ string
+					if s.Type != nil {
+						typ = exprText(fset, s.Type)
+					}
+					for _, n := range s.Names {
+						if n.Name == "_" {
+							continue
+						}
+						// Values may legitimately differ between legs (a
+						// kernel-name constant); only name and declared type
+						// must match.
+						into[n.Name] = paritySymbol{kind: kind, sig: typ, pos: n.Pos(), file: filename}
+					}
+				}
+			}
+		}
+	}
+}
+
+// stripBody returns a copy of the func declaration without body or doc, the
+// part both legs must agree on.
+func stripBody(d *ast.FuncDecl) *ast.FuncDecl {
+	c := *d
+	c.Body = nil
+	c.Doc = nil
+	return &c
+}
+
+func exprText(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<unprintable: %v>", err)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}

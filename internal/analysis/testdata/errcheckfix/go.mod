@@ -1,0 +1,3 @@
+module errchecktest
+
+go 1.24

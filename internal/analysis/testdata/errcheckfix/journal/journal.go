@@ -1,0 +1,12 @@
+// Package journal mirrors the durable-write surface the errcheck-durable
+// analyzer guards (it matches any */journal.Journal receiver).
+package journal
+
+type Journal struct{}
+
+func (j *Journal) Append(key, value []byte) (uint64, error) { return 0, nil }
+func (j *Journal) AppendBatch(keys, values [][]byte) ([]uint64, error) {
+	return nil, nil
+}
+func (j *Journal) Close() error   { return nil }
+func (j *Journal) Compact() error { return nil }

@@ -1,0 +1,31 @@
+// Package errcheckfix seeds every shape of discarded durable-write error:
+// bare statements, defers, and blank assignments of journal appends, file
+// sync/close, and renames.
+package errcheckfix
+
+import (
+	"os"
+
+	"errchecktest/journal"
+)
+
+func use(j *journal.Journal, f *os.File) error {
+	j.Append(nil, nil)        // want "(*journal.Journal).Append error discarded by bare call statement"
+	defer j.Close()           // want "(*journal.Journal).Close error discarded by defer"
+	_, _ = j.Append(nil, nil) // want "(*journal.Journal).Append error assigned to _"
+	j.Compact()               // want "(*journal.Journal).Compact error discarded by bare call statement"
+	f.Sync()                  // want "(*os.File).Sync error discarded by bare call statement"
+	defer f.Close()           // want "(*os.File).Close error discarded by defer"
+	os.Rename("a", "b")       // want "os.Rename error discarded by bare call statement"
+	_ = os.Rename("b", "a")   // want "os.Rename error assigned to _"
+
+	//xbar:allow errcheck-durable fixture demonstrates a justified suppression
+	f.Close()
+
+	if _, err := j.AppendBatch(nil, nil); err != nil { // handled: no finding
+		return err
+	}
+	seq, err := j.Append(nil, nil) // handled: no finding
+	_ = seq
+	return err
+}

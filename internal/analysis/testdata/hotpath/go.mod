@@ -1,0 +1,3 @@
+module hotpathtest
+
+go 1.24

@@ -1,0 +1,59 @@
+// Package hotpath seeds one violation per hotpath-alloc rule; the golden
+// test matches each finding against the want comments.
+package hotpath
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+type counters struct {
+	n int
+}
+
+//xbar:hotpath
+func annotatedCallee(x int) int { return x + 1 }
+
+func plain(x int) int { return x }
+
+//xbar:hotpath
+func callsAndBuiltins(b []byte, fn func() int, m map[string]int) int {
+	s := make([]int, 4)    // want "make allocates"
+	p := new(counters)     // want "new allocates"
+	b = append(b, 1)       // want "append may grow its backing array"
+	fmt.Println(len(s))    // want "fmt is banned on hot paths"
+	total := plain(len(b)) // want "neither //xbar:hotpath nor whitelisted"
+	total += fn()          // want "indirect call through fn cannot be verified"
+	total += annotatedCallee(total)
+	total += bits.OnesCount(uint(total))
+	total += m[string(b)] // map-index conversion is free: no finding
+	return total + p.n
+}
+
+//xbar:hotpath
+func conversions(b []byte) (string, any) {
+	s := string(b)    // want "string conversion copies its operand"
+	return s, any(&b) // want "conversion to interface"
+}
+
+//xbar:hotpath
+func literals(s1, s2 string) func() {
+	xs := []int{1, 2}     // want "slice literal allocates"
+	ms := map[int]int{}   // want "map literal allocates"
+	c := &counters{}      // want "literal allocates"
+	joined := s1 + s2     // want "string concatenation allocates"
+	go annotatedCallee(1) // want "go statement on a hot path"
+	_, _, _ = xs, ms, joined
+	inc := func() { c.n++ } // single-assignment local closure: no finding
+	inc()
+	return func() { c.n++ } // want "closure in escaping position"
+}
+
+//xbar:hotpath
+func allowedGrow(buf []int, n int) []int {
+	if cap(buf) < n {
+		//xbar:allow hotpath-alloc fixture demonstrates an allowed grow-once site
+		buf = make([]int, n)
+	}
+	return buf[:n]
+}

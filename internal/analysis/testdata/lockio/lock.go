@@ -1,0 +1,75 @@
+// Package lockio seeds lock-discipline violations: file/network I/O and
+// sleeps under a held mutex, a Lock with no Unlock on a return path, and a
+// double Lock — plus the patterns that must stay clean (defer Unlock, the
+// *Locked caller-holds convention, closures, goroutines).
+package lockio
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+type Store struct {
+	mu   sync.Mutex
+	tail *os.File
+}
+
+func (s *Store) ioUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.tail.Sync(); err != nil { // want "(*os.File).Sync while holding s.mu"
+		return err
+	}
+	time.Sleep(time.Millisecond)  // want "time.Sleep while holding s.mu"
+	data, err := os.ReadFile("x") // want "os.ReadFile while holding s.mu"
+	_ = data
+	conn, derr := net.Dial("tcp", "localhost:1") // want "net.Dial while holding s.mu"
+	if derr == nil {
+		_ = conn.Close() // want "(net.Conn).Close while holding s.mu"
+	}
+	return err
+}
+
+func (s *Store) leakOnReturn(cond bool) {
+	s.mu.Lock()
+	if cond {
+		return // want "return with s.mu held"
+	}
+	s.mu.Unlock()
+}
+
+func (s *Store) doubleLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want "s.mu locked twice on the same path"
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// flushLocked follows the *Locked convention: the caller holds s.mu, so
+// returning with it held is the contract — but I/O under it still flags.
+func (s *Store) flushLocked() error {
+	if s.tail != nil {
+		return s.tail.Sync() // want "(*os.File).Sync while holding s.mu"
+	}
+	return nil
+}
+
+// clean exercises the patterns that must not flag: I/O before the lock,
+// defer-paired unlock, closures returning under an entry-held lock, and
+// goroutines that start with a fresh hold set.
+func (s *Store) clean() error {
+	if err := s.tail.Sync(); err != nil { // not held yet: no finding
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	probe := func() bool { return s.tail != nil } // closure may return under the entry-held lock
+	if probe() {
+		go func() {
+			_ = os.Mkdir("spawned", 0o755) // fresh goroutine does not hold s.mu
+		}()
+	}
+	return nil
+}

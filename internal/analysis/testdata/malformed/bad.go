@@ -1,0 +1,6 @@
+// Package malformed carries a suppression comment with no reason, which the
+// driver must report instead of silently honoring.
+package malformed
+
+//xbar:allow lock-io
+var placeholder = 0

@@ -1,0 +1,3 @@
+module malformedtest
+
+go 1.24

@@ -1,0 +1,3 @@
+module metricstest
+
+go 1.24

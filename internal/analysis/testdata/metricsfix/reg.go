@@ -1,0 +1,21 @@
+// Package metricsfix seeds metrics-contract violations: computed names,
+// missing prefixes, duplicate registrations, oversized and non-literal
+// label sets.
+package metricsfix
+
+import "metricstest/metrics"
+
+const jobsTotal = "xbar_jobs_total"
+
+func register(r *metrics.Registry, dyn string) {
+	r.NewCounter(dyn, "computed name")            // want "must be a string literal"
+	r.NewCounter("engine_jobs", "bad prefix")     // want "must carry the xbar_ prefix"
+	r.NewCounter(jobsTotal, "named const is ok")  // no finding: constant expression
+	r.NewGauge("xbar_jobs_total", "duplicate")    // want "already registered"
+	r.NewHistogram("xbar_lat_seconds", "ok", nil) // no finding
+	r.NewCounterVec("xbar_hits_total", "too many labels",
+		"a", "b", "c", "d") // want "caps label cardinality at 3"
+	r.NewHistogramVec("xbar_dur_seconds", "non-literal label", nil,
+		dyn) // want "label keys must be string literals"
+	r.NewGaugeVec("xbar_depth", "ok", "queue")
+}

@@ -1,0 +1,3 @@
+module paritytest
+
+go 1.24

@@ -1,0 +1,9 @@
+// Package kern seeds dispatch-parity violations between a default-leg file
+// (batch_amd64.go) and its purego counterpart (batch_noasm.go).
+package kern
+
+// Dispatch is the common entry point; kernel and helper must therefore
+// resolve in both legs.
+func Dispatch(x int64) int {
+	return kernel(x) + helper()
+}

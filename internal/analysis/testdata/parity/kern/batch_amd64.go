@@ -1,0 +1,23 @@
+//go:build amd64 && !purego
+
+package kern
+
+// kernel's signature disagrees with the purego leg's.
+func kernel(x int64) int { return int(x) } // want "differs between legs"
+
+// helper is unexported but referenced from the common batch.go, so both
+// legs must declare it.
+func helper() int { return 0 } // want "missing from the purego leg"
+
+// Exported symbols always need a counterpart.
+func Exported() int { return 1 } // want "missing from the purego leg"
+
+// wideHelper is a leg-private unexported helper: used only below, never
+// from a common file, so the purego leg owes no counterpart.
+func wideHelper(x int64) int { return int(x) }
+
+func kernelWide(x int64) int { return wideHelper(x) }
+
+// KernelName exists in both legs with different values; only the name and
+// declared type must agree.
+const KernelName = "amd64"

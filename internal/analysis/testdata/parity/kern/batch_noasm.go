@@ -1,0 +1,9 @@
+//go:build !amd64 || purego
+
+package kern
+
+func kernel(x int64) int64 { return x }
+
+func PuregoOnly() int { return 2 } // want "missing from the default (amd64) leg"
+
+const KernelName = "portable"

@@ -21,6 +21,8 @@ package bitmat
 // packed for cm.Cols columns (len(fm) == Words(cm.Cols)) and out for cm.Rows
 // columns (len(out) == Words(cm.Rows)); out is overwritten, and the
 // packed-row contract is preserved (bits at positions >= cm.Rows stay zero).
+//
+//xbar:hotpath
 func MatchRowAgainst(fm Row, cm *Matrix, out Row) {
 	for i := range out {
 		out[i] = 0
@@ -47,6 +49,8 @@ func MatchRowAgainst(fm Row, cm *Matrix, out Row) {
 // the eight per-iteration rows share one bounds-checked subslice. It is the
 // !amd64/purego implementation of matchSingleWord and the reference the
 // amd64 variant is parity-tested against.
+//
+//xbar:hotpath
 func matchSingleWordPortable(f uint64, bits []uint64, out Row, rows int) {
 	j := 0
 	for ; j+7 < rows; j += 8 {
@@ -93,6 +97,8 @@ func matchSingleWordPortable(f uint64, bits []uint64, out Row, rows int) {
 // bounds-checked window over the row words so the inner loop is
 // bounds-check-free. An accumulator ends zero iff its row contains the FM
 // row.
+//
+//xbar:hotpath
 func matchMultiWordPortable(fm Row, bits []uint64, out Row, rows, w int) {
 	j := 0
 	for ; j+7 < rows; j += 8 {
@@ -152,6 +158,8 @@ func matchMultiWordPortable(fm Row, bits []uint64, out Row, rows, w int) {
 
 // matchRowAgainstScalar is the one-row-at-a-time reference the batch kernels
 // are property-tested and benchmarked against.
+//
+//xbar:hotpath
 func matchRowAgainstScalar(fm Row, cm *Matrix, out Row) {
 	for i := range out {
 		out[i] = 0

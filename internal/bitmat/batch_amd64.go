@@ -8,10 +8,12 @@ package bitmat
 // KernelVariant names the row-matching kernel compiled into this binary.
 func KernelVariant() string { return "amd64" }
 
+//xbar:hotpath
 func matchSingleWord(f uint64, bits []uint64, out Row, rows int) {
 	matchSingleWordWide(f, bits, out, rows)
 }
 
+//xbar:hotpath
 func matchMultiWord(fm Row, bits []uint64, out Row, rows, w int) {
 	matchMultiWordPortable(fm, bits, out, rows, w)
 }
@@ -23,6 +25,8 @@ func matchMultiWord(fm Row, bits []uint64, out Row, rows, w int) {
 // tests keep the comparison form the compiler lowers to TESTQ+SETEQ (flag
 // ops, no branches), so throughput stays density-independent. Parity with
 // matchSingleWordPortable is pinned by TestMatchSingleWordVariantsAgree.
+//
+//xbar:hotpath
 func matchSingleWordWide(f uint64, bits []uint64, out Row, rows int) {
 	full := rows &^ 63
 	for base := 0; base < full; base += 64 {

@@ -8,10 +8,12 @@ package bitmat
 // KernelVariant names the row-matching kernel compiled into this binary.
 func KernelVariant() string { return "portable" }
 
+//xbar:hotpath
 func matchSingleWord(f uint64, bits []uint64, out Row, rows int) {
 	matchSingleWordPortable(f, bits, out, rows)
 }
 
+//xbar:hotpath
 func matchMultiWord(fm Row, bits []uint64, out Row, rows, w int) {
 	matchMultiWordPortable(fm, bits, out, rows, w)
 }

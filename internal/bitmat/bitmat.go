@@ -19,21 +19,31 @@ const wordBits = 64
 type Row []uint64
 
 // Words returns the word count needed to pack cols columns.
+//
+//xbar:hotpath
 func Words(cols int) int { return (cols + wordBits - 1) / wordBits }
 
 // NewRow returns an all-zero packed row with capacity for cols columns.
 func NewRow(cols int) Row { return make(Row, Words(cols)) }
 
 // Get reports whether column c is set.
+//
+//xbar:hotpath
 func (r Row) Get(c int) bool { return r[c/wordBits]&(1<<uint(c%wordBits)) != 0 }
 
 // Set sets column c.
+//
+//xbar:hotpath
 func (r Row) Set(c int) { r[c/wordBits] |= 1 << uint(c%wordBits) }
 
 // Clear clears column c.
+//
+//xbar:hotpath
 func (r Row) Clear(c int) { r[c/wordBits] &^= 1 << uint(c%wordBits) }
 
 // Zero clears every column in place.
+//
+//xbar:hotpath
 func (r Row) Zero() {
 	for i := range r {
 		r[i] = 0
@@ -41,6 +51,8 @@ func (r Row) Zero() {
 }
 
 // Or folds b into r in place (r |= b). The rows must have equal length.
+//
+//xbar:hotpath
 func (r Row) Or(b Row) {
 	for i, w := range b {
 		r[i] |= w
@@ -49,6 +61,8 @@ func (r Row) Or(b Row) {
 
 // AndNot clears from r every column set in b (r &^= b). The rows must have
 // equal length.
+//
+//xbar:hotpath
 func (r Row) AndNot(b Row) {
 	for i, w := range b {
 		r[i] &^= w
@@ -57,6 +71,8 @@ func (r Row) AndNot(b Row) {
 
 // Fill sets columns [0, n) and clears the rest (n may end anywhere inside
 // the row; bits at positions >= n stay zero per the packed-row contract).
+//
+//xbar:hotpath
 func (r Row) Fill(n int) {
 	w := n / wordBits
 	for i := 0; i < w; i++ {
@@ -75,6 +91,8 @@ func (r Row) Fill(n int) {
 }
 
 // Any reports whether any column is set.
+//
+//xbar:hotpath
 func (r Row) Any() bool {
 	for _, w := range r {
 		if w != 0 {
@@ -85,6 +103,8 @@ func (r Row) Any() bool {
 }
 
 // PopCount counts the set columns of r.
+//
+//xbar:hotpath
 func PopCount(r Row) int {
 	n := 0
 	for _, w := range r {
@@ -95,6 +115,8 @@ func PopCount(r Row) int {
 
 // Equal reports whether a and b have identical columns. The rows must have
 // equal length.
+//
+//xbar:hotpath
 func Equal(a, b Row) bool {
 	for i, w := range a {
 		if w != b[i] {
@@ -106,6 +128,8 @@ func Equal(a, b Row) bool {
 
 // AndNotAny reports whether a &^ b has any set bit, i.e. whether a has a
 // column that b lacks. The rows must have equal length.
+//
+//xbar:hotpath
 func AndNotAny(a, b Row) bool {
 	for i, w := range a {
 		if w&^b[i] != 0 {
@@ -117,10 +141,14 @@ func AndNotAny(a, b Row) bool {
 
 // SubsetOf reports whether every set column of a is also set in b
 // (a &^ b == 0), the packed form of the paper's row-matching rule.
+//
+//xbar:hotpath
 func SubsetOf(a, b Row) bool { return !AndNotAny(a, b) }
 
 // FirstAnd returns the lowest column index set in both a and b, or -1 when
 // the intersection is empty. The rows must have equal length.
+//
+//xbar:hotpath
 func FirstAnd(a, b Row) int {
 	for i, w := range a {
 		if and := w & b[i]; and != 0 {
@@ -132,6 +160,8 @@ func FirstAnd(a, b Row) int {
 
 // NextSet returns the lowest set column >= from, or -1 when none remains —
 // the ascending-order iterator of the candidate-bitset enumeration loops.
+//
+//xbar:hotpath
 func (r Row) NextSet(from int) int {
 	if from < 0 {
 		from = 0
@@ -153,6 +183,8 @@ func (r Row) NextSet(from int) int {
 
 // NextAndNot returns the lowest column >= from set in a but not in b, or -1.
 // The rows must have equal length.
+//
+//xbar:hotpath
 func NextAndNot(a, b Row, from int) int {
 	if from < 0 {
 		from = 0
@@ -191,6 +223,8 @@ func New(rows, cols int) *Matrix {
 }
 
 // Row returns the packed view of row r; mutations write through.
+//
+//xbar:hotpath
 func (m *Matrix) Row(r int) Row { return m.bits[r*m.words : (r+1)*m.words] }
 
 // Reshape resizes m in place to an all-zero rows × cols matrix, reusing the
@@ -213,15 +247,23 @@ func (m *Matrix) Reshape(rows, cols int) {
 }
 
 // Get reports whether cell (r, c) is set.
+//
+//xbar:hotpath
 func (m *Matrix) Get(r, c int) bool { return m.Row(r).Get(c) }
 
 // Set sets cell (r, c).
+//
+//xbar:hotpath
 func (m *Matrix) Set(r, c int) { m.Row(r).Set(c) }
 
 // Clear clears cell (r, c).
+//
+//xbar:hotpath
 func (m *Matrix) Clear(r, c int) { m.Row(r).Clear(c) }
 
 // Zero clears the whole matrix in place.
+//
+//xbar:hotpath
 func (m *Matrix) Zero() {
 	for i := range m.bits {
 		m.bits[i] = 0
@@ -230,6 +272,8 @@ func (m *Matrix) Zero() {
 
 // Fill sets every in-range cell, keeping the trailing bits of each row's
 // last word zero (the packed-row contract).
+//
+//xbar:hotpath
 func (m *Matrix) Fill() {
 	if m.words == 0 {
 		return

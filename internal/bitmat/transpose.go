@@ -67,6 +67,8 @@ func TransposeInto(dst, src *Matrix) *Matrix {
 // harmless. dst must be a view of this src previously built by TransposeInto
 // (dst.Rows == src.Cols, dst.Cols == src.Rows); anything else panics rather
 // than silently desynchronizing the view.
+//
+//xbar:hotpath
 func TransposeUpdate(dst, src *Matrix, dirtyRows, dirtyCols Row) {
 	if dst == nil || dst.Rows != src.Cols || dst.Cols != src.Rows {
 		panic("bitmat: TransposeUpdate on a view with mismatched dimensions")
@@ -111,6 +113,8 @@ func TransposeUpdate(dst, src *Matrix, dirtyRows, dirtyCols Row) {
 // to bit r of word c) by recursive halving: swap the off-diagonal 32×32
 // quadrants, then the 16×16 quadrants within each half, and so on down to
 // single bits — six rounds of masked shift-and-xor instead of 4096 bit moves.
+//
+//xbar:hotpath
 func transpose64(a *[64]uint64) {
 	m := uint64(0x00000000FFFFFFFF)
 	for j := uint(32); j != 0; j >>= 1 {

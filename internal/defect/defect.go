@@ -137,7 +137,10 @@ func Generate(rows, cols int, p Params, rng *rand.Rand) (*Map, error) {
 // identical map — without allocating. It is the scratch-buffer primitive of
 // the Monte Carlo yield loops: one preallocated map per worker, refilled per
 // trial.
+//
+//xbar:hotpath
 func (m *Map) Regenerate(p Params, rng *rand.Rand) error {
+	//xbar:allow hotpath-alloc parameter validation is the cold error path and allocates only when it rejects
 	if err := p.validate(rng); err != nil {
 		return err
 	}
@@ -152,6 +155,7 @@ func (m *Map) Regenerate(p Params, rng *rand.Rand) error {
 	// rng draw order is untouched, so the resampled map is bit-identical to
 	// the non-tracking path.
 	if cap(m.prevCells) < len(m.cells) {
+		//xbar:allow hotpath-alloc grow-once snapshot buffer; steady-state trials reuse it
 		m.prevCells = make([]Kind, len(m.cells))
 	}
 	prev := m.prevCells[:len(m.cells)]
@@ -179,6 +183,8 @@ func (m *Map) Regenerate(p Params, rng *rand.Rand) error {
 // reuse primitive of both Regenerate and the column-aware mapper's scratch
 // projection. Clearing rewrites every cell, so the delta window degrades to
 // all-dirty (Regenerate narrows it back down by diffing against a snapshot).
+//
+//xbar:hotpath
 func (m *Map) Reset() {
 	if m.open == 0 && m.closed == 0 {
 		return // already all-functional; nothing changed, keep the window
@@ -203,6 +209,8 @@ func (m *Map) Reset() {
 // sample draws every cell in row-major order (the rng consumption order is
 // part of the reproducibility contract: Generate, Regenerate, and any
 // identically-seeded rerun must agree bit for bit).
+//
+//xbar:hotpath
 func (m *Map) sample(p Params, rng *rand.Rand) {
 	for i := range m.cells {
 		u := rng.Float64()
@@ -216,12 +224,17 @@ func (m *Map) sample(p Params, rng *rand.Rand) {
 }
 
 // At returns the defect kind at (r, c).
+//
+//xbar:hotpath
 func (m *Map) At(r, c int) Kind { return m.cells[r*m.Cols+c] }
 
 // Set stores a defect kind at (r, c), updating the packed masks and the
 // per-line caches incrementally (O(1)); used by tests and fault injection.
+//
+//xbar:hotpath
 func (m *Map) Set(r, c int, k Kind) { m.set(r, c, k) }
 
+//xbar:hotpath
 func (m *Map) set(r, c int, k Kind) {
 	old := m.cells[r*m.Cols+c]
 	if old == k {
@@ -264,43 +277,61 @@ func (m *Map) set(r, c int, k Kind) {
 }
 
 // Functional reports whether the device at (r, c) is programmable.
+//
+//xbar:hotpath
 func (m *Map) Functional(r, c int) bool { return m.At(r, c) == OK }
 
 // FunctionalRow returns the packed functional mask of physical row r (bit c
 // set = programmable device). The view aliases the map's storage: callers
 // must treat it as read-only, and it is invalidated by Set/Regenerate.
+//
+//xbar:hotpath
 func (m *Map) FunctionalRow(r int) bitmat.Row { return m.functional.Row(r) }
 
 // ClosedCols returns the packed mask of columns containing at least one
 // stuck-at-closed device (read-only view, invalidated by Set/Regenerate).
+//
+//xbar:hotpath
 func (m *Map) ClosedCols() bitmat.Row { return m.closedColMask }
 
 // ClosedRows returns the packed mask of rows containing at least one
 // stuck-at-closed device (read-only view, invalidated by Set/Regenerate).
 // ANDing its complement into a candidate bitset excludes every poisoned
 // physical row in one word pass.
+//
+//xbar:hotpath
 func (m *Map) ClosedRows() bitmat.Row { return m.closedRowMask }
 
 // FunctionalMatrix returns the packed functional mask of the whole map, the
 // CM the batched row-matching kernel scans. Read-only view, invalidated by
 // Set/Regenerate.
+//
+//xbar:hotpath
 func (m *Map) FunctionalMatrix() *bitmat.Matrix { return m.functional }
 
 // ClosedInColumn returns the stuck-at-closed device count of column c (O(1)
 // via the incremental cache).
+//
+//xbar:hotpath
 func (m *Map) ClosedInColumn(c int) int { return int(m.closedCol[c]) }
 
 // RowHasClosed reports whether row r contains a stuck-at-closed device, in
 // which case the paper's model renders the whole horizontal line unusable
 // (the NAND output is forced to logic 1). O(1) via the incremental cache.
+//
+//xbar:hotpath
 func (m *Map) RowHasClosed(r int) bool { return m.closedRow[r] > 0 }
 
 // ColHasClosed reports whether column c contains a stuck-at-closed device,
 // which renders the vertical line unusable (it cannot be initialized to
 // R_OFF). O(1) via the incremental cache.
+//
+//xbar:hotpath
 func (m *Map) ColHasClosed(c int) bool { return m.closedCol[c] > 0 }
 
 // UsableRow reports whether row r can host any logic line at all.
+//
+//xbar:hotpath
 func (m *Map) UsableRow(r int) bool { return !m.RowHasClosed(r) }
 
 // Stats summarizes a defect map.

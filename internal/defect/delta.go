@@ -31,28 +31,40 @@ import "repro/internal/bitmat"
 // Version returns the mutation counter: it advances every time a cell's kind
 // effectively changes (writes of the current kind are free). Equal versions
 // across two observations guarantee identical map contents in between.
+//
+//xbar:hotpath
 func (m *Map) Version() uint64 { return m.version }
 
 // DeltaBase returns the version the current delta window was opened at (by
 // the last ResetDelta). The window describes every change from DeltaBase to
 // Version.
+//
+//xbar:hotpath
 func (m *Map) DeltaBase() uint64 { return m.deltaBase }
 
 // DeltaAll reports whether the window has degraded to whole-map dirty (fresh
 // map, Reset, or dimension-scale rewrites); consumers must then rebuild.
+//
+//xbar:hotpath
 func (m *Map) DeltaAll() bool { return m.deltaAll }
 
 // DeltaRows returns the packed mask of rows changed within the window.
 // Read-only view, meaningless while DeltaAll is set.
+//
+//xbar:hotpath
 func (m *Map) DeltaRows() bitmat.Row { return m.deltaRows }
 
 // DeltaCols returns the packed mask of columns changed within the window.
 // Read-only view, meaningless while DeltaAll is set.
+//
+//xbar:hotpath
 func (m *Map) DeltaCols() bitmat.Row { return m.deltaCols }
 
 // ResetDelta closes the current window and opens a fresh one at the current
 // version. The caller must have just (re)built its derived view from the
 // map's present contents.
+//
+//xbar:hotpath
 func (m *Map) ResetDelta() {
 	m.deltaRows.Zero()
 	m.deltaCols.Zero()
@@ -68,4 +80,6 @@ func (m *Map) ResetDelta() {
 // the snapshot+diff per Regenerate is then pure overhead. A later
 // ResetDelta reopens tracking at any time. Version() keeps advancing
 // regardless, so version-equality skip paths survive a closed window.
+//
+//xbar:hotpath
 func (m *Map) CloseDelta() { m.deltaAll = true }

@@ -30,6 +30,8 @@ func newRecordRing(capacity int) *recordRing {
 
 // push appends one committed record (callers push in commit order, so the
 // ring stays seq-sorted), evicting the oldest when full.
+//
+//xbar:hotpath
 func (r *recordRing) push(rec Record) {
 	if r == nil {
 		return

@@ -3,12 +3,14 @@ package journal
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 )
 
 // Segment header layout (little-endian):
@@ -164,13 +166,19 @@ func listSegments(dir string) (map[uint64][]segmentInfo, error) {
 }
 
 // syncDir fsyncs a directory so renames and newly created files survive a
-// power cut. Directory fsync is best effort: some filesystems refuse it.
+// power cut. Filesystems that cannot fsync a directory report EINVAL or
+// ENOTSUP and are tolerated; a real write-back failure (EIO) propagates.
 func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return err
 	}
-	defer d.Close()
-	_ = d.Sync()
-	return nil
+	syncErr := d.Sync()
+	if errors.Is(syncErr, syscall.EINVAL) || errors.Is(syncErr, syscall.ENOTSUP) {
+		syncErr = nil
+	}
+	if err := d.Close(); err != nil && syncErr == nil {
+		syncErr = err
+	}
+	return syncErr
 }

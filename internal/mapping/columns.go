@@ -215,6 +215,8 @@ func ColumnAwareScratch(l *xbar.Layout, dm *defect.Map, spec FabricSpec, opt Col
 
 // columnUsage counts active devices per logical column (demand weight) into
 // the scratch buffer.
+//
+//xbar:hotpath
 func (s *ColumnScratch) columnUsage(l *xbar.Layout) {
 	usage := growInts(&s.usage, l.Cols)
 	for i := range usage {
@@ -235,6 +237,8 @@ func (s *ColumnScratch) columnUsage(l *xbar.Layout) {
 // call, only the 64×64 blocks intersecting a dirty row and a dirty column
 // are re-transposed (bitmat.TransposeUpdate); an unchanged map skips the
 // work entirely; anything else falls back to the full transpose.
+//
+//xbar:hotpath
 func (s *ColumnScratch) refreshColumnView(dm *defect.Map) {
 	fn := dm.FunctionalMatrix()
 	if s.viewMap == dm && s.colsView != nil && s.colsView.Rows == dm.Cols && s.colsView.Cols == dm.Rows {
@@ -258,6 +262,7 @@ func (s *ColumnScratch) refreshColumnView(dm *defect.Map) {
 			}
 		}
 	}
+	//xbar:allow hotpath-alloc full-transpose fallback reuses colsView and allocates only on first use or a size change
 	s.colsView = bitmat.TransposeInto(s.colsView, fn)
 	if s.viewStreak > 0 {
 		s.viewStreak--
@@ -274,6 +279,8 @@ func (s *ColumnScratch) refreshColumnView(dm *defect.Map) {
 // functional view — defective devices of column c are the zero bits of its
 // packed row, minus the stuck-closed ones — so the scan is one popcount
 // instead of a per-row walk.
+//
+//xbar:hotpath
 func (s *ColumnScratch) columnPenalty(dm *defect.Map, c int) int {
 	p := dm.Rows - bitmat.PopCount(s.colsView.Row(c)) - dm.ClosedInColumn(c)
 	if dm.ColHasClosed(c) {
@@ -286,6 +293,8 @@ func (s *ColumnScratch) columnPenalty(dm *defect.Map, c int) int {
 // preserving the relative order of equal keys. Insertion sort: the slices
 // are small (column counts) and the scratch path must not allocate, which
 // rules out sort.SliceStable's closure and reflection machinery.
+//
+//xbar:hotpath
 func stableSortByKey(order, key []int, desc bool) {
 	for i := 1; i < len(order); i++ {
 		o, k := order[i], key[i]
@@ -304,6 +313,8 @@ func stableSortByKey(order, key []int, desc bool) {
 
 // greedyColumns assigns the heaviest-demand logical resources to the
 // cleanest physical ones, filling s.assign.
+//
+//xbar:hotpath
 func (s *ColumnScratch) greedyColumns(l *xbar.Layout, dm *defect.Map, spec FabricSpec) {
 	physPairCols := func(p int) (int, int) { return p, spec.InputPairs + p }
 	physWireCol := func(w int) int { return 2*spec.InputPairs + w }
@@ -385,6 +396,8 @@ func (s *ColumnScratch) greedyColumns(l *xbar.Layout, dm *defect.Map, spec Fabri
 // spare) in place, drawing from the scratch rng in the same order as every
 // prior revision of this search (the retry schedule is part of the
 // reproducibility contract).
+//
+//xbar:hotpath
 func (s *ColumnScratch) perturb(spec FabricSpec) {
 	rng := s.rng
 	swapInto := func(slice []int, limit int) {
@@ -442,6 +455,8 @@ func ProjectDefectsInto(dst *defect.Map, dm *defect.Map, spec FabricSpec, l *xba
 // Reset is needed and dst's own delta window stays precise: cells that keep
 // their kind are free (defect.Map.Set early-returns), which is what lets a
 // row Scratch consuming dst refresh its candidate bitsets incrementally.
+//
+//xbar:hotpath
 func projectDefectsInto(dst *defect.Map, dm *defect.Map, spec FabricSpec, l *xbar.Layout, a ColumnAssignment) {
 	for i := 0; i < l.NumIn; i++ {
 		projectColumn(dst, i, dm, a.InputPair[i])
@@ -461,6 +476,8 @@ func projectDefectsInto(dst *defect.Map, dm *defect.Map, spec FabricSpec, l *xba
 // projectColumn overwrites destination column k with source column src of
 // the fabric map, cell by cell through Set so the caches and the delta
 // window of dst stay exact.
+//
+//xbar:hotpath
 func projectColumn(dst *defect.Map, k int, dm *defect.Map, src int) {
 	for r := 0; r < dm.Rows; r++ {
 		dst.Set(r, k, dm.At(r, src))
@@ -474,6 +491,8 @@ func projectColumn(dst *defect.Map, k int, dm *defect.Map, src int) {
 // the recorded snapshot are re-projected — between retry attempts that is
 // the handful of columns perturb touched, not the whole map. Any staleness
 // falls back to the full projection, which itself marks precise deltas.
+//
+//xbar:hotpath
 func (s *ColumnScratch) projectAssigned(dm *defect.Map, spec FabricSpec, l *xbar.Layout) {
 	dst := s.projected
 	a := s.assign
@@ -506,6 +525,7 @@ func (s *ColumnScratch) projectAssigned(dm *defect.Map, spec FabricSpec, l *xbar
 	}
 	ni, nw, no := len(a.InputPair), len(a.Wire), len(a.OutputPair)
 	if cap(s.prevBuf) < ni+nw+no {
+		//xbar:allow hotpath-alloc grow-once snapshot of the assignment vectors; retries reuse it
 		s.prevBuf = make([]int, ni+nw+no)
 	}
 	buf := s.prevBuf[:ni+nw+no]

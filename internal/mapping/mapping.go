@@ -134,8 +134,11 @@ const (
 )
 
 // growInts resizes a scratch int slice without zeroing.
+//
+//xbar:hotpath
 func growInts(buf *[]int, n int) []int {
 	if cap(*buf) < n {
+		//xbar:allow hotpath-alloc grow-once scratch buffer; steady state reuses it
 		*buf = make([]int, n)
 	}
 	*buf = (*buf)[:n]
@@ -144,9 +147,12 @@ func growInts(buf *[]int, n int) []int {
 
 // growRow resizes a scratch packed row to cols columns without preserving
 // contents.
+//
+//xbar:hotpath
 func growRow(buf *bitmat.Row, cols int) bitmat.Row {
 	n := bitmat.Words(cols)
 	if cap(*buf) < n {
+		//xbar:allow hotpath-alloc grow-once scratch buffer; steady state reuses it
 		*buf = make(bitmat.Row, n)
 	}
 	*buf = (*buf)[:n]
@@ -159,6 +165,8 @@ func growRow(buf *bitmat.Row, cols int) bitmat.Row {
 // Bit t of s.cand.Row(i) afterwards equals rowMatches(i, t). Each pass
 // tests the row against all Defects.Rows CM rows, which is what MatchChecks
 // accounts.
+//
+//xbar:hotpath
 func (s *Scratch) computeCandidates(p *Problem, stats *Stats) {
 	nFM, nCM := p.Layout.Rows, p.Defects.Rows
 	// MatchChecks accounts the enumeration volume — nFM × nCM row tests —
@@ -191,6 +199,7 @@ func (s *Scratch) computeCandidates(p *Problem, stats *Stats) {
 			}
 		}
 	}
+	//xbar:allow hotpath-alloc Reshape reuses the backing words and allocates only when the fabric grows
 	s.cand.Reshape(nFM, nCM)
 	fn := m.FunctionalMatrix()
 	closed := m.ClosedRows()
@@ -213,6 +222,8 @@ func (s *Scratch) computeCandidates(p *Problem, stats *Stats) {
 // resulting bitsets are exactly what the full rebuild would produce: for
 // clean CM rows neither the functional words nor the closed-row bit changed,
 // so their candidate bits are already correct.
+//
+//xbar:hotpath
 func (s *Scratch) patchCandidates(p *Problem, dirty bitmat.Row) {
 	m := p.Defects
 	for i := 0; i < p.Layout.Rows; i++ {
@@ -261,6 +272,8 @@ func (p *Problem) ColumnFeasible() (bool, int) {
 // rowMatches tests the paper's row-matching rule on the packed rows,
 // counting the check: CM row usable (no stuck-closed device, O(1) cached)
 // and fmRow &^ cmFunctional == 0.
+//
+//xbar:hotpath
 func (p *Problem) rowMatches(fmRow int, cmRow int, stats *Stats) bool {
 	stats.MatchChecks++
 	if p.Defects.RowHasClosed(cmRow) {

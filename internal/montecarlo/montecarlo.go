@@ -117,9 +117,7 @@ func RunFactory(opt Options, factory TrialFactory) (Summary, error) {
 			}
 		}
 		if err := workpool.Run(opt.Context, workers, n, func(w, i int) {
-			rng := rngs[w]
-			rng.Seed(SampleSeed(opt.Seed, i))
-			outcomes[i] = trials[w](i, rng)
+			runSample(opt.Seed, i, rngs[w], trials[w], outcomes)
 		}); err != nil {
 			return Summary{}, err
 		}
@@ -132,12 +130,8 @@ func RunFactory(opt Options, factory TrialFactory) (Summary, error) {
 			return Summary{}, fmt.Errorf("montecarlo: factory returned nil trial")
 		}
 		rng := rand.New(rand.NewSource(0))
-		for i := 0; i < n; i++ {
-			if opt.Context != nil && opt.Context.Err() != nil {
-				return Summary{}, opt.Context.Err()
-			}
-			rng.Seed(SampleSeed(opt.Seed, i))
-			outcomes[i] = trial(i, rng)
+		if err := runSerial(opt, trial, rng, outcomes); err != nil {
+			return Summary{}, err
 		}
 	}
 	s := Summary{Samples: n, Values: make([]float64, n)}
@@ -155,9 +149,40 @@ func RunFactory(opt Options, factory TrialFactory) (Summary, error) {
 	return s, nil
 }
 
+// runSerial is the serial batch loop: reseed, run, record, once per
+// sample. It is the hot loop of every non-parallel experiment, so it is
+// pinned allocation-free; per-trial cost is the trial's own.
+//
+//xbar:hotpath
+func runSerial(opt Options, trial Trial, rng *rand.Rand, outcomes []Outcome) error {
+	for i := range outcomes {
+		if opt.Context != nil {
+			//xbar:allow hotpath-alloc cancellation poll is an interface call, not an allocation
+			if err := opt.Context.Err(); err != nil {
+				return err
+			}
+		}
+		runSample(opt.Seed, i, rng, trial, outcomes)
+	}
+	return nil
+}
+
+// runSample reseeds the (worker-private) rng for sample i and runs the
+// trial: the shared per-sample step of the serial and parallel paths, which
+// is what makes their outcomes bit-identical.
+//
+//xbar:hotpath
+func runSample(seed int64, i int, rng *rand.Rand, trial Trial, outcomes []Outcome) {
+	rng.Seed(SampleSeed(seed, i))
+	//xbar:allow hotpath-alloc the trial callback is the experiment body; its own hot paths carry their own annotations
+	outcomes[i] = trial(i, rng)
+}
+
 // SampleSeed derives the per-sample rng seed from the harness seed — the
 // schedule every trial's randomness comes from, exported so benchmarks and
 // external replays can reproduce individual samples exactly.
+//
+//xbar:hotpath
 func SampleSeed(seed int64, sample int) int64 {
 	return seed + int64(sample)*2_147_483_659
 }

@@ -113,6 +113,8 @@ func (l *Layout) pack() {
 
 // ActiveRow returns the packed required-active mask of layout row r (the FM
 // row of Fig. 8(a)). Read-only view: callers must not mutate it.
+//
+//xbar:hotpath
 func (l *Layout) ActiveRow(r int) bitmat.Row { return l.packed.Row(r) }
 
 // UsedColumns returns the packed mask of columns the layout actually uses
