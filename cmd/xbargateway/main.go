@@ -1,0 +1,119 @@
+// Command xbargateway fronts a fleet of xbarserver members as one
+// endpoint: it consistent-hashes the canonical spec-hash space across the
+// members (identical jobs land on the same member's cache no matter which
+// client submits them), health-checks the fleet, retries and hedges
+// around slow or dead members, and degrades to partial answers — not
+// hangs — when part of the ring is dark.
+//
+//	xbargateway -addr :8090 \
+//	    -members http://10.0.0.1:8080,http://10.0.0.2:8080,http://10.0.0.3:8080
+//
+// API (same client surface as a single xbarserver, plus fleet views):
+//
+//	POST /v1/jobs                submit a batch; sub-batches fan out to the
+//	                             owning members, gateway job ids come back
+//	                             ("tok.j00000001"); jobs whose shard has no
+//	                             healthy member are reported per-job in
+//	                             "errors" (202 with the rest placed) or,
+//	                             when nothing could be placed, 503 +
+//	                             Retry-After
+//	GET  /v1/jobs/{id}           poll one job through its owning member
+//	GET  /v1/batches/{id}/events merged Server-Sent Events for a composite
+//	                             batch; the event id is a composite cursor,
+//	                             so reconnecting with Last-Event-ID resumes
+//	                             exactly-once across every member
+//	GET  /v1/cluster/state       every member's replication/election view
+//	                             plus the fleet's agreed leader
+//	GET  /healthz                gateway liveness
+//	GET  /readyz                 readiness: 200 while at least one member
+//	                             is healthy
+//	GET  /metrics                gateway metric families (xbar_gateway_*)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/gateway"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	members := flag.String("members", "", "comma-separated member base URLs (required)")
+	vnodes := flag.Int("virtual-nodes", 0, "virtual nodes per member on the hash ring (0 = 64)")
+	attemptTimeout := flag.Duration("attempt-timeout", 0, "bound on one proxied attempt (0 = 5s)")
+	retryBudget := flag.Duration("retry-budget", 0, "bound on one client request across all retries (0 = 20s)")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "wait before racing a submission against the next ring member (0 = 400ms, negative disables)")
+	probeEvery := flag.Duration("probe-interval", 0, "health probe period (0 = 1s)")
+	failAfter := flag.Int("fail-threshold", 0, "consecutive probe failures before ejecting a member (0 = 3)")
+	recoverAfter := flag.Int("recover-threshold", 0, "consecutive probe successes before re-admitting a member (0 = 2)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "bound on graceful shutdown (0 waits forever)")
+	flag.Parse()
+
+	var urls []string
+	for _, m := range strings.Split(*members, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			urls = append(urls, strings.TrimRight(m, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("xbargateway: -members is required (comma-separated base URLs)")
+	}
+
+	g, err := gateway.New(gateway.Options{
+		Members:        urls,
+		VirtualNodes:   *vnodes,
+		AttemptTimeout: *attemptTimeout,
+		RetryBudget:    *retryBudget,
+		HedgeDelay:     *hedgeDelay,
+		Health: cluster.HealthOptions{
+			Interval:         *probeEvery,
+			FailThreshold:    *failAfter,
+			RecoverThreshold: *recoverAfter,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           g.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("xbargateway listening on %s fronting %d members: %s",
+		*addr, len(urls), strings.Join(urls, ", "))
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		log.Printf("received %v, shutting down (bound %v)", sig, *shutdownTimeout)
+		ctx := context.Background()
+		if *shutdownTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *shutdownTimeout)
+			defer cancel()
+		}
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		g.Close()
+	case err := <-errCh:
+		g.Close()
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+}

@@ -21,7 +21,13 @@
 //	GET  /v1/journal/tail        follower-replication feed: committed
 //	                             journal records past ?after=N (long-polls
 //	                             with ?wait=25s); requires -journal-dir
-//	GET  /healthz                liveness plus engine counters
+//	GET  /v1/cluster/state       this member's election view: role, epoch,
+//	                             leader, replication cursor, lease age
+//	GET  /healthz                liveness plus engine counters (always 200
+//	                             while the process serves)
+//	GET  /readyz                 readiness: 503 while draining or the
+//	                             journal is failed — probe this, not
+//	                             /healthz, for load-balancer membership
 //	GET  /metrics                Prometheus text exposition: engine,
 //	                             journal, HTTP, quota, and replication
 //	                             metric families (see README, Observability)
@@ -35,6 +41,13 @@
 // ever acknowledged; -cache-file remains available as a faster-to-load
 // warm-start checkpoint. A second instance started with -follow=<peer-url>
 // warm-starts from the peer's journal and continuously mirrors its results.
+//
+// With -cluster-self and -cluster-peers the member joins lease-based
+// leader election on the journal: followers mirror the leader and
+// heartbeat it through the replication feed; when the lease expires, the
+// follower with the highest replicated sequence promotes itself and the
+// rest re-aim. Front a fleet with xbargateway for consistent-hash routing
+// and failover-aware retries.
 package main
 
 import (
@@ -45,6 +58,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -63,7 +77,11 @@ func main() {
 	journalMaxAge := flag.Duration("journal-max-age", 0, "drop journal records older than this at compaction (0 = keep all)")
 	journalMaxRecords := flag.Int("journal-max-records", 0, "keep only the newest N live journal records at compaction (0 = keep all)")
 	follow := flag.String("follow", "", "run as a follower of the xbarserver at this base URL, mirroring its journal into the local cache (and local journal)")
-	followEvery := flag.Duration("follow-interval", 0, "follower retry pacing when the peer is unreachable (0 = 1s)")
+	followEvery := flag.Duration("follow-interval", 0, "follower retry pacing when the peer is unreachable (0 = 1s; backs off exponentially up to 30s)")
+	clusterSelf := flag.String("cluster-self", "", "this member's own base URL: joins lease-based leader election with -cluster-peers (requires -journal-dir)")
+	clusterPeers := flag.String("cluster-peers", "", "comma-separated base URLs of the other cluster members")
+	lease := flag.Duration("lease", 0, "leader lease duration: followers elect after this long without leader contact (0 = 3s)")
+	heartbeatEvery := flag.Duration("heartbeat-interval", 0, "cluster peer-poll pacing (0 = lease/3); the leader renews its lease every lease/2 regardless")
 	timeout := flag.Duration("timeout", 0, "default per-job timeout (0 = none)")
 	maxQueued := flag.Int("max-queued-jobs", 0, "admission control: reject batches beyond this many unfinished jobs with 429 (0 = unlimited)")
 	maxBatches := flag.Int("max-batches", 0, "admission control: reject submissions beyond this many open batches with 429 (0 = unlimited)")
@@ -71,6 +89,16 @@ func main() {
 	clientBurst := flag.Int("client-burst", 0, "per-client burst allowance with -client-rps (0 = max(1, one second of -client-rps))")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "bound on graceful shutdown: after this, in-flight work is abandoned (journal still flushed); 0 waits forever")
 	flag.Parse()
+
+	var peers []string
+	for _, p := range strings.Split(*clusterPeers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, strings.TrimRight(p, "/"))
+		}
+	}
+	if *clusterSelf != "" && *journalDir == "" {
+		log.Fatal("xbarserver: -cluster-self requires -journal-dir (the lease lives in the journal)")
+	}
 
 	e := engine.New(engine.Options{
 		Workers:                *workers,
@@ -84,6 +112,10 @@ func main() {
 		JournalMaxRecords:      *journalMaxRecords,
 		FollowPeer:             *follow,
 		FollowPollInterval:     *followEvery,
+		ClusterSelf:            strings.TrimRight(*clusterSelf, "/"),
+		ClusterPeers:           peers,
+		LeaseDuration:          *lease,
+		HeartbeatInterval:      *heartbeatEvery,
 		DefaultTimeout:         *timeout,
 		MaxQueuedJobs:          *maxQueued,
 		MaxBatches:             *maxBatches,

@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff is a capped exponential backoff policy with proportional jitter.
+// The zero value is usable and means DefaultBackoff. The policy is a value
+// (no state): callers track their own attempt counter and reset it on
+// success, so one policy can be shared by every retry loop in a process.
+type Backoff struct {
+	// Base is the delay of attempt zero; zero means 100ms.
+	Base time.Duration
+	// Cap bounds the grown delay before jitter; zero means 5s.
+	Cap time.Duration
+	// Factor is the per-attempt growth; values below 1 mean 2.
+	Factor float64
+	// Jitter is the fraction of the delay that is randomized, in [0, 1]:
+	// the returned delay is uniform in [d*(1-Jitter), d]. Zero means 0.5;
+	// negative disables jitter entirely (tests).
+	Jitter float64
+}
+
+// DefaultBackoff is the policy the gateway and the follower pull loop both
+// start from: 100ms doubling to a 5s cap, half-jittered so a fleet of
+// retriers doesn't re-converge on the same instant.
+var DefaultBackoff = Backoff{Base: 100 * time.Millisecond, Cap: 5 * time.Second, Factor: 2, Jitter: 0.5}
+
+// Delay returns the pause before retry number attempt (attempt 0 is the
+// first retry). rnd supplies the jitter source; nil uses the global
+// math/rand source (safe for concurrent use).
+func (b Backoff) Delay(attempt int, rnd *rand.Rand) time.Duration {
+	base, cp, factor, jitter := b.Base, b.Cap, b.Factor, b.Jitter
+	if base <= 0 {
+		base = DefaultBackoff.Base
+	}
+	if cp <= 0 {
+		cp = DefaultBackoff.Cap
+	}
+	if factor < 1 {
+		factor = DefaultBackoff.Factor
+	}
+	if jitter == 0 {
+		jitter = DefaultBackoff.Jitter
+	}
+	d := float64(base)
+	for i := 0; i < attempt && d < float64(cp); i++ {
+		d *= factor
+	}
+	if d > float64(cp) {
+		d = float64(cp)
+	}
+	if jitter > 0 {
+		if jitter > 1 {
+			jitter = 1
+		}
+		f := rand.Float64
+		if rnd != nil {
+			f = rnd.Float64
+		}
+		d = d*(1-jitter) + f()*d*jitter
+	}
+	return time.Duration(d)
+}

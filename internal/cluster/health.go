@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Health defaults.
+const (
+	DefaultProbeInterval    = time.Second
+	DefaultFailThreshold    = 3
+	DefaultRecoverThreshold = 2
+	DefaultProbePath        = "/readyz"
+)
+
+// HealthOptions tunes a HealthChecker.
+type HealthOptions struct {
+	// Interval is the probe period; zero means DefaultProbeInterval.
+	Interval time.Duration
+	// Timeout bounds one probe; zero means Interval.
+	Timeout time.Duration
+	// FailThreshold ejects a member after this many consecutive probe
+	// failures; zero means DefaultFailThreshold.
+	FailThreshold int
+	// RecoverThreshold re-admits an ejected member after this many
+	// consecutive probe successes; zero means DefaultRecoverThreshold.
+	RecoverThreshold int
+	// Path is the endpoint probed on each member (expects a 2xx); zero
+	// means DefaultProbePath. Readiness — not liveness — is the right
+	// probe: a draining member answers /healthz but must leave the ring.
+	Path string
+	// Probe overrides the HTTP probe entirely (tests).
+	Probe func(ctx context.Context, member string) error
+	// OnChange, when non-nil, is called (outside the checker's lock) on
+	// every ejection (healthy=false) and re-admission (healthy=true).
+	OnChange func(member string, healthy bool)
+}
+
+// MemberHealth is one member's probe state snapshot.
+type MemberHealth struct {
+	Member           string    `json:"member"`
+	Healthy          bool      `json:"healthy"`
+	ConsecutiveFails int       `json:"consecutive_fails,omitempty"`
+	LastErr          string    `json:"last_error,omitempty"`
+	LastProbe        time.Time `json:"last_probe,omitempty"`
+}
+
+// HealthChecker actively probes a fixed member set and tracks which members
+// are in service. Members start healthy (optimistic admission: a fresh
+// fleet must not reject traffic while the first probe round is in flight)
+// and are ejected after FailThreshold consecutive failures, re-admitted
+// after RecoverThreshold consecutive successes — the hysteresis keeps one
+// flaky probe from flapping the ring.
+type HealthChecker struct {
+	opt     HealthOptions
+	members []string
+	client  *http.Client
+
+	mu sync.Mutex
+	st map[string]*memberState
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+type memberState struct {
+	healthy   bool
+	fails     int
+	oks       int
+	lastErr   string
+	lastProbe time.Time
+}
+
+// NewHealthChecker builds a checker over members; call Start to begin
+// probing (Healthy answers optimistically until then).
+func NewHealthChecker(members []string, opt HealthOptions) *HealthChecker {
+	if opt.Interval <= 0 {
+		opt.Interval = DefaultProbeInterval
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = opt.Interval
+	}
+	if opt.FailThreshold <= 0 {
+		opt.FailThreshold = DefaultFailThreshold
+	}
+	if opt.RecoverThreshold <= 0 {
+		opt.RecoverThreshold = DefaultRecoverThreshold
+	}
+	if opt.Path == "" {
+		opt.Path = DefaultProbePath
+	}
+	h := &HealthChecker{
+		opt:     opt,
+		members: append([]string(nil), members...),
+		client:  &http.Client{Timeout: opt.Timeout},
+		st:      make(map[string]*memberState, len(members)),
+		stop:    make(chan struct{}),
+	}
+	for _, m := range h.members {
+		h.st[m] = &memberState{healthy: true}
+	}
+	return h
+}
+
+// Start begins the background probe loop.
+func (h *HealthChecker) Start() {
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		t := time.NewTicker(h.opt.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				h.ProbeOnce(context.Background())
+			case <-h.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends the probe loop.
+func (h *HealthChecker) Stop() {
+	close(h.stop)
+	h.wg.Wait()
+}
+
+// ProbeOnce probes every member once, concurrently, and folds the results
+// into the health state. Exposed so tests (and a gateway that wants an
+// initial reading before serving) can drive rounds synchronously.
+func (h *HealthChecker) ProbeOnce(ctx context.Context) {
+	errs := make([]error, len(h.members))
+	var wg sync.WaitGroup
+	for i, m := range h.members {
+		wg.Add(1)
+		go func(i int, m string) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, h.opt.Timeout)
+			defer cancel()
+			errs[i] = h.probe(pctx, m)
+		}(i, m)
+	}
+	wg.Wait()
+	// Threshold bookkeeping happens under the lock, change callbacks
+	// outside it: an OnChange that re-enters the checker must not deadlock.
+	type change struct {
+		member  string
+		healthy bool
+	}
+	var changes []change
+	h.mu.Lock()
+	now := time.Now()
+	for i, m := range h.members {
+		st := h.st[m]
+		st.lastProbe = now
+		if errs[i] == nil {
+			st.fails, st.oks, st.lastErr = 0, st.oks+1, ""
+			if !st.healthy && st.oks >= h.opt.RecoverThreshold {
+				st.healthy = true
+				changes = append(changes, change{m, true})
+			}
+		} else {
+			st.oks, st.fails, st.lastErr = 0, st.fails+1, errs[i].Error()
+			if st.healthy && st.fails >= h.opt.FailThreshold {
+				st.healthy = false
+				changes = append(changes, change{m, false})
+			}
+		}
+	}
+	h.mu.Unlock()
+	if h.opt.OnChange != nil {
+		for _, c := range changes {
+			h.opt.OnChange(c.member, c.healthy)
+		}
+	}
+}
+
+func (h *HealthChecker) probe(ctx context.Context, member string) error {
+	if h.opt.Probe != nil {
+		return h.opt.Probe(ctx, member)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, member+h.opt.Path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("probe %s: HTTP %d", h.opt.Path, resp.StatusCode)
+	}
+	return nil
+}
+
+// Healthy reports whether member is currently in service. Unknown members
+// are unhealthy.
+func (h *HealthChecker) Healthy(member string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.st[member]
+	return ok && st.healthy
+}
+
+// HealthyCount reports how many members are currently in service.
+func (h *HealthChecker) HealthyCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, st := range h.st {
+		if st.healthy {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns every member's probe state, in member order.
+func (h *HealthChecker) Snapshot() []MemberHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]MemberHealth, 0, len(h.members))
+	for _, m := range h.members {
+		st := h.st[m]
+		out = append(out, MemberHealth{
+			Member:           m,
+			Healthy:          st.healthy,
+			ConsecutiveFails: st.fails,
+			LastErr:          st.lastErr,
+			LastProbe:        st.lastProbe,
+		})
+	}
+	return out
+}

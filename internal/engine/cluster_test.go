@@ -1,0 +1,217 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// member is one in-process cluster member: an engine plus a real HTTP
+// server on a pre-allocated port (the URL must exist before the engine,
+// because every member's Options list the others' URLs).
+type member struct {
+	url string
+	ln  net.Listener
+	eng *Engine
+	srv *http.Server
+}
+
+func newMemberListener(t *testing.T) (net.Listener, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln, "http://" + ln.Addr().String()
+}
+
+func (m *member) serve() {
+	m.srv = &http.Server{Handler: NewHTTPHandler(m.eng)}
+	go m.srv.Serve(m.ln)
+}
+
+// kill abruptly stops the member's HTTP server (in-flight connections
+// dropped), leaving the engine running: from the fleet's point of view
+// this is indistinguishable from the process freezing or the host
+// vanishing, which is exactly what elections react to.
+func (m *member) kill() { m.srv.Close() }
+
+func waitFor(t *testing.T, what string, timeout time.Duration, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !ok() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func clusterOpts(self string, peers []string, dir string) Options {
+	return Options{
+		Workers:            2,
+		JournalDir:         dir,
+		ClusterSelf:        self,
+		ClusterPeers:       peers,
+		LeaseDuration:      400 * time.Millisecond,
+		HeartbeatInterval:  80 * time.Millisecond,
+		FollowPollInterval: 20 * time.Millisecond,
+	}
+}
+
+// TestClusterFailover is the engine-level failover check: kill the leader,
+// assert the follower promotes itself via the journal lease within the
+// lease window, bumps the epoch, and serves the leader's results
+// bit-identically from its mirrored cache.
+func TestClusterFailover(t *testing.T) {
+	lnA, urlA := newMemberListener(t)
+	lnB, urlB := newMemberListener(t)
+	dirA, dirB := t.TempDir(), t.TempDir()
+
+	a := &member{url: urlA, ln: lnA}
+	a.eng = New(clusterOpts(urlA, []string{urlB}, dirA))
+	defer a.eng.Close()
+	a.serve()
+	defer a.srv.Close()
+
+	b := &member{url: urlB, ln: lnB}
+	opts := clusterOpts(urlB, []string{urlA}, dirB)
+	opts.FollowPeer = urlA
+	b.eng = New(opts)
+	defer b.eng.Close()
+	b.serve()
+	defer b.srv.Close()
+
+	if st := a.eng.ClusterState(); st.Role != RoleLeader || st.Epoch != 1 {
+		t.Fatalf("A started as %s epoch %d, want leader epoch 1", st.Role, st.Epoch)
+	}
+	if st := b.eng.ClusterState(); st.Role != RoleFollower || st.Leader != urlA {
+		t.Fatalf("B started as %s of %q, want follower of A", st.Role, st.Leader)
+	}
+
+	specs := batch64()
+	first, err := a.eng.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "B to mirror the batch", 15*time.Second, func() bool {
+		return b.eng.Stats().CacheEntries >= len(specs)
+	})
+	// B's election state must have seen A's lease through the feed.
+	waitFor(t, "B to observe A's lease", 5*time.Second, func() bool {
+		return b.eng.ClusterState().Epoch >= 1
+	})
+
+	a.kill()
+	waitFor(t, "B to promote itself", 10*time.Second, func() bool {
+		return b.eng.ClusterState().Role == RoleLeader
+	})
+	st := b.eng.ClusterState()
+	if st.Epoch < 2 {
+		t.Fatalf("promotion did not bump the epoch: %d", st.Epoch)
+	}
+	if st.Leader != urlB {
+		t.Fatalf("promoted member reports leader %q, want itself", st.Leader)
+	}
+
+	// Every result acknowledged by the dead leader is served by the new
+	// one, bit-identical, from the mirrored cache.
+	res, err := b.eng.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != "" || !r.CacheHit {
+			t.Fatalf("post-failover job %d not from mirrored cache: %+v", i, r)
+		}
+		if !samePayload(first[i], r) {
+			t.Fatalf("post-failover job %d diverged:\n  old leader %+v\n  new leader %+v", i, first[i], r)
+		}
+	}
+
+	// The new leader's lease is durable: restarted on the same journal, it
+	// resumes leading at the recovered epoch without an election.
+	b.eng.Close()
+	b2 := New(clusterOpts(urlB, []string{urlA}, dirB))
+	defer b2.Close()
+	st2 := b2.ClusterState()
+	if st2.Role != RoleLeader || st2.Epoch < st.Epoch {
+		t.Fatalf("restarted member recovered role %s epoch %d, want leader epoch >= %d", st2.Role, st2.Epoch, st.Epoch)
+	}
+}
+
+// TestClusterDemotionResolvesSplitBrain: two members that both boot
+// believing they lead (epoch 1) must converge to one leader — the greater
+// URL wins the tie, the other demotes and mirrors it.
+func TestClusterDemotionResolvesSplitBrain(t *testing.T) {
+	lnA, urlA := newMemberListener(t)
+	lnB, urlB := newMemberListener(t)
+	winner, loser := urlA, urlB
+	if urlB > urlA {
+		winner, loser = urlB, urlA
+	}
+
+	a := &member{url: urlA, ln: lnA}
+	a.eng = New(clusterOpts(urlA, []string{urlB}, t.TempDir()))
+	defer a.eng.Close()
+	a.serve()
+	defer a.srv.Close()
+	b := &member{url: urlB, ln: lnB}
+	b.eng = New(clusterOpts(urlB, []string{urlA}, t.TempDir()))
+	defer b.eng.Close()
+	b.serve()
+	defer b.srv.Close()
+
+	engOf := map[string]*Engine{urlA: a.eng, urlB: b.eng}
+	waitFor(t, "split brain to resolve", 10*time.Second, func() bool {
+		w, l := engOf[winner].ClusterState(), engOf[loser].ClusterState()
+		return w.Role == RoleLeader && l.Role == RoleFollower && l.Leader == winner
+	})
+	// The loser keeps mirroring the winner afterwards: a result computed on
+	// the winner shows up in the loser's cache.
+	if _, err := engOf[winner].Run(context.Background(), []JobSpec{mcSpec(77)}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "demoted member to mirror the winner", 10*time.Second, func() bool {
+		return engOf[loser].Stats().Replicated >= 1
+	})
+}
+
+func TestClusterStateAndReadyzEndpoints(t *testing.T) {
+	e := New(Options{Workers: 1, JournalDir: t.TempDir()})
+	h := NewHTTPHandler(e)
+
+	get := func(path string) (*httptest.ResponseRecorder, map[string]any) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		var body map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v", path, err)
+		}
+		return rec, body
+	}
+
+	rec, body := get("/v1/cluster/state")
+	if rec.Code != http.StatusOK || body["role"] != RoleSingle {
+		t.Fatalf("unclustered state = %d %v, want 200 role %q", rec.Code, body, RoleSingle)
+	}
+	if rec, body = get("/readyz"); rec.Code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("readyz on live engine = %d %v", rec.Code, body)
+	}
+	if rec, body = get("/healthz"); rec.Code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz on live engine = %d %v", rec.Code, body)
+	}
+
+	e.Close()
+	// Draining/closed: liveness stays green, readiness goes red.
+	if rec, body = get("/readyz"); rec.Code != http.StatusServiceUnavailable || body["status"] != "unready" {
+		t.Fatalf("readyz on closed engine = %d %v, want 503 unready", rec.Code, body)
+	}
+	if rec, _ = get("/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz on closed engine = %d, want 200 (liveness, not readiness)", rec.Code)
+	}
+}

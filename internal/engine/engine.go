@@ -91,9 +91,28 @@ type Options struct {
 	// journal), so this instance warm-starts from the peer and
 	// continuously mirrors its results.
 	FollowPeer string
-	// FollowPollInterval paces follower retries when the peer is down;
-	// zero means DefaultFollowPollInterval.
+	// FollowPollInterval paces follower retries when the peer is down (the
+	// base of the pull loop's capped exponential backoff); zero means
+	// DefaultFollowPollInterval.
 	FollowPollInterval time.Duration
+	// ClusterSelf, when non-empty, runs this engine as a member of a
+	// self-healing cluster, advertised to peers at this base URL. Members
+	// elect a leader through lease records in the journal: followers mirror
+	// the leader's journal exactly as with FollowPeer, but when the
+	// leader's lease expires the follower with the highest replicated
+	// cursor promotes itself and the rest of the fleet re-aims at it.
+	// Cluster mode wants JournalDir set — the journal is both the ballot
+	// box and the replication feed.
+	ClusterSelf string
+	// ClusterPeers lists the other members' base URLs (excluding self).
+	ClusterPeers []string
+	// LeaseDuration is how long a follower tolerates silence from the
+	// leader before starting an election; the leader renews its lease at
+	// half this period. Zero means DefaultLeaseDuration.
+	LeaseDuration time.Duration
+	// HeartbeatInterval paces the election loop (lease renewal, peer state
+	// polls, expiry checks); zero means LeaseDuration/3.
+	HeartbeatInterval time.Duration
 	// ClientRPS enables per-client submission quotas in the HTTP layer:
 	// each X-Client-ID may submit this many batches per second sustained
 	// (burst up to ClientBurst) before getting 429 + Retry-After without
@@ -201,6 +220,9 @@ type Engine struct {
 	followCancel func() // cancels the follower's context; nil when not following
 	followWG     sync.WaitGroup
 
+	cluster        *clusterNode // lease-based election state; nil without ClusterSelf
+	recoveredLease *leaseClaim  // newest lease record seen during journal replay
+
 	streamStop chan struct{} // guarded by mu; closed and replaced by StopStreams
 
 	nextID        atomic.Int64
@@ -212,6 +234,7 @@ type Engine struct {
 	stActive      atomic.Int64
 	stMaxActive   atomic.Int64
 	stReplicated  atomic.Int64
+	stReplCursor  atomic.Uint64
 	stDeduped     atomic.Int64
 	stRejected    atomic.Int64
 	stQuotaReject atomic.Int64
@@ -277,7 +300,10 @@ func New(opt Options) *Engine {
 	if e.cache != nil && opt.JournalDir != "" {
 		e.openJournal()
 	}
-	if e.cache != nil && opt.FollowPeer != "" {
+	if opt.ClusterSelf != "" {
+		e.startCluster()
+	}
+	if e.cache != nil && (opt.FollowPeer != "" || e.clusterFollowing()) {
 		e.startFollower()
 	}
 	if e.cache == nil && (opt.JournalDir != "" || opt.FollowPeer != "") {
@@ -430,6 +456,28 @@ func (e *Engine) Stats() Stats {
 	return s
 }
 
+// Ready reports whether the engine can currently take and durably serve
+// work: nil when it is accepting submissions and its journal (if
+// configured) is writable. A draining engine (Close in progress) and one
+// whose journal went read-only (failed rollback) are unready — alive, but
+// to be taken out of load-balancer rotation. GET /readyz maps this to
+// 200/503; liveness stays on /healthz, which answers as long as the
+// process serves HTTP at all.
+func (e *Engine) Ready() error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return errors.New("engine: draining")
+	}
+	if e.journal != nil {
+		if err := e.journal.Healthy(); err != nil {
+			return fmt.Errorf("journal not writable: %w", err)
+		}
+	}
+	return nil
+}
+
 // Close stops accepting work, waits for queued jobs to drain, releases the
 // workers, flushes and closes the journal, and — when Options.CacheFile is
 // set — writes a final cache snapshot. Safe to call more than once. Use
@@ -450,6 +498,10 @@ func (e *Engine) CloseTimeout(d time.Duration) {
 	e.closed = true
 	e.mu.Unlock()
 	e.StopStreams()
+	// The cluster loop stops before the follower: it is the only other
+	// caller of startFollower/stopFollower, so once it has exited the
+	// follower teardown below cannot race a failover restarting it.
+	e.stopCluster()
 	e.stopFollower()
 	drained := make(chan struct{})
 	go func() {

@@ -8,14 +8,22 @@ import (
 	"log"
 	"net/http"
 	"net/url"
-	"sync"
 	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/journal"
 )
 
-// DefaultFollowPollInterval paces the follower's retry/backoff when the
-// peer is unreachable or answers with no new records and long-polling is
-// unavailable; zero Options.FollowPollInterval means this.
+// DefaultFollowPollInterval is the base of the follower's retry backoff
+// (and its pacing when the peer answers with no new records and
+// long-polling is unavailable); zero Options.FollowPollInterval means this.
 const DefaultFollowPollInterval = time.Second
+
+// followBackoffCap bounds the follower's retry backoff against an
+// unreachable peer: during a failover the loop must notice the new leader
+// within a lease or two, so the backoff never grows past this no matter
+// how long the old leader was down.
+const followBackoffCap = 30 * time.Second
 
 // followWait is the long-poll window the follower asks the leader to hold
 // a tail request open for; convergence latency is one commit, not one
@@ -25,14 +33,17 @@ const followWait = 25 * time.Second
 // followBatchLimit caps records pulled per tail request.
 const followBatchLimit = 1024
 
-// startFollower begins continuously mirroring the peer's journal into the
-// local result cache (and local journal, when configured). The follower
-// pulls GET /v1/journal/tail from its last applied sequence. A restart
-// re-pulls the peer's history from cursor zero (the peer's sequence
-// numbers are not ours), but records the local journal already restored
-// are recognized in applyReplicated and skipped, so the re-pull costs
+// startFollower begins continuously mirroring the current leader's journal
+// into the local result cache (and local journal, when configured). The
+// follower pulls GET /v1/journal/tail from its last applied sequence. A
+// restart re-pulls the peer's history from cursor zero (the peer's
+// sequence numbers are not ours), but records the local journal already
+// restored are recognized in applyWindow and skipped, so the re-pull costs
 // network only — no duplicate fsyncs, no local journal growth.
 func (e *Engine) startFollower() {
+	if e.followCancel != nil {
+		return
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	e.followCancel = cancel
 	e.followWG.Add(1)
@@ -45,74 +56,81 @@ func (e *Engine) followLoop(ctx context.Context) {
 	if interval <= 0 {
 		interval = DefaultFollowPollInterval
 	}
+	// Pull failures back off exponentially up to followBackoffCap, with
+	// jitter so a fleet of followers orphaned by the same crash doesn't
+	// hammer (and re-synchronize on) the next leader in lockstep.
+	policy := cluster.Backoff{Base: interval, Cap: followBackoffCap}
 	client := &http.Client{Timeout: followWait + 10*time.Second}
 	var cursor uint64
 	// A local journal already holds everything mirrored before the last
-	// restart; the peer's sequence numbers are not ours, though, so the
+	// restart; the leader's sequence numbers are not ours, though, so the
 	// cursor always starts at zero and convergence relies on idempotent
-	// replays (identical spec hash -> identical result).
+	// replays (identical spec hash -> identical result). The cursor is also
+	// per-leader: when a failover moves the target, the new leader's
+	// sequence space starts over.
+	target := ""
+	attempt := 0
 	errLogged := false
+	backoff := func() {
+		d := policy.Delay(attempt, nil)
+		attempt++
+		e.met.replBackoff.Set(int64(d / time.Second))
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+		}
+	}
 	for {
 		if ctx.Err() != nil {
 			return
 		}
-		resp, err := e.pullTail(ctx, client, cursor)
+		if t := e.followTarget(); t != target {
+			if target != "" {
+				log.Printf("engine: follower: re-aiming from %s to %s (cursor resets)", target, t)
+			}
+			target, cursor = t, 0
+		}
+		if target == "" {
+			// Clustered and currently leading (or no leader known yet):
+			// nothing to mirror; check again after a pause.
+			backoff()
+			continue
+		}
+		resp, err := e.pullTail(ctx, client, target, cursor)
 		if err != nil {
 			if ctx.Err() != nil {
 				return
 			}
 			e.met.replPullErrs.Inc()
 			if !errLogged {
-				log.Printf("engine: follower: %v (will keep retrying every %s)", err, interval)
+				log.Printf("engine: follower: %v (backing off from %s up to %s)", err, interval, followBackoffCap)
 				errLogged = true
 			}
-			select {
-			case <-time.After(interval):
-			case <-ctx.Done():
-				return
-			}
+			backoff()
 			continue
 		}
+		attempt = 0
+		e.met.replBackoff.Set(0)
 		if errLogged {
 			log.Printf("engine: follower: peer reachable again")
 			errLogged = false
+		}
+		if e.cluster != nil {
+			e.cluster.noteContact()
 		}
 		if resp.LastSeq < cursor {
 			// The peer's sequence space regressed — its journal was
 			// recreated (lost disk, fresh volume). Without a reset the
 			// cursor points past everything the new journal will ever
 			// hold and replication silently stops; re-pulling from zero
-			// is safe because applyReplicated skips records the local
+			// is safe because applyWindow skips records the local
 			// cache already holds verbatim.
 			log.Printf("engine: follower: peer journal regressed (last_seq %d < cursor %d), re-pulling from the start",
 				resp.LastSeq, cursor)
 			cursor = 0
 			continue
 		}
-		// Apply the window keeping only the newest record per key (the
-		// same winner compaction would pick), all concurrently: a lone
-		// sequential caller would hand the local journal's group-commit
-		// batcher one record at a time — one fsync per record — while a
-		// concurrent burst lets one fsync cover the whole window.
-		latest := make(map[string]JobResult, len(resp.Records))
-		for _, rec := range resp.Records {
-			key, derr := hex.DecodeString(rec.Key)
-			if derr != nil || len(key) == 0 {
-				log.Printf("engine: follower: bad record key %q (skipped)", rec.Key)
-			} else {
-				latest[string(key)] = rec.Result
-			}
-			cursor = rec.Seq
-		}
-		var wg sync.WaitGroup
-		for key, r := range latest {
-			wg.Add(1)
-			go func(key string, r JobResult) {
-				defer wg.Done()
-				e.applyReplicated([]byte(key), r)
-			}(key, r)
-		}
-		wg.Wait()
+		cursor = e.applyWindow(resp.Records, cursor)
 		// MaxSeq covers records the leader scanned but skipped as
 		// undecodable; advancing past them keeps the follower converging
 		// instead of re-pulling the same window forever. An empty response
@@ -121,41 +139,128 @@ func (e *Engine) followLoop(ctx context.Context) {
 		if resp.MaxSeq > cursor {
 			cursor = resp.MaxSeq
 		}
+		e.stReplCursor.Store(cursor)
 		e.met.replCursor.Set(int64(cursor))
 		e.met.replLeader.Set(int64(resp.LastSeq))
 		e.met.replLag.Set(int64(resp.LastSeq) - int64(cursor))
 	}
 }
 
+// applyWindow installs one pulled tail window: lease meta-records feed the
+// election state, job records land in the local journal and cache keeping
+// only the newest record per key (the same winner compaction would pick).
+// The whole window's journal writes go through one AppendBatch — one group
+// commit, one fsync — and, matching runTask's durable-before-published
+// order, every cache insert happens after that commit returns. Returns the
+// advanced cursor.
+func (e *Engine) applyWindow(recs []TailRecord, cursor uint64) uint64 {
+	latest := make(map[string]JobResult, len(recs))
+	for _, rec := range recs {
+		key, derr := hex.DecodeString(rec.Key)
+		switch {
+		case derr != nil || len(key) == 0:
+			log.Printf("engine: follower: bad record key %q (skipped)", rec.Key)
+		case journal.IsMetaKey(key):
+			e.applyLease(key, rec.Meta)
+		default:
+			latest[string(key)] = rec.Result
+		}
+		cursor = rec.Seq
+	}
+	type insert struct {
+		key string
+		r   JobResult
+	}
+	kvs := make([]journal.KV, 0, len(latest))
+	puts := make([]insert, 0, len(latest))
+	for key, r := range latest {
+		r = canonicalResult(r)
+		// A record whose result is already cached verbatim is skipped
+		// entirely: the cursor restarts at zero on every boot, so without
+		// this check each restart would re-fsync and re-journal the
+		// leader's whole history.
+		if cur, ok := e.cache.Get(key); ok && resultsEqual(cur, r) {
+			e.met.replSkipped.Inc()
+			continue
+		}
+		if e.journal != nil {
+			data, jerr := json.Marshal(r)
+			if jerr != nil {
+				log.Printf("engine: follower: encoding journal record: %v", jerr)
+				continue
+			}
+			kvs = append(kvs, journal.KV{Key: []byte(key), Value: data})
+		}
+		puts = append(puts, insert{key, r})
+	}
+	if len(kvs) > 0 {
+		if _, err := e.journal.AppendBatch(kvs); err != nil {
+			// Durability lost, correctness kept: the in-memory results still
+			// serve (same degradation as journalAppend on the leader path).
+			log.Printf("engine: follower: journal batch append: %v", err)
+		}
+	}
+	for _, p := range puts {
+		e.cache.Put(p.key, p.r)
+		e.stReplicated.Add(1)
+		e.met.replApplied.Inc()
+	}
+	return cursor
+}
+
+// applyLease handles one replicated lease meta-record: persist it locally
+// (so a restart recovers the fleet's leadership view from its own disk)
+// and fold the claim into the election state.
+func (e *Engine) applyLease(key []byte, raw json.RawMessage) {
+	if len(raw) == 0 {
+		return
+	}
+	var claim leaseClaim
+	if err := json.Unmarshal(raw, &claim); err != nil {
+		log.Printf("engine: follower: bad lease record: %v (skipped)", err)
+		return
+	}
+	if e.journal != nil {
+		if _, err := e.journal.Append(key, raw); err != nil {
+			log.Printf("engine: follower: journaling lease record: %v", err)
+		}
+	}
+	if e.cluster != nil {
+		e.cluster.observeLease(claim)
+	}
+}
+
 // pullTail performs one long-polling tail request against the peer.
-func (e *Engine) pullTail(ctx context.Context, client *http.Client, cursor uint64) (tailResponse, error) {
+func (e *Engine) pullTail(ctx context.Context, client *http.Client, peer string, cursor uint64) (TailResponse, error) {
 	u := fmt.Sprintf("%s/v1/journal/tail?after=%d&limit=%d&wait=%s",
-		e.opt.FollowPeer, cursor, followBatchLimit, url.QueryEscape(followWait.String()))
+		peer, cursor, followBatchLimit, url.QueryEscape(followWait.String()))
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
-		return tailResponse{}, err
+		return TailResponse{}, err
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return tailResponse{}, err
+		return TailResponse{}, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return tailResponse{}, fmt.Errorf("peer tail: HTTP %d (is the peer running with -journal-dir?)", resp.StatusCode)
+		return TailResponse{}, fmt.Errorf("peer tail: HTTP %d (is the peer running with -journal-dir?)", resp.StatusCode)
 	}
-	var tr tailResponse
+	var tr TailResponse
 	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
-		return tailResponse{}, fmt.Errorf("decoding peer tail: %w", err)
+		return TailResponse{}, fmt.Errorf("decoding peer tail: %w", err)
 	}
 	return tr, nil
 }
 
 // stopFollower cancels the follower's in-flight long poll and waits for
-// the loop to exit.
+// the loop to exit; idempotent, so a failover promotion and Close can both
+// call it.
 func (e *Engine) stopFollower() {
 	if e.followCancel == nil {
 		return
 	}
 	e.followCancel()
 	e.followWG.Wait()
+	e.followCancel = nil
 }

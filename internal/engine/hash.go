@@ -3,11 +3,20 @@ package engine
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"hash"
 	"math"
 
 	"repro/internal/bitmat"
 )
+
+// CanonicalHash returns the spec's canonical identity as a hex string —
+// the same key (hex-encoded) the engine caches and journals results under
+// and the replication feed reports. The gateway shards on it, and it is
+// the idempotency token that makes retried submissions exactly-once: two
+// specs with equal hashes resolve to one cached computation no matter how
+// many members or retries saw them.
+func (s JobSpec) CanonicalHash() string { return hex.EncodeToString([]byte(s.hashKey())) }
 
 // hashKey is the canonical identity of a job: two specs with equal keys
 // compute the same result and may share one cache entry. The key covers

@@ -19,21 +19,24 @@ const MaxBatchJobs = 4096
 // enforceable before the whole payload is buffered.
 const maxBodyBytes = 32 << 20
 
-// submitRequest is the POST /v1/jobs payload.
-type submitRequest struct {
+// SubmitRequest is the POST /v1/jobs payload. Exported so the gateway (and
+// other Go clients) share one wire definition with the server.
+type SubmitRequest struct {
 	Jobs []JobSpec `json:"jobs"`
 }
 
-// submitResponse acknowledges a batch with the assigned job ids, in
+// SubmitResponse acknowledges a batch with the assigned job ids, in
 // submission order, and the batch id for the SSE streaming endpoint.
-type submitResponse struct {
+type SubmitResponse struct {
 	BatchID string   `json:"batch_id"`
 	JobIDs  []string `json:"job_ids"`
 }
 
-// healthResponse is the GET /healthz payload.
-type healthResponse struct {
+// HealthResponse is the GET /healthz (liveness) and /readyz (readiness)
+// payload; on an unready 503 Status is "unready" and Error says why.
+type HealthResponse struct {
 	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
 	Stats  Stats  `json:"stats"`
 }
 
@@ -49,7 +52,12 @@ type healthResponse struct {
 //	GET  /v1/journal/tail         -> committed journal records past a
 //	                              cursor (?after=N&limit=M&wait=25s), the
 //	                              follower-replication feed
-//	GET  /healthz                 -> {"status":"ok","stats":{...}}
+//	GET  /healthz                 -> liveness: {"status":"ok","stats":{...}}
+//	GET  /readyz                  -> readiness: 200 while the member should
+//	                              receive traffic, 503 while draining or
+//	                              journal-degraded
+//	GET  /v1/cluster/state        -> this member's role, epoch, leader, and
+//	                              replication cursor (leader discovery)
 //	GET  /metrics                 -> Prometheus text exposition of the
 //	                              engine's registry (engine, journal, HTTP,
 //	                              quota, and replication families)
@@ -88,7 +96,7 @@ func NewHTTPHandler(e *Engine) http.Handler {
 				return
 			}
 		}
-		var req submitRequest
+		var req SubmitRequest
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 			return
@@ -124,7 +132,7 @@ func NewHTTPHandler(e *Engine) http.Handler {
 			for range b.Results {
 			}
 		}()
-		writeJSON(w, http.StatusAccepted, submitResponse{BatchID: b.ID, JobIDs: b.IDs})
+		writeJSON(w, http.StatusAccepted, SubmitResponse{BatchID: b.ID, JobIDs: b.IDs})
 	})
 	handle("GET /v1/jobs/{id}", "/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, ok := e.Job(r.PathValue("id"))
@@ -141,7 +149,23 @@ func NewHTTPHandler(e *Engine) http.Handler {
 		serveJournalTail(e, w, r)
 	})
 	handle("GET /healthz", "/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Stats: e.Stats()})
+		// Liveness: the process is up and serving. Deliberately undemanding —
+		// a draining or journal-degraded member is still alive (restarting it
+		// would make things worse); readiness is /readyz's job.
+		writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Stats: e.Stats()})
+	})
+	handle("GET /readyz", "/readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness: should this member receive traffic right now? The
+		// gateway's health checker and the CI smoke scripts probe this, so a
+		// draining member leaves the ring before its listener closes.
+		if err := e.Ready(); err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "unready", Error: err.Error(), Stats: e.Stats()})
+			return
+		}
+		writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Stats: e.Stats()})
+	})
+	handle("GET /v1/cluster/state", "/v1/cluster/state", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.ClusterState())
 	})
 	// The scrape itself is deliberately not instrumented: a request-latency
 	// series for /metrics would grow the exposition it is measuring.

@@ -18,7 +18,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 	srv := httptest.NewServer(NewHTTPHandler(e))
 	defer srv.Close()
 
-	body, _ := json.Marshal(submitRequest{Jobs: []JobSpec{
+	body, _ := json.Marshal(SubmitRequest{Jobs: []JobSpec{
 		{Kind: SynthTwoLevel, Benchmark: "rd53"},
 		{Kind: MapHBA, Inputs: 3, Outputs: 2, Rows: fig8Rows, OpenRate: 0.10, Seed: 4},
 		{Kind: MonteCarloYield, Benchmark: "rd53", OpenRate: 0.10, Samples: 20, Seed: 9},
@@ -30,7 +30,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit status = %d", resp.StatusCode)
 	}
-	var sub submitResponse
+	var sub SubmitResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var health healthResponse
+	var health HealthResponse
 	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
 		t.Fatal(err)
 	}

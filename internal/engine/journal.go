@@ -42,6 +42,20 @@ func (e *Engine) openJournal() {
 	e.journal = j
 	n := 0
 	err = j.Replay(0, func(rec journal.Record) error {
+		if journal.IsMetaKey(rec.Key) {
+			// Cluster coordination records ride the journal but never the
+			// result cache. Replay is oldest-first, so the last lease seen
+			// is the newest claim this member knew before it stopped.
+			if string(rec.Key) == string(journal.MetaKey(journal.LeaseKind)) {
+				var claim leaseClaim
+				if jerr := json.Unmarshal(rec.Value, &claim); jerr != nil {
+					log.Printf("engine: journal lease record %d undecodable: %v (skipped)", rec.Seq, jerr)
+				} else {
+					e.recoveredLease = &claim
+				}
+			}
+			return nil
+		}
 		var r JobResult
 		if jerr := json.Unmarshal(rec.Value, &r); jerr != nil {
 			// A record that framed correctly but doesn't decode is from
@@ -139,65 +153,58 @@ func (e *Engine) journalStats() (records int, lastSeq uint64) {
 	return e.journal.Records(), e.journal.LastSeq()
 }
 
-// applyReplicated installs one record replicated from a peer's journal:
-// into the local cache and — when this instance journals too — into the
-// local journal, so a follower restart warm-starts from its own disk.
-// A record whose result is already cached verbatim is skipped entirely:
-// the follower's cursor restarts at zero on every boot (the peer's
-// sequence numbers are not ours), so without this check each restart
-// would re-fsync and re-journal the peer's whole history.
-func (e *Engine) applyReplicated(key []byte, r JobResult) {
-	if e.cache == nil {
-		return
-	}
-	r = canonicalResult(r)
-	if cur, ok := e.cache.Get(string(key)); ok && reflect.DeepEqual(cur, r) {
-		e.met.replSkipped.Inc()
-		return
-	}
-	// Durable before published, same order as runTask: once the cache can
-	// serve this result, a crash must not lose it from the local journal.
-	e.journalAppend(string(key), r)
-	e.cache.Put(string(key), r)
-	e.stReplicated.Add(1)
-	e.met.replApplied.Inc()
+// resultsEqual reports whether a replicated result matches the cached one
+// verbatim (the skip-if-already-applied check of applyWindow).
+func resultsEqual(a, b JobResult) bool { return reflect.DeepEqual(a, b) }
+
+// TailRecord is the wire form of one journal record on the replication
+// endpoint: the sequence cursor, the hex key, and the payload — Result for
+// job records, Meta (the raw value, currently a lease claim) for records
+// in the journal's reserved meta-key namespace.
+type TailRecord struct {
+	Seq    uint64          `json:"seq"`
+	Key    string          `json:"key"`
+	Result JobResult       `json:"result"`
+	Meta   json.RawMessage `json:"meta,omitempty"`
 }
 
-// tailRecord is the wire form of one journal record on the replication
-// endpoint: the sequence cursor, the hex spec-hash key, and the result.
-type tailRecord struct {
-	Seq    uint64    `json:"seq"`
-	Key    string    `json:"key"`
-	Result JobResult `json:"result"`
-}
-
-// tailResponse is the GET /v1/journal/tail payload. MaxSeq is the highest
+// TailResponse is the GET /v1/journal/tail payload. MaxSeq is the highest
 // sequence number scanned for this response — past skipped (undecodable)
 // records as well as returned ones — so a follower advances its cursor
 // even when a whole window fails to decode (build version skew) instead of
 // re-pulling the same records forever.
-type tailResponse struct {
+type TailResponse struct {
 	LastSeq uint64       `json:"last_seq"`
 	MaxSeq  uint64       `json:"max_seq"`
-	Records []tailRecord `json:"records"`
+	Records []TailRecord `json:"records"`
 }
 
 // journalTail reads up to limit committed records past the cursor for the
 // replication endpoint.
-func (e *Engine) journalTail(after uint64, limit int) (tailResponse, error) {
+func (e *Engine) journalTail(after uint64, limit int) (TailResponse, error) {
 	recs, last, err := e.journal.ReadAfter(after, limit)
 	if err != nil {
-		return tailResponse{}, err
+		return TailResponse{}, err
 	}
-	resp := tailResponse{LastSeq: last, MaxSeq: after, Records: make([]tailRecord, 0, len(recs))}
+	resp := TailResponse{LastSeq: last, MaxSeq: after, Records: make([]TailRecord, 0, len(recs))}
 	for _, rec := range recs {
 		resp.MaxSeq = rec.Seq // ReadAfter returns records oldest first
+		if journal.IsMetaKey(rec.Key) {
+			// Meta-record values are not JobResults; ship them raw so the
+			// follower's election state sees the exact claim.
+			resp.Records = append(resp.Records, TailRecord{
+				Seq:  rec.Seq,
+				Key:  hex.EncodeToString(rec.Key),
+				Meta: json.RawMessage(rec.Value),
+			})
+			continue
+		}
 		var r JobResult
 		if jerr := json.Unmarshal(rec.Value, &r); jerr != nil {
 			log.Printf("engine: journal record %d undecodable on tail: %v (skipped)", rec.Seq, jerr)
 			continue
 		}
-		resp.Records = append(resp.Records, tailRecord{
+		resp.Records = append(resp.Records, TailRecord{
 			Seq:    rec.Seq,
 			Key:    hex.EncodeToString(rec.Key),
 			Result: r,

@@ -38,6 +38,12 @@ type engineMetrics struct {
 	replCursor   *metrics.Gauge
 	replLeader   *metrics.Gauge
 	replLag      *metrics.Gauge
+	replBackoff  *metrics.Gauge
+
+	clusterEpoch     *metrics.Gauge
+	clusterIsLeader  *metrics.Gauge
+	clusterFailovers *metrics.Counter
+	clusterDemotions *metrics.Counter
 }
 
 // knownKinds is the fixed set of job kinds, used to pre-resolve per-kind
@@ -86,6 +92,16 @@ func newEngineMetrics() *engineMetrics {
 			"The followed peer's newest committed journal sequence number, as of the last pull."),
 		replLag: reg.NewGauge("xbar_replication_lag",
 			"Records the follower still trails the leader by (leader_seq - cursor)."),
+		replBackoff: reg.NewGauge("xbar_replication_pull_backoff_seconds",
+			"Current retry backoff of the follower's tail pull (0 while the peer is healthy)."),
+		clusterEpoch: reg.NewGauge("xbar_cluster_epoch",
+			"Leadership epoch this member has observed (bumped on every promotion)."),
+		clusterIsLeader: reg.NewGauge("xbar_cluster_is_leader",
+			"1 while this member holds the leader lease, else 0."),
+		clusterFailovers: reg.NewCounter("xbar_cluster_failovers_total",
+			"Times this member promoted itself to leader after a lease expiry."),
+		clusterDemotions: reg.NewCounter("xbar_cluster_demotions_total",
+			"Times this member yielded leadership after observing a higher claim."),
 	}
 	m.queueWaitByKind = make(map[Kind]*metrics.Histogram, len(knownKinds))
 	m.jobSecsByKind = make(map[Kind]*metrics.Histogram, len(knownKinds))

@@ -49,7 +49,7 @@ func readSSE(t *testing.T, body *bufio.Scanner) []sseEvent {
 
 // checkBatchStream asserts an SSE stream delivers every job of the batch
 // exactly once, then done.
-func checkBatchStream(t *testing.T, url string, sub submitResponse) {
+func checkBatchStream(t *testing.T, url string, sub SubmitResponse) {
 	t.Helper()
 	resp, err := http.Get(url + "/v1/batches/" + sub.BatchID + "/events")
 	if err != nil {
@@ -108,14 +108,14 @@ func TestHTTPBatchEventStream(t *testing.T) {
 	srv := httptest.NewServer(NewHTTPHandler(e))
 	defer srv.Close()
 
-	body, _ := json.Marshal(submitRequest{Jobs: []JobSpec{
+	body, _ := json.Marshal(SubmitRequest{Jobs: []JobSpec{
 		mcSpec(11), mcSpec(12), mcSpec(13), fig8Spec(SynthTwoLevel),
 	}})
 	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sub submitResponse
+	var sub SubmitResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
 		t.Fatal(err)
 	}
@@ -152,12 +152,12 @@ func TestStopStreamsUnblocksSubscribers(t *testing.T) {
 	slow := mcSpec(31)
 	slow.Samples = 500_000
 	slow.TimeoutMS = 3000 // bound the job so Close doesn't wait long
-	body, _ := json.Marshal(submitRequest{Jobs: []JobSpec{slow}})
+	body, _ := json.Marshal(SubmitRequest{Jobs: []JobSpec{slow}})
 	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sub submitResponse
+	var sub SubmitResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestStopStreamsUnblocksSubscribers(t *testing.T) {
 
 	// The signal re-arms: a subscriber connecting after StopStreams (here
 	// to a fresh batch) streams to completion as usual.
-	quick, _ := json.Marshal(submitRequest{Jobs: []JobSpec{fig8Spec(SynthTwoLevel)}})
+	quick, _ := json.Marshal(SubmitRequest{Jobs: []JobSpec{fig8Spec(SynthTwoLevel)}})
 	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(quick))
 	if err != nil {
 		t.Fatal(err)
@@ -205,12 +205,12 @@ func TestSSEResumeWithLastEventID(t *testing.T) {
 	srv := httptest.NewServer(NewHTTPHandler(e))
 	defer srv.Close()
 
-	body, _ := json.Marshal(submitRequest{Jobs: []JobSpec{mcSpec(41), mcSpec(42), mcSpec(43)}})
+	body, _ := json.Marshal(SubmitRequest{Jobs: []JobSpec{mcSpec(41), mcSpec(42), mcSpec(43)}})
 	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sub submitResponse
+	var sub SubmitResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
 		t.Fatal(err)
 	}
@@ -269,12 +269,12 @@ func TestHTTPAdmissionControl(t *testing.T) {
 
 	slow := mcSpec(21)
 	slow.Samples = 200_000 // long enough to still be running at the next POST
-	slowBody, _ := json.Marshal(submitRequest{Jobs: []JobSpec{slow}})
+	slowBody, _ := json.Marshal(SubmitRequest{Jobs: []JobSpec{slow}})
 	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(slowBody))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var first submitResponse
+	var first SubmitResponse
 	if err := json.NewDecoder(resp.Body).Decode(&first); err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +285,7 @@ func TestHTTPAdmissionControl(t *testing.T) {
 
 	// A batch bigger than the queue limit is permanently unservable: 413
 	// with no Retry-After, so clients split instead of retrying forever.
-	bigBatchBody, _ := json.Marshal(submitRequest{Jobs: []JobSpec{mcSpec(23), mcSpec(24)}})
+	bigBatchBody, _ := json.Marshal(SubmitRequest{Jobs: []JobSpec{mcSpec(23), mcSpec(24)}})
 	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(bigBatchBody))
 	if err != nil {
 		t.Fatal(err)
@@ -298,7 +298,7 @@ func TestHTTPAdmissionControl(t *testing.T) {
 		t.Fatal("413 must not advertise Retry-After")
 	}
 
-	quickBody, _ := json.Marshal(submitRequest{Jobs: []JobSpec{mcSpec(22)}})
+	quickBody, _ := json.Marshal(SubmitRequest{Jobs: []JobSpec{mcSpec(22)}})
 	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(quickBody))
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,561 @@
+package gateway
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+)
+
+var fig8Rows = []string{"11- 10", "-01 10", "0-0 01", "-11 01"}
+
+// hbaSpec builds a cheap, deterministic mapping job whose identity varies
+// with seed (distinct seeds hash to distinct shards).
+func hbaSpec(seed int64) engine.JobSpec {
+	return engine.JobSpec{
+		Kind: engine.MapHBA, Inputs: 3, Outputs: 2, Rows: fig8Rows,
+		OpenRate: 0.10, SpareRows: 2, Seed: seed,
+	}
+}
+
+func specs(n int) []engine.JobSpec {
+	out := make([]engine.JobSpec, n)
+	for i := range out {
+		out[i] = hbaSpec(int64(1000 + i))
+	}
+	return out
+}
+
+// realMember runs a full engine behind a real HTTP server.
+func realMember(t *testing.T) (string, *engine.Engine) {
+	t.Helper()
+	e := engine.New(engine.Options{Workers: 2})
+	srv := httptest.NewServer(engine.NewHTTPHandler(e))
+	t.Cleanup(func() { srv.Close(); e.Close() })
+	return srv.URL, e
+}
+
+// fakeMember is a scriptable member: submits fail while failLeft > 0 (or
+// stall for sleep, or beyond okCap successes), then succeed with
+// engine-shaped acks.
+type fakeMember struct {
+	url      string
+	failLeft atomic.Int32
+	okCap    atomic.Int32 // >0: hard-fail every submit after this many successes
+	sleep    time.Duration
+	submits  atomic.Int32
+	oks      atomic.Int32
+}
+
+func newFakeMember(t *testing.T) *fakeMember {
+	t.Helper()
+	f := &fakeMember{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		f.submits.Add(1)
+		if f.sleep > 0 {
+			select {
+			case <-time.After(f.sleep):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if f.failLeft.Load() > 0 {
+			f.failLeft.Add(-1)
+			http.Error(w, "injected failure", http.StatusInternalServerError)
+			return
+		}
+		if cap := f.okCap.Load(); cap > 0 && f.oks.Load() >= cap {
+			http.Error(w, "injected failure (success budget spent)", http.StatusInternalServerError)
+			return
+		}
+		f.oks.Add(1)
+		var req engine.SubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ids := make([]string, len(req.Jobs))
+		for i := range ids {
+			ids[i] = fmt.Sprintf("j%08d", i+1)
+		}
+		json.NewEncoder(w).Encode(engine.SubmitResponse{BatchID: "b00000001", JobIDs: ids})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	f.url = srv.URL
+	return f
+}
+
+// testGateway builds a gateway with fast retry/backoff settings.
+func testGateway(t *testing.T, members []string, tweak func(*Options)) *Gateway {
+	t.Helper()
+	opt := Options{
+		Members:        members,
+		AttemptTimeout: 2 * time.Second,
+		RetryBudget:    5 * time.Second,
+		HedgeDelay:     -1, // off unless a test opts in
+		Backoff:        cluster.Backoff{Base: 2 * time.Millisecond, Cap: 20 * time.Millisecond, Jitter: -1},
+	}
+	if tweak != nil {
+		tweak(&opt)
+	}
+	g, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	return g
+}
+
+func submit(t *testing.T, h http.Handler, jobs []engine.JobSpec) (*httptest.ResponseRecorder, SubmitResponse) {
+	t.Helper()
+	body, _ := json.Marshal(engine.SubmitRequest{Jobs: jobs})
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(body))
+	h.ServeHTTP(rec, req)
+	var resp SubmitResponse
+	if rec.Code == http.StatusAccepted {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("bad submit response: %v", err)
+		}
+	}
+	return rec, resp
+}
+
+// shardSplit asserts the spec set lands on more than one member and
+// returns the owner of each spec.
+func shardSplit(t *testing.T, g *Gateway, jobs []engine.JobSpec) []string {
+	t.Helper()
+	owners := make([]string, len(jobs))
+	seen := map[string]bool{}
+	for i, s := range jobs {
+		owners[i] = g.ring.Owner([]byte(s.CanonicalHash()))
+		seen[owners[i]] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("test precondition: all %d specs hash to one member", len(jobs))
+	}
+	return owners
+}
+
+// TestSubmitRetriesAroundFailingMember: one member rejects every submit;
+// its shard's jobs must re-route to the healthy member after bounded
+// retries, with no job lost and no client-visible error.
+func TestSubmitRetriesAroundFailingMember(t *testing.T) {
+	good, bad := newFakeMember(t), newFakeMember(t)
+	bad.failLeft.Store(1 << 30)
+	g := testGateway(t, []string{good.url, bad.url}, nil)
+	jobs := specs(64)
+	shardSplit(t, g, jobs)
+
+	rec, resp := submit(t, g.Handler(), jobs)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", rec.Code, rec.Body)
+	}
+	if len(resp.Errors) != 0 {
+		t.Fatalf("submit reported errors despite a healthy fallback: %+v", resp.Errors)
+	}
+	goodTok := memberToken(good.url)
+	for i, id := range resp.JobIDs {
+		if !strings.HasPrefix(id, goodTok+".") {
+			t.Fatalf("job %d placed as %q, want everything on the healthy member %s", i, id, goodTok)
+		}
+	}
+	if g.met.retries.Value() == 0 {
+		t.Fatal("rerouting around the failing member recorded no retries")
+	}
+}
+
+// TestSubmitRecoversAfterTransientFailures: a member that fails N submits
+// then recovers serves later submissions again (per-request exclusion is
+// not permanent ejection).
+func TestSubmitRecoversAfterTransientFailures(t *testing.T) {
+	a, b := newFakeMember(t), newFakeMember(t)
+	a.failLeft.Store(1)
+	g := testGateway(t, []string{a.url, b.url}, nil)
+	jobs := specs(64)
+	shardSplit(t, g, jobs)
+
+	// First submission: A eats its one failure, its shard re-routes to B;
+	// every job still lands.
+	rec, resp := submit(t, g.Handler(), jobs)
+	if rec.Code != http.StatusAccepted || len(resp.Errors) != 0 {
+		t.Fatalf("submit with transient failures = %d %+v", rec.Code, resp.Errors)
+	}
+	for i, id := range resp.JobIDs {
+		if id == "" {
+			t.Fatalf("job %d lost through transient failures", i)
+		}
+	}
+	// Second submission: A has recovered — clean, no retries, spread
+	// across both members again.
+	before := g.met.retries.Value()
+	rec, resp = submit(t, g.Handler(), jobs)
+	if rec.Code != http.StatusAccepted || len(resp.Errors) != 0 {
+		t.Fatalf("clean submit = %d %+v", rec.Code, resp.Errors)
+	}
+	if got := g.met.retries.Value(); got != before {
+		t.Fatalf("clean submit retried (%d -> %d)", before, got)
+	}
+	toks := map[string]bool{}
+	for _, id := range resp.JobIDs {
+		toks[strings.SplitN(id, ".", 2)[0]] = true
+	}
+	if len(toks) < 2 {
+		t.Fatalf("recovered fleet did not re-spread the shards: %v", toks)
+	}
+}
+
+// TestSubmitAllMembersDown: total degradation answers 503 + Retry-After
+// promptly instead of hanging out the retry budget.
+func TestSubmitAllMembersDown(t *testing.T) {
+	a, b := newFakeMember(t), newFakeMember(t)
+	a.failLeft.Store(1 << 30)
+	b.failLeft.Store(1 << 30)
+	g := testGateway(t, []string{a.url, b.url}, nil)
+
+	start := time.Now()
+	rec, _ := submit(t, g.Handler(), specs(8))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submit with fleet down = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without a Retry-After hint")
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("degraded answer took %v, want fast failure", d)
+	}
+	if g.met.unrouted.Value() == 0 {
+		t.Fatal("unrouted jobs not counted")
+	}
+}
+
+// TestSubmitPartialBatch: a member that succeeds once then dies strands
+// the re-sharded jobs once every member is excluded — the response must
+// keep the placed sub-batch and report the stranded jobs per-index.
+func TestSubmitPartialBatch(t *testing.T) {
+	flaky, dead := newFakeMember(t), newFakeMember(t)
+	dead.failLeft.Store(1 << 30)
+	g := testGateway(t, []string{flaky.url, dead.url}, nil)
+	jobs := specs(64)
+	owners := shardSplit(t, g, jobs)
+	// The flaky member answers its first submit (round one's own shard)
+	// and nothing after — so the dead member's re-sharded jobs strand.
+	flaky.okCap.Store(1)
+	var flakyShard []int
+	for i, o := range owners {
+		if o == flaky.url {
+			flakyShard = append(flakyShard, i)
+		}
+	}
+
+	rec, resp := submit(t, g.Handler(), jobs)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("partial submit = %d: %s", rec.Code, rec.Body)
+	}
+	if len(resp.Errors) == 0 {
+		t.Fatal("partial placement reported no errors")
+	}
+	placed := 0
+	for i, id := range resp.JobIDs {
+		owned := owners[i] == flaky.url
+		if (id != "") != owned {
+			t.Fatalf("job %d (owner %s): id %q", i, owners[i], id)
+		}
+		if id != "" {
+			placed++
+		}
+	}
+	if placed != len(flakyShard) {
+		t.Fatalf("placed %d jobs, want the flaky member's shard of %d", placed, len(flakyShard))
+	}
+	var failed []int
+	for _, e := range resp.Errors {
+		failed = append(failed, e.Jobs...)
+	}
+	if len(failed) != len(jobs)-placed {
+		t.Fatalf("errors cover %d jobs, want %d", len(failed), len(jobs)-placed)
+	}
+}
+
+// TestSubmitHedgesSlowMember: a primary that stalls past the hedge delay
+// loses the race to the next ring member; the client sees a fast ack.
+func TestSubmitHedgesSlowMember(t *testing.T) {
+	slow, fast := newFakeMember(t), newFakeMember(t)
+	slow.sleep = 2 * time.Second
+	g := testGateway(t, []string{slow.url, fast.url}, func(o *Options) {
+		o.HedgeDelay = 30 * time.Millisecond
+		o.AttemptTimeout = 5 * time.Second
+	})
+	// Pick one spec owned by the slow member.
+	var job engine.JobSpec
+	found := false
+	for seed := int64(0); seed < 4096 && !found; seed++ {
+		job = hbaSpec(seed)
+		found = g.ring.Owner([]byte(job.CanonicalHash())) == slow.url
+	}
+	if !found {
+		t.Fatal("test precondition: no spec owned by the slow member")
+	}
+
+	start := time.Now()
+	rec, resp := submit(t, g.Handler(), []engine.JobSpec{job})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("hedged submit = %d: %s", rec.Code, rec.Body)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("hedged submit took %v, want well under the slow member's stall", d)
+	}
+	if want := memberToken(fast.url) + "."; !strings.HasPrefix(resp.JobIDs[0], want) {
+		t.Fatalf("hedged job placed as %q, want on the fast member %q", resp.JobIDs[0], want)
+	}
+	if g.met.hedges.Value() == 0 {
+		t.Fatal("hedge not counted")
+	}
+}
+
+// TestExactlyOnceAcrossFleet: identical batches submitted twice through
+// the gateway shard identically, dedupe on the owning members' caches,
+// and return payload-identical results — each unique spec is computed and
+// cached on exactly one member.
+func TestExactlyOnceAcrossFleet(t *testing.T) {
+	urlA, engA := realMember(t)
+	urlB, engB := realMember(t)
+	urlC, engC := realMember(t)
+	g := testGateway(t, []string{urlA, urlB, urlC}, nil)
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+	jobs := specs(16)
+	shardSplit(t, g, jobs)
+
+	rec1, resp1 := submit(t, g.Handler(), jobs)
+	rec2, resp2 := submit(t, g.Handler(), jobs)
+	if rec1.Code != http.StatusAccepted || rec2.Code != http.StatusAccepted {
+		t.Fatalf("submits = %d, %d", rec1.Code, rec2.Code)
+	}
+	for i := range jobs {
+		t1, _, _ := strings.Cut(resp1.JobIDs[i], ".")
+		t2, _, _ := strings.Cut(resp2.JobIDs[i], ".")
+		if t1 != t2 {
+			t.Fatalf("job %d routed to %s then %s: routing not sticky on the spec hash", i, t1, t2)
+		}
+	}
+	first := pollAll(t, gw.URL, resp1.JobIDs)
+	second := pollAll(t, gw.URL, resp2.JobIDs)
+	for i := range jobs {
+		if !samePayload(first[i], second[i]) {
+			t.Fatalf("job %d diverged between identical submissions:\n  %+v\n  %+v", i, first[i], second[i])
+		}
+	}
+	// Exactly-once fleet-wide: every unique spec lives in exactly one
+	// member's cache, even after being submitted twice.
+	total := engA.Stats().CacheEntries + engB.Stats().CacheEntries + engC.Stats().CacheEntries
+	if total != len(jobs) {
+		t.Fatalf("fleet caches hold %d entries for %d unique specs", total, len(jobs))
+	}
+}
+
+func pollAll(t *testing.T, gwURL string, ids []string) []engine.JobResult {
+	t.Helper()
+	out := make([]engine.JobResult, len(ids))
+	deadline := time.Now().Add(30 * time.Second)
+	for i, id := range ids {
+		for {
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s not done in time", id)
+			}
+			resp, err := http.Get(gwURL + "/v1/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st engine.JobStatus
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.ID != id {
+				t.Fatalf("status id %q, want the gateway id %q", st.ID, id)
+			}
+			if st.Status == engine.StatusDone {
+				if st.Result == nil || st.Result.ID != id {
+					t.Fatalf("done status for %s carries result %+v", id, st.Result)
+				}
+				out[i] = *st.Result
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	return out
+}
+
+func samePayload(a, b engine.JobResult) bool {
+	a.ID, a.CacheHit, a.Elapsed = "", false, 0
+	b.ID, b.CacheHit, b.Elapsed = "", false, 0
+	return reflect.DeepEqual(a, b)
+}
+
+// sseEvent is one parsed client-side event.
+type sseEvent struct {
+	id, event string
+	data      []byte
+}
+
+// readEvents consumes SSE events from r, stopping after limit events (or
+// a done event, or EOF).
+func readEvents(t *testing.T, r io.Reader, limit int) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			out = append(out, cur)
+			if cur.event == "done" || (limit > 0 && len(out) >= limit) {
+				return out
+			}
+			cur = sseEvent{}
+		case strings.HasPrefix(line, "id:"):
+			cur.id = strings.TrimSpace(line[len("id:"):])
+		case strings.HasPrefix(line, "event:"):
+			cur.event = strings.TrimSpace(line[len("event:"):])
+		case strings.HasPrefix(line, "data:"):
+			cur.data = append(cur.data, strings.TrimPrefix(line[len("data:"):], " ")...)
+		}
+	}
+	return out
+}
+
+// TestSSEReconnectExactlyOnce: a client that drops its merged gateway
+// stream and reconnects with the composite Last-Event-ID sees every
+// result exactly once across the two connections, with gateway job ids in
+// every payload.
+func TestSSEReconnectExactlyOnce(t *testing.T) {
+	urlA, _ := realMember(t)
+	urlB, _ := realMember(t)
+	g := testGateway(t, []string{urlA, urlB}, nil)
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+	jobs := specs(24)
+	shardSplit(t, g, jobs)
+
+	rec, resp := submit(t, g.Handler(), jobs)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(resp.BatchID, ".") {
+		t.Fatalf("test precondition: batch %q has one part, want a multi-member batch", resp.BatchID)
+	}
+	pollAll(t, gw.URL, resp.JobIDs) // everything finished: the stream replays deterministically
+
+	streamURL := gw.URL + "/v1/batches/" + resp.BatchID + "/events"
+	// First connection: read 7 results, then hang up mid-stream.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, streamURL, nil)
+	sresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstEvents := readEvents(t, sresp.Body, 7)
+	cancel()
+	sresp.Body.Close()
+	if len(firstEvents) != 7 {
+		t.Fatalf("first connection read %d events, want 7", len(firstEvents))
+	}
+	lastID := firstEvents[len(firstEvents)-1].id
+
+	// Second connection resumes past the composite cursor.
+	req, _ = http.NewRequest(http.MethodGet, streamURL, nil)
+	req.Header.Set("Last-Event-ID", lastID)
+	sresp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	rest := readEvents(t, sresp.Body, 0)
+	if n := len(rest); n == 0 || rest[n-1].event != "done" {
+		t.Fatalf("second connection ended without a done event (%d events)", n)
+	}
+
+	seen := map[string]int{}
+	for _, ev := range append(firstEvents, rest[:len(rest)-1]...) {
+		if ev.event != "result" {
+			t.Fatalf("unexpected event %q mid-stream", ev.event)
+		}
+		var res engine.JobResult
+		if err := json.Unmarshal(ev.data, &res); err != nil {
+			t.Fatalf("bad result payload: %v", err)
+		}
+		seen[res.ID]++
+	}
+	for _, id := range resp.JobIDs {
+		if seen[id] != 1 {
+			t.Fatalf("job %s delivered %d times across the reconnect, want exactly once", id, seen[id])
+		}
+	}
+	if len(seen) != len(jobs) {
+		t.Fatalf("saw %d distinct results, want %d", len(seen), len(jobs))
+	}
+	var done struct {
+		Jobs int `json:"jobs"`
+	}
+	// Members report their full sub-batch size in done (resume offsets
+	// included), so the gateway's merged done covers the whole batch.
+	if err := json.Unmarshal(rest[len(rest)-1].data, &done); err != nil || done.Jobs != len(jobs) {
+		t.Fatalf("done event %s, want jobs=%d", rest[len(rest)-1].data, len(jobs))
+	}
+}
+
+// TestGatewayReadyz: ready while any member is healthy, unready once the
+// checker has ejected the whole fleet.
+func TestGatewayReadyz(t *testing.T) {
+	a := newFakeMember(t)
+	g := testGateway(t, []string{a.url}, func(o *Options) {
+		o.Health = cluster.HealthOptions{
+			Interval:      5 * time.Millisecond,
+			FailThreshold: 2,
+			Probe: func(ctx context.Context, member string) error {
+				return fmt.Errorf("injected probe failure")
+			},
+		}
+	})
+	h := g.Handler()
+	get := func(path string) int {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec.Code
+	}
+	// Optimistic admission: ready before the first probes land.
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz on fresh gateway = %d", code)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for get("/readyz") != http.StatusServiceUnavailable {
+		if time.Now().After(deadline) {
+			t.Fatal("gateway never went unready with every probe failing")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz = %d, want liveness to stay green", code)
+	}
+}

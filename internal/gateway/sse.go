@@ -1,0 +1,301 @@
+package gateway
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// The gateway's SSE endpoint merges the per-member event streams behind a
+// composite batch id ("tok~bid.tok~bid"). Each member sub-batch gets one
+// upstream subscription; result events are forwarded with the job id
+// rewritten to its gateway form and the SSE event id rewritten to a
+// composite cursor ("tok~lastid.tok~lastid" — the last member-local event
+// id seen per part). A client that reconnects with that cursor as
+// Last-Event-ID resumes every part exactly where it left off, preserving
+// the members' exactly-once replay through the gateway. Upstream drops
+// reconnect transparently (with backoff, resuming from the part's own
+// cursor); a part that stays down past the retry budget is reported as an
+// "error" event for that shard while the others keep streaming.
+
+// ssePart is one member sub-batch of a composite batch id.
+type ssePart struct {
+	tok     string
+	member  string
+	batchID string
+}
+
+// parseBatchID splits a composite gateway batch id into its member parts.
+func (g *Gateway) parseBatchID(id string) ([]ssePart, error) {
+	raw := strings.Split(id, ".")
+	out := make([]ssePart, len(raw))
+	for i, p := range raw {
+		tok, bid, ok := strings.Cut(p, "~")
+		member := g.byTok[tok]
+		if !ok || bid == "" || member == "" {
+			return nil, fmt.Errorf("bad batch id part %q", p)
+		}
+		out[i] = ssePart{tok: tok, member: member, batchID: bid}
+	}
+	return out, nil
+}
+
+// parseCompositeLastID recovers the per-part cursors from a reconnecting
+// client's Last-Event-ID header. Parts are positional — compositeID emits
+// them in batch id order, and one member can own several parts (a retry
+// round can place a second sub-batch on a member that already has one), so
+// tokens alone don't identify a part. A header that doesn't line up with
+// the batch id (wrong length or tokens) is ignored: the members replay
+// from the start, which is correct just slower.
+func parseCompositeLastID(s string, parts []ssePart) []string {
+	lasts := make([]string, len(parts))
+	if s == "" {
+		return lasts
+	}
+	raw := strings.Split(s, ".")
+	if len(raw) != len(parts) {
+		return lasts
+	}
+	for i, p := range raw {
+		tok, last, ok := strings.Cut(p, "~")
+		if !ok || tok != parts[i].tok {
+			return make([]string, len(parts))
+		}
+		lasts[i] = last
+	}
+	return lasts
+}
+
+// compositeID renders the gateway event id: every part's cursor, in batch
+// id order, parts with no event yet as "tok~".
+func compositeID(parts []ssePart, lasts []string) string {
+	var b strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(p.tok)
+		b.WriteByte('~')
+		b.WriteString(lasts[i])
+	}
+	return b.String()
+}
+
+// subEvent is one upstream event forwarded to the merge loop.
+type subEvent struct {
+	idx   int
+	kind  string // "result" | "done" | "error"
+	jobID string // member-local, result events
+	data  []byte // rewritten payload, result events
+	jobs  int    // done events: results in the sub-batch
+	err   error  // error events
+}
+
+func (g *Gateway) serveBatchEvents(w http.ResponseWriter, r *http.Request) {
+	parts, err := g.parseBatchID(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "unknown batch id (not issued by this gateway's fleet)")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	lasts := parseCompositeLastID(r.Header.Get("Last-Event-ID"), parts)
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	events := make(chan subEvent, 16)
+	for i, p := range parts {
+		go g.streamPart(ctx, i, p, lasts[i], events)
+	}
+
+	// All writes happen here, in the handler goroutine: the part streams
+	// only parse and forward.
+	active, jobs := len(parts), 0
+	for active > 0 {
+		select {
+		case ev := <-events:
+			switch ev.kind {
+			case "result":
+				lasts[ev.idx] = ev.jobID
+				if _, werr := fmt.Fprintf(w, "id: %s\nevent: result\ndata: %s\n\n",
+					compositeID(parts, lasts), ev.data); werr != nil {
+					return // client went away
+				}
+				fl.Flush()
+			case "done":
+				jobs += ev.jobs
+				active--
+			case "error":
+				// Partial degradation: this shard's stream is lost, the rest
+				// keep going. The client sees which member and why.
+				data, _ := json.Marshal(map[string]string{
+					"member": parts[ev.idx].tok, "error": ev.err.Error()})
+				if _, werr := fmt.Fprintf(w, "event: error\ndata: %s\n\n", data); werr != nil {
+					return
+				}
+				fl.Flush()
+				active--
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+	fmt.Fprintf(w, "event: done\ndata: {\"batch_id\":%q,\"jobs\":%d}\n\n", r.PathValue("id"), jobs)
+	fl.Flush()
+}
+
+// streamPart subscribes to one member's event stream and forwards it,
+// reconnecting (resuming from its own cursor) until the sub-batch is done,
+// the client leaves, or the member stays unreachable past the retry
+// budget.
+func (g *Gateway) streamPart(ctx context.Context, idx int, p ssePart, lastID string, out chan<- subEvent) {
+	send := func(ev subEvent) bool {
+		select {
+		case out <- ev:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	attempt := 0
+	lastProgress := time.Now()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		streamed, err := g.streamOnce(ctx, idx, p, &lastID, send)
+		if streamed {
+			attempt = 0
+			lastProgress = time.Now()
+		}
+		if err == nil {
+			return // done event delivered (or client gone)
+		}
+		if se := (*statusError)(nil); asStatusError(err, &se) && se.code >= 400 && se.code < 500 {
+			// The member no longer knows the batch (restart cleared its
+			// in-memory registry): retrying cannot help.
+			send(subEvent{idx: idx, kind: "error", err: err})
+			return
+		}
+		if time.Since(lastProgress) > g.opt.RetryBudget {
+			send(subEvent{idx: idx, kind: "error",
+				err: fmt.Errorf("member %s unreachable past retry budget: %v", p.member, err)})
+			return
+		}
+		g.met.sseReconnects.Inc()
+		select {
+		case <-time.After(g.opt.Backoff.Delay(attempt, nil)):
+		case <-ctx.Done():
+			return
+		}
+		attempt++
+	}
+}
+
+// streamOnce runs one upstream subscription: connect (resuming past
+// *lastID), parse events, forward results with rewritten ids, advance
+// *lastID per event. Returns streamed=true if at least one event arrived,
+// and err=nil only on clean termination (done event, or client departure).
+func (g *Gateway) streamOnce(ctx context.Context, idx int, p ssePart, lastID *string, send func(subEvent) bool) (streamed bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		p.member+"/v1/batches/"+p.batchID+"/events", nil)
+	if err != nil {
+		return false, err
+	}
+	if *lastID != "" {
+		req.Header.Set("Last-Event-ID", *lastID)
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, &statusError{code: resp.StatusCode, msg: "subscribing to member events"}
+	}
+
+	var id, event string
+	var data []byte
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			done, ok := g.dispatchEvent(idx, p, id, event, data, lastID, send)
+			if !ok {
+				return streamed, nil // client gone; ctx is cancelled
+			}
+			if event == "result" || event == "done" {
+				streamed = true
+			}
+			if done {
+				return streamed, nil
+			}
+			id, event, data = "", "", nil
+		case strings.HasPrefix(line, "id:"):
+			id = strings.TrimSpace(line[len("id:"):])
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(line[len("event:"):])
+		case strings.HasPrefix(line, "data:"):
+			if data != nil {
+				data = append(data, '\n')
+			}
+			data = append(data, strings.TrimPrefix(line[len("data:"):], " ")...)
+		}
+	}
+	if serr := sc.Err(); serr != nil {
+		return streamed, serr
+	}
+	return streamed, fmt.Errorf("member %s closed the event stream mid-batch", p.member)
+}
+
+// dispatchEvent forwards one parsed upstream event. Returns done=true on
+// the member's terminal event, ok=false when the merge loop is gone.
+func (g *Gateway) dispatchEvent(idx int, p ssePart, id, event string, data []byte, lastID *string, send func(subEvent) bool) (done, ok bool) {
+	switch event {
+	case "result":
+		// Rewrite the member-local job id to its gateway form in both the
+		// payload and the (composite) event id.
+		var res engine.JobResult
+		if err := json.Unmarshal(data, &res); err != nil {
+			log.Printf("gateway: undecodable result event from %s (forwarded verbatim): %v", p.member, err)
+		} else {
+			res.ID = p.tok + "." + res.ID
+			if enc, err := json.Marshal(res); err == nil {
+				data = enc
+			}
+		}
+		if !send(subEvent{idx: idx, kind: "result", jobID: id, data: data}) {
+			return false, false
+		}
+		*lastID = id
+		return false, true
+	case "done":
+		var d struct {
+			Jobs int `json:"jobs"`
+		}
+		if err := json.Unmarshal(data, &d); err != nil {
+			log.Printf("gateway: undecodable done event from %s: %v", p.member, err)
+		}
+		return true, send(subEvent{idx: idx, kind: "done", jobs: d.Jobs})
+	default:
+		return false, true // comments, keep-alives, unknown event types
+	}
+}

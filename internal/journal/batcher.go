@@ -6,22 +6,27 @@ import (
 	"time"
 )
 
-// Group-commit batcher: every Append enqueues a request and blocks until
-// its record is written and fsynced. A single committer goroutine drains
-// the queue, so concurrent appenders that arrive while one fsync is in
-// flight are committed together under the next one — batching emerges from
-// backlog instead of from a fixed wait, which keeps single-writer latency
-// at one fsync while amortizing the fsync cost under load (the shape of
-// the batched ledger writer in the audit-log exemplar).
+// Group-commit batcher: every Append/AppendBatch enqueues a request and
+// blocks until its records are written and fsynced. A single committer
+// goroutine drains the queue, so concurrent appenders that arrive while one
+// fsync is in flight are committed together under the next one — batching
+// emerges from backlog instead of from a fixed wait, which keeps
+// single-writer latency at one fsync while amortizing the fsync cost under
+// load (the shape of the batched ledger writer in the audit-log exemplar).
+
+// KV is one key/value pair of a batched append.
+type KV struct {
+	Key, Value []byte
+}
 
 type appendReq struct {
-	key, value []byte
-	resp       chan appendRes
+	kvs  []KV
+	resp chan appendRes
 }
 
 type appendRes struct {
-	seq uint64
-	err error
+	seqs []uint64
+	err  error
 }
 
 // Append durably writes one record and returns its assigned sequence
@@ -34,15 +39,36 @@ type appendRes struct {
 // (callers needing exactly-once must make records idempotent, as the
 // engine's key->result records are).
 func (j *Journal) Append(key, value []byte) (uint64, error) {
-	req := &appendReq{key: key, value: value, resp: make(chan appendRes, 1)}
+	seqs, err := j.AppendBatch([]KV{{Key: key, Value: value}})
+	if err != nil {
+		return 0, err
+	}
+	return seqs[0], nil
+}
+
+// AppendBatch durably writes every record of kvs under ONE group commit and
+// returns their assigned sequence numbers, in order. The assignment is
+// all-or-nothing: either every record is committed — with consecutive
+// sequence numbers, in one segment (a batch is never split across a
+// rotation, so no published/rollback boundary can fall inside it) — or none
+// is and the error reports why. One fsync covers the whole batch (plus any
+// concurrent appends the committer drained alongside it), which is what the
+// follower replication path leans on: a pulled window commits as one
+// deterministic unit instead of one fsync per record. An empty batch is a
+// no-op.
+func (j *Journal) AppendBatch(kvs []KV) ([]uint64, error) {
+	if len(kvs) == 0 {
+		return nil, nil
+	}
+	req := &appendReq{kvs: kvs, resp: make(chan appendRes, 1)}
 	select {
 	case j.in <- req:
 	case <-j.stop:
-		return 0, ErrClosed
+		return nil, ErrClosed
 	}
 	select {
 	case res := <-req.resp:
-		return res.seq, res.err
+		return res.seqs, res.err
 	case <-j.done:
 		// The committer has exited. It drains j.in before exiting, so
 		// either our request was committed (the response is buffered) or
@@ -51,23 +77,26 @@ func (j *Journal) Append(key, value []byte) (uint64, error) {
 		// will ever answer.
 		select {
 		case res := <-req.resp:
-			return res.seq, res.err
+			return res.seqs, res.err
 		default:
-			return 0, ErrClosed
+			return nil, ErrClosed
 		}
 	}
 }
 
 // run is the committer goroutine: take one request (blocking), drain
-// whatever else is queued up to the batch cap, commit the group, repeat.
+// whatever else is queued up to the batch record cap, commit the group,
+// repeat.
 func (j *Journal) run() {
 	defer close(j.done)
 	batch := make([]*appendReq, 0, j.opt.BatchRecords)
 	for {
 		batch = batch[:0]
+		nrec := 0
 		select {
 		case req := <-j.in:
 			batch = append(batch, req)
+			nrec = len(req.kvs)
 		case <-j.stop:
 			// Drain stragglers that won the race against stop, then exit.
 			for {
@@ -83,10 +112,11 @@ func (j *Journal) run() {
 			}
 		}
 	drain:
-		for len(batch) < j.opt.BatchRecords {
+		for nrec < j.opt.BatchRecords {
 			select {
 			case req := <-j.in:
 				batch = append(batch, req)
+				nrec += len(req.kvs)
 			default:
 				break drain
 			}
@@ -95,19 +125,26 @@ func (j *Journal) run() {
 	}
 }
 
-// commit writes one batch as consecutive frames, rotating segments at the
-// size threshold, fsyncs once, publishes the new state, and acknowledges
-// every waiter. On a write, sync, or rotation error the tail is truncated
-// back to the last published state, so the on-disk log never holds frames
-// whose Append reported failure (phantom records a follower could read, or
-// orphans that a later commit would append after with reused sequence
-// numbers). If that rollback itself fails, the journal is marked failed
-// and refuses all further appends until restart; readers skip anything
-// past the published state. Restart recovery truncates a torn orphan, but
-// fully-written orphan frames are indistinguishable from committed records
-// and recover as such (see the Append contract).
+// commit writes one batch of requests as consecutive frames, rotating
+// segments at the size threshold, fsyncs once, publishes the new state, and
+// acknowledges every waiter. Rotation — and therefore every publish and
+// rollback boundary — happens only between requests, never inside one, so a
+// multi-record AppendBatch is atomic: its records are all acknowledged with
+// their seqs or all reported failed. On a write, sync, or rotation error
+// the tail is truncated back to the last published state, so the on-disk
+// log never holds frames whose append reported failure (phantom records a
+// follower could read, or orphans that a later commit would append after
+// with reused sequence numbers). If that rollback itself fails, the journal
+// is marked failed and refuses all further appends until restart; readers
+// skip anything past the published state. Restart recovery truncates a torn
+// orphan, but fully-written orphan frames are indistinguishable from
+// committed records and recover as such (see the Append contract).
 func (j *Journal) commit(batch []*appendReq) {
 	start := time.Now()
+	total := 0
+	for _, req := range batch {
+		total += len(req.kvs)
+	}
 	j.mu.Lock()
 	if j.closed || j.tail == nil || j.failed != nil {
 		err := ErrClosed
@@ -115,13 +152,13 @@ func (j *Journal) commit(batch []*appendReq) {
 			err = j.failed
 		}
 		j.mu.Unlock()
-		j.met.countRefused(len(batch))
+		j.met.countRefused(total)
 		for _, req := range batch {
 			req.resp <- appendRes{err: err}
 		}
 		return
 	}
-	seqs := make([]uint64, len(batch))
+	seqs := make([][]uint64, len(batch))
 	now := j.now().UnixNano()
 	var err error
 	var buf []byte
@@ -138,15 +175,19 @@ func (j *Journal) commit(batch []*appendReq) {
 		buf = buf[:0]
 	}
 	lastSeq, chain, records := j.lastSeq, j.chain, j.records
-	// published counts the batch entries folded into the journal state
+	// published counts the batch requests folded into the journal state
 	// (their records are durable and will be acknowledged with their seqs
-	// even if a later entry fails); stable is the tail size consistent with
-	// that state — the rollback point.
-	published := 0
+	// even if a later request fails); pubRecords is the record count behind
+	// them; stable is the tail size consistent with that state — the
+	// rollback point.
+	published, pubRecords := 0, 0
 	stable := j.tailSize
 	publish := func(upTo int) {
 		j.lastSeq, j.chain, j.records = lastSeq, chain, records
 		j.publishLocked(batch, seqs, published, upTo, now)
+		for i := published; i < upTo; i++ {
+			pubRecords += len(batch[i].kvs)
+		}
 		published = upTo
 		stable = j.tailSize
 	}
@@ -154,7 +195,16 @@ func (j *Journal) commit(batch []*appendReq) {
 		if err != nil {
 			break
 		}
-		if j.tailSize+int64(len(buf)) > j.opt.SegmentBytes && (j.tailSize > headerSize || len(buf) > 0) {
+		// Size the whole request up front: if it would cross the segment
+		// threshold, rotate BEFORE writing any of it, so its frames land in
+		// one segment and publish boundaries stay request-aligned. A request
+		// bigger than the segment budget overflows its fresh segment rather
+		// than splitting.
+		var need int64
+		for _, kv := range req.kvs {
+			need += int64(frameOverhead + recordFixedSize + len(kv.Key) + len(kv.Value))
+		}
+		if j.tailSize+int64(len(buf))+need > j.opt.SegmentBytes && (j.tailSize > headerSize || len(buf) > 0) {
 			flush()
 			if err == nil && !j.opt.NoSync {
 				// The frames ahead of the rotation are published (and
@@ -175,13 +225,16 @@ func (j *Journal) commit(batch []*appendReq) {
 		if err != nil {
 			break
 		}
-		lastSeq++
-		rec := Record{Seq: lastSeq, Time: now, Key: req.key, Value: req.value}
-		start := len(buf)
-		buf = appendFrame(buf, rec)
-		chain = chain.advance(frameBody(buf[start:]))
-		records++
-		seqs[i] = lastSeq
+		seqs[i] = make([]uint64, len(req.kvs))
+		for k, kv := range req.kvs {
+			lastSeq++
+			rec := Record{Seq: lastSeq, Time: now, Key: kv.Key, Value: kv.Value}
+			s := len(buf)
+			buf = appendFrame(buf, rec)
+			chain = chain.advance(frameBody(buf[s:]))
+			records++
+			seqs[i][k] = lastSeq
+		}
 	}
 	flush()
 	if err == nil && !j.opt.NoSync {
@@ -198,17 +251,17 @@ func (j *Journal) commit(batch []*appendReq) {
 		j.notify = make(chan struct{})
 	}
 	j.mu.Unlock()
-	j.met.observeCommit(time.Since(start), len(batch), published)
+	j.met.observeCommit(time.Since(start), total, pubRecords)
 	for i, req := range batch {
 		if i < published {
-			req.resp <- appendRes{seq: seqs[i]}
+			req.resp <- appendRes{seqs: seqs[i]}
 		} else {
 			req.resp <- appendRes{err: err}
 		}
 	}
 }
 
-// publishLocked folds the committed batch entries [published, upTo) into
+// publishLocked folds the committed batch requests [published, upTo) into
 // the journal's in-memory read state: per-key counts, the tail ring, and
 // the oldest-record clock. It runs under j.mu on every commit, between the
 // group fsync and the acknowledgements, so it is pinned allocation-free
@@ -216,20 +269,23 @@ func (j *Journal) commit(batch []*appendReq) {
 // j.mu.
 //
 //xbar:hotpath
-func (j *Journal) publishLocked(batch []*appendReq, seqs []uint64, published, upTo int, now int64) {
+func (j *Journal) publishLocked(batch []*appendReq, seqs [][]uint64, published, upTo int, now int64) {
 	for i := published; i < upTo; i++ {
 		req := batch[i]
-		j.keys[string(req.key)]++
-		// The ring owns copies: the appender's key/value slices are the
-		// caller's to reuse once Append returns.
-		j.ring.push(Record{
-			Seq:  seqs[i],
-			Time: now,
-			//xbar:allow hotpath-alloc deliberate per-record copy; the ring must outlive the appender's buffer
-			Key: append([]byte(nil), req.key...),
-			//xbar:allow hotpath-alloc deliberate per-record copy; the ring must outlive the appender's buffer
-			Value: append([]byte(nil), req.value...),
-		})
+		for k := range req.kvs {
+			kv := &req.kvs[k]
+			j.keys[string(kv.Key)]++
+			// The ring owns copies: the appender's key/value slices are the
+			// caller's to reuse once the append returns.
+			j.ring.push(Record{
+				Seq:  seqs[i][k],
+				Time: now,
+				//xbar:allow hotpath-alloc deliberate per-record copy; the ring must outlive the appender's buffer
+				Key: append([]byte(nil), kv.Key...),
+				//xbar:allow hotpath-alloc deliberate per-record copy; the ring must outlive the appender's buffer
+				Value: append([]byte(nil), kv.Value...),
+			})
+		}
 	}
 	if j.oldest == 0 && upTo > 0 {
 		j.oldest = now

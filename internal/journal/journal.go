@@ -546,3 +546,17 @@ func (j *Journal) Close() error {
 	}
 	return err
 }
+
+// Healthy reports whether the journal can currently accept appends: nil
+// when open and writable, ErrClosed after Close, or the sticky failure
+// recorded when a commit rollback failed. Readiness probes (/readyz) call
+// this — a member whose journal refuses writes must leave the ring even
+// though its process is alive and its cache still serves reads.
+func (j *Journal) Healthy() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed || j.tail == nil {
+		return ErrClosed
+	}
+	return j.failed
+}

@@ -121,3 +121,29 @@ func (c chainHash) advance(body []byte) chainHash {
 
 // frameBody returns the body slice of an encoded frame (for chain updates).
 func frameBody(frame []byte) []byte { return frame[4 : len(frame)-4] }
+
+// Meta-record namespace. Cluster coordination state (currently the leader
+// lease) rides the journal as ordinary records under reserved keys, so it
+// is durable, hash-chained, and replicated to followers through the same
+// tail feed as job results — no second consensus channel to keep
+// consistent. The prefix starts with a NUL byte, which no canonical
+// spec-hash key (hex) can contain, so meta keys can never collide with job
+// records. Compaction keeps the newest record per key, so exactly the
+// current lease survives compaction.
+var metaKeyPrefix = []byte("\x00xbar:")
+
+// LeaseKind is the meta-record kind carrying the leader lease
+// (a JSON-encoded lease claim; see internal/engine).
+const LeaseKind = "lease"
+
+// MetaKey returns the reserved journal key for a meta-record kind.
+func MetaKey(kind string) []byte {
+	return append(append([]byte(nil), metaKeyPrefix...), kind...)
+}
+
+// IsMetaKey reports whether key is in the reserved meta-record namespace.
+// Replay and replication consumers use it to divert coordination records
+// away from the result cache.
+func IsMetaKey(key []byte) bool {
+	return len(key) >= len(metaKeyPrefix) && string(key[:len(metaKeyPrefix)]) == string(metaKeyPrefix)
+}
