@@ -28,13 +28,20 @@
 //	GET  /readyz                 readiness: 200 while at least one member
 //	                             is healthy
 //	GET  /metrics                gateway metric families (xbar_gateway_*)
+//	GET  /v1/traces/{id}         cross-process timeline: the gateway's own
+//	                             spans stitched with every member's view of
+//	                             the same trace id
+//	GET  /v1/traces?slowest=N    the gateway's N slowest kept traces
+//
+// With -ops-addr a second, operator-only listener serves net/http/pprof at
+// /debug/pprof/ plus plain-text /debug/stack and /debug/heap snapshots.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -44,6 +51,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/gateway"
+	"repro/internal/ops"
 )
 
 func main() {
@@ -57,7 +65,11 @@ func main() {
 	failAfter := flag.Int("fail-threshold", 0, "consecutive probe failures before ejecting a member (0 = 3)")
 	recoverAfter := flag.Int("recover-threshold", 0, "consecutive probe successes before re-admitting a member (0 = 2)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "bound on graceful shutdown (0 waits forever)")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of unremarkable traces kept beyond errored/slow/flagged ones (0 = 0.10 default, negative disables)")
+	opsAddr := flag.String("ops-addr", "", "opt-in debug listener (net/http/pprof, /debug/stack, /debug/heap) on a separate port; empty disables")
 	flag.Parse()
+
+	slog.SetDefault(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
 
 	var urls []string
 	for _, m := range strings.Split(*members, ",") {
@@ -66,7 +78,8 @@ func main() {
 		}
 	}
 	if len(urls) == 0 {
-		log.Fatal("xbargateway: -members is required (comma-separated base URLs)")
+		slog.Error("-members is required (comma-separated base URLs)", "component", "xbargateway")
+		os.Exit(1)
 	}
 
 	g, err := gateway.New(gateway.Options{
@@ -80,9 +93,20 @@ func main() {
 			FailThreshold:    *failAfter,
 			RecoverThreshold: *recoverAfter,
 		},
+		TraceSampleRate: *traceSample,
 	})
 	if err != nil {
-		log.Fatal(err)
+		slog.Error("gateway startup failed", "component", "xbargateway", "err", err)
+		os.Exit(1)
+	}
+	if *opsAddr != "" {
+		opsSrv, err := ops.Start(*opsAddr)
+		if err != nil {
+			slog.Error("ops listener failed", "component", "xbargateway", "addr", *opsAddr, "err", err)
+			os.Exit(1)
+		}
+		defer opsSrv.Close()
+		slog.Info("ops debug listener up", "component", "xbargateway", "addr", *opsAddr)
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -92,14 +116,15 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("xbargateway listening on %s fronting %d members: %s",
-		*addr, len(urls), strings.Join(urls, ", "))
+	slog.Info("xbargateway listening", "component", "xbargateway", "addr", *addr,
+		"members", strings.Join(urls, ","))
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-stop:
-		log.Printf("received %v, shutting down (bound %v)", sig, *shutdownTimeout)
+		slog.Info("shutting down on signal", "component", "xbargateway",
+			"signal", sig.String(), "bound", *shutdownTimeout)
 		ctx := context.Background()
 		if *shutdownTimeout > 0 {
 			var cancel context.CancelFunc
@@ -107,13 +132,14 @@ func main() {
 			defer cancel()
 		}
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("shutdown: %v", err)
+			slog.Warn("http shutdown incomplete", "component", "xbargateway", "err", err)
 		}
 		g.Close()
 	case err := <-errCh:
 		g.Close()
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			slog.Error("server failed", "component", "xbargateway", "err", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -1,7 +1,11 @@
 // Command xbarloadgen drives synthetic traffic at an xbarserver and prints
 // an SLO report: request-latency percentiles, error and throttle (429)
 // rates, achieved throughput, and the server-side cache hit ratio over the
-// run (scraped from GET /metrics before and after).
+// run (scraped from GET /metrics before and after). Every request carries a
+// sampled W3C traceparent; after the run the generator fetches the server's
+// slowest kept trace (GET /v1/traces?slowest=1) and prints its span-tree
+// timeline next to the report — and writes it to -trace-out when set — so
+// tail latency comes with its own explanation.
 //
 //	xbarloadgen -url http://localhost:8080 -duration 30s -rps 200 \
 //	    -batch-sizes 1:6,8:3,64:1 -kinds synthesize-two-level:3,map-hba:2 \
@@ -49,6 +53,22 @@ func main() {
 		log.Fatal(err)
 	}
 	rep.print(os.Stdout)
+	// The slowest kept trace answers the question the percentiles raise:
+	// *where* the tail latency went, span by span.
+	if tl, terr := fetchSlowestTrace(&http.Client{Timeout: cfg.timeout}, cfg.url); terr != nil {
+		log.Printf("slowest-trace fetch skipped: %v", terr)
+	} else {
+		printTraceTree(os.Stdout, tl)
+		if cfg.traceOut != "" {
+			if tdata, err := json.MarshalIndent(tl, "", "  "); err == nil {
+				if err := os.WriteFile(cfg.traceOut, append(tdata, '\n'), 0o644); err != nil {
+					log.Printf("writing -trace-out: %v", err)
+				} else {
+					log.Printf("wrote slowest trace to %s", cfg.traceOut)
+				}
+			}
+		}
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -80,6 +100,7 @@ type config struct {
 	seed         int64
 	timeout      time.Duration
 	out          string
+	traceOut     string
 	maxErrorRate float64
 }
 
@@ -101,6 +122,7 @@ func parseFlags(args []string) (config, error) {
 	fs.Int64Var(&cfg.seed, "seed", 1, "RNG seed for the traffic mix (runs are reproducible)")
 	fs.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request HTTP timeout")
 	fs.StringVar(&cfg.out, "out", "", "write the JSON report to this file (default: print to stdout)")
+	fs.StringVar(&cfg.traceOut, "trace-out", "", "write the slowest kept trace's timeline JSON to this file")
 	fs.Float64Var(&cfg.maxErrorRate, "max-error-rate", -1, "exit non-zero when the error rate exceeds this fraction (negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
@@ -235,7 +257,7 @@ func run(cfg config) (*Report, error) {
 	fire := func(r *rand.Rand) {
 		body, jobs, clientID := gen.nextBatch(r)
 		start := time.Now()
-		status := post(client, cfg.url, clientID, body)
+		status := post(client, cfg.url, clientID, newTraceparent(r), body)
 		record(sample{latency: time.Since(start), status: status, jobs: jobs})
 	}
 
@@ -322,12 +344,13 @@ func run(cfg config) (*Report, error) {
 
 // post submits one batch and returns the HTTP status (0 on transport
 // error). The response body is drained so connections are reused.
-func post(client *http.Client, baseURL, clientID string, body []byte) int {
+func post(client *http.Client, baseURL, clientID, traceparent string, body []byte) int {
 	req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/jobs", bytes.NewReader(body))
 	if err != nil {
 		return 0
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", traceparent)
 	if clientID != "" {
 		req.Header.Set("X-Client-ID", clientID)
 	}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// newTraceparent renders a sampled W3C traceparent from the caller's RNG.
+// Every loadgen request carries one, so the server keeps its trace (the
+// sampled flag pins it past the rate-based sampler) and the post-run
+// slowest-trace fetch has a full population to pick from.
+func newTraceparent(r *rand.Rand) string {
+	var hi, lo, span uint64
+	for hi == 0 && lo == 0 {
+		hi, lo = r.Uint64(), r.Uint64()
+	}
+	for span == 0 {
+		span = r.Uint64()
+	}
+	return fmt.Sprintf("00-%016x%016x-%016x-01", hi, lo, span)
+}
+
+// fetchSlowestTrace asks the server for its slowest kept timeline.
+func fetchSlowestTrace(client *http.Client, baseURL string) (*trace.Timeline, error) {
+	resp, err := client.Get(baseURL + "/v1/traces?slowest=1")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("GET /v1/traces?slowest=1: HTTP %d: %s", resp.StatusCode, msg)
+	}
+	var list trace.ListResponse
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return nil, err
+	}
+	if len(list.Traces) == 0 {
+		return nil, fmt.Errorf("server kept no traces")
+	}
+	return &list.Traces[0], nil
+}
+
+// printTraceTree renders one timeline as an indented span tree, children
+// under parents in start order, with offsets and durations in ms — the
+// at-a-glance answer to "where did the slowest request spend its time".
+func printTraceTree(w io.Writer, tl *trace.Timeline) {
+	state := "in flight"
+	if tl.Finished {
+		state = "finished"
+	}
+	if tl.Error {
+		state += ", errored"
+	}
+	fmt.Fprintf(w, "slowest trace %s (%.2fms total, %s)\n",
+		tl.TraceID, float64(tl.DurationUS)/1e3, state)
+	byID := make(map[string]bool, len(tl.Spans))
+	children := make(map[string][]int, len(tl.Spans))
+	for _, sp := range tl.Spans {
+		byID[sp.SpanID] = true
+	}
+	var roots []int
+	for i, sp := range tl.Spans {
+		if sp.ParentID != "" && byID[sp.ParentID] {
+			children[sp.ParentID] = append(children[sp.ParentID], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	var walk func(idx, depth int)
+	walk = func(idx, depth int) {
+		sp := tl.Spans[idx]
+		annot := ""
+		if sp.Member != "" {
+			annot += " member=" + sp.Member
+		}
+		if sp.JobID != "" {
+			annot += " job=" + sp.JobID
+		}
+		if sp.Kind != "" {
+			annot += " kind=" + sp.Kind
+		}
+		if sp.Err != "" {
+			annot += " error=" + sp.Err
+		}
+		fmt.Fprintf(w, "  %*s%-42s +%.2fms %.2fms%s\n",
+			2*depth, "", sp.Name, float64(sp.OffsetUS)/1e3, float64(sp.DurUS)/1e3, annot)
+		kids := children[sp.SpanID]
+		sort.Slice(kids, func(a, b int) bool {
+			if tl.Spans[kids[a]].StartNS != tl.Spans[kids[b]].StartNS {
+				return tl.Spans[kids[a]].StartNS < tl.Spans[kids[b]].StartNS
+			}
+			return tl.Spans[kids[a]].SpanID < tl.Spans[kids[b]].SpanID
+		})
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}

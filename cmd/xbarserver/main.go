@@ -31,6 +31,13 @@
 //	GET  /metrics                Prometheus text exposition: engine,
 //	                             journal, HTTP, quota, and replication
 //	                             metric families (see README, Observability)
+//	GET  /v1/traces/{id}         one sampled trace's span timeline (pass a
+//	                             traceparent header on submit, or use the
+//	                             trace_id the submit response returns)
+//	GET  /v1/traces?slowest=N    the N slowest kept trace timelines
+//
+// With -ops-addr a second, operator-only listener serves net/http/pprof at
+// /debug/pprof/ plus plain-text /debug/stack and /debug/heap snapshots.
 //
 // Job kinds: synthesize-two-level, synthesize-multilevel, map-hba, map-ea,
 // monte-carlo-yield. Functions come from a built-in "benchmark" name or
@@ -54,7 +61,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -63,6 +70,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/ops"
 )
 
 func main() {
@@ -88,7 +96,14 @@ func main() {
 	clientRPS := flag.Float64("client-rps", 0, "per-client quota: sustained submissions/sec per X-Client-ID before 429 + Retry-After (0 = disabled)")
 	clientBurst := flag.Int("client-burst", 0, "per-client burst allowance with -client-rps (0 = max(1, one second of -client-rps))")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "bound on graceful shutdown: after this, in-flight work is abandoned (journal still flushed); 0 waits forever")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of unremarkable traces kept beyond errored/slow/flagged ones (0 = 0.10 default, negative disables)")
+	opsAddr := flag.String("ops-addr", "", "opt-in debug listener (net/http/pprof, /debug/stack, /debug/heap) on a separate port; empty disables")
 	flag.Parse()
+
+	// Structured JSON logs on stderr; the stdlib default logger is bridged
+	// through the same handler, so residual log.Printf callers (including
+	// dependencies) come out as JSON too.
+	slog.SetDefault(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
 
 	var peers []string
 	for _, p := range strings.Split(*clusterPeers, ",") {
@@ -97,7 +112,8 @@ func main() {
 		}
 	}
 	if *clusterSelf != "" && *journalDir == "" {
-		log.Fatal("xbarserver: -cluster-self requires -journal-dir (the lease lives in the journal)")
+		slog.Error("-cluster-self requires -journal-dir (the lease lives in the journal)", "component", "xbarserver")
+		os.Exit(1)
 	}
 
 	e := engine.New(engine.Options{
@@ -121,7 +137,17 @@ func main() {
 		MaxBatches:             *maxBatches,
 		ClientRPS:              *clientRPS,
 		ClientBurst:            *clientBurst,
+		TraceSampleRate:        *traceSample,
 	})
+	if *opsAddr != "" {
+		opsSrv, err := ops.Start(*opsAddr)
+		if err != nil {
+			slog.Error("ops listener failed", "component", "xbarserver", "addr", *opsAddr, "err", err)
+			os.Exit(1)
+		}
+		defer opsSrv.Close()
+		slog.Info("ops debug listener up", "component", "xbarserver", "addr", *opsAddr)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           engine.NewHTTPHandler(e),
@@ -134,14 +160,16 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("xbarserver listening on %s (workers=%d cache=%d journal-dir=%q cache-file=%q follow=%q)",
-		*addr, *workers, *cacheSize, *journalDir, *cacheFile, *follow)
+	slog.Info("xbarserver listening", "component", "xbarserver", "addr", *addr,
+		"workers", *workers, "cache", *cacheSize, "journal_dir", *journalDir,
+		"cache_file", *cacheFile, "follow", *follow)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-stop:
-		log.Printf("received %v, shutting down (bound %v)", sig, *shutdownTimeout)
+		slog.Info("shutting down on signal", "component", "xbarserver",
+			"signal", sig.String(), "bound", *shutdownTimeout)
 		ctx := context.Background()
 		var deadline time.Time
 		if *shutdownTimeout > 0 {
@@ -151,7 +179,7 @@ func main() {
 			defer cancel()
 		}
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("shutdown: %v", err)
+			slog.Warn("http shutdown incomplete", "component", "xbarserver", "err", err)
 		}
 		// The flag is ONE budget for the whole shutdown, not one per phase:
 		// the engine drain gets whatever the HTTP drain left, so an
@@ -168,7 +196,8 @@ func main() {
 		// server-error path too, not just on signal-driven shutdown.
 		e.CloseTimeout(*shutdownTimeout)
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			slog.Error("server failed", "component", "xbarserver", "err", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -29,6 +29,7 @@ var hotpathCallWhitelist = []string{
 	"math.",
 	"math/bits.",
 	"sync/atomic.",
+	"(*sync/atomic.", // method form: (*sync/atomic.Uint32).CompareAndSwap etc.
 	"(*math/rand.Rand).",
 	"(math/rand.", // Source interface methods promoted onto Rand values
 	"time.Now",

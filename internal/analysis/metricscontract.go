@@ -18,7 +18,7 @@ import (
 // (label cardinality is a production cost).
 var MetricsContract = &Analyzer{
 	Name: metricsContractName,
-	Doc:  "registry names are xbar_-prefixed literals, unique, with <=3 literal label keys",
+	Doc:  "registry names are xbar_-prefixed literals, unique, with <=3 literal label keys; span names are xbar.-prefixed unique literals",
 	Run:  runMetricsContract,
 }
 
@@ -26,11 +26,17 @@ var MetricsContract = &Analyzer{
 // import path ends in /metrics (the real module and test fixtures alike).
 var metricsRegFunc = regexp.MustCompile(`^\(\*(?:[^)]*/)?metrics\.Registry\)\.New(Counter|Gauge|GaugeFunc|Histogram|CounterVec|GaugeVec|HistogramVec)$`)
 
+// spanNameFunc matches the span-name constructor on any package whose import
+// path ends in /trace. Span names feed the same cardinality contract as
+// metric names: bounded at the source level, not at runtime.
+var spanNameFunc = regexp.MustCompile(`^(?:[^(]*/)?trace\.MustName$`)
+
 const metricsMaxLabels = 3
 
 func runMetricsContract(m *Module) []Finding {
 	var out []Finding
-	seen := make(map[string]Finding) // metric name -> first registration
+	seen := make(map[string]Finding)     // metric name -> first registration
+	spanSeen := make(map[string]Finding) // span name -> first mint
 	for _, pkg := range m.Packages {
 		for _, f := range pkg.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
@@ -39,11 +45,47 @@ func runMetricsContract(m *Module) []Finding {
 					return true
 				}
 				out = append(out, checkRegistration(m, pkg, call, seen)...)
+				out = append(out, checkSpanName(m, pkg, call, spanSeen)...)
 				return true
 			})
 		}
 	}
 	return out
+}
+
+// checkSpanName enforces the trace.MustName contract: a compile-time
+// string literal with the "xbar." prefix, unique module-wide. MustName has
+// no runtime duplicate registry (it must stay idempotent for tests), so
+// this analyzer is the only duplicate gate.
+func checkSpanName(m *Module, pkg *Package, call *ast.CallExpr, seen map[string]Finding) []Finding {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || !spanNameFunc.MatchString(fn.FullName()) || len(call.Args) != 1 {
+		return nil
+	}
+	report := func(pos ast.Node, format string, args ...any) Finding {
+		return Finding{
+			Pos:      m.Fset.Position(pos.Pos()),
+			Analyzer: metricsContractName,
+			Message:  fmt.Sprintf(format, args...),
+		}
+	}
+	name, isConst := constString(pkg, call.Args[0])
+	switch {
+	case !isConst:
+		return []Finding{report(call.Args[0], "MustName argument must be a string literal, not a computed value")}
+	case !strings.HasPrefix(name, "xbar."):
+		return []Finding{report(call.Args[0], "span name %q must carry the xbar. prefix", name)}
+	}
+	if first, dup := seen[name]; dup {
+		return []Finding{report(call.Args[0], "span name %q already minted at %s:%d",
+			name, first.Pos.Filename, first.Pos.Line)}
+	}
+	seen[name] = report(call.Args[0], "")
+	return nil
 }
 
 func checkRegistration(m *Module, pkg *Package, call *ast.CallExpr, seen map[string]Finding) []Finding {

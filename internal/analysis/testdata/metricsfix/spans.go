@@ -1,0 +1,16 @@
+package metricsfix
+
+import "metricstest/trace"
+
+const execName = "xbar.engine.exec"
+
+var (
+	spanAdmit = trace.MustName("xbar.http.admit")
+	spanExec  = trace.MustName(execName)          // no finding: constant expression
+	spanDup   = trace.MustName("xbar.http.admit") // want "already minted"
+	spanBad   = trace.MustName("engine.queue")    // want "must carry the xbar. prefix"
+)
+
+func mint(suffix string) trace.Name {
+	return trace.MustName("xbar." + suffix) // want "must be a string literal"
+}

@@ -3,7 +3,7 @@ package engine
 import (
 	"context"
 	"encoding/json"
-	"log"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
@@ -161,8 +161,8 @@ func (e *Engine) startCluster() {
 	e.met.reg.NewGaugeFunc("xbar_cluster_members",
 		"Cluster members this node coordinates with, including itself.",
 		func() float64 { return float64(len(c.peers) + 1) })
-	log.Printf("engine: cluster member %s starting as %s (epoch %d, leader %s, lease %s)",
-		c.self, c.role(), c.epoch, c.leader, c.lease)
+	slog.Info("cluster member starting", "component", "cluster",
+		"member", c.self, "role", c.role(), "epoch", c.epoch, "leader", c.leader, "lease", c.lease)
 	c.wg.Add(1)
 	go c.loop()
 }
@@ -273,7 +273,7 @@ func (c *clusterNode) observeLease(claim leaseClaim) {
 	c.mu.Unlock()
 	c.e.met.clusterEpoch.Set(int64(claim.Epoch))
 	if wasLeader && !c.isLeader {
-		log.Printf("engine: cluster: deposed by %s (epoch %d); demoting to follower", claim.Leader, claim.Epoch)
+		slog.Warn("deposed; demoting to follower", "component", "cluster", "member", c.self, "leader", claim.Leader, "epoch", claim.Epoch)
 		c.e.met.clusterIsLeader.Set(0)
 		c.e.met.clusterDemotions.Inc()
 		c.e.startFollower()
@@ -335,7 +335,7 @@ func (c *clusterNode) elect() {
 			// its feed, not its life). observeLease adopts it or, for the
 			// incumbent, just resets the lease clock.
 			if st.Self != myLeader {
-				log.Printf("engine: cluster: election found promoted peer %s (epoch %d); adopting", st.Self, st.Epoch)
+				slog.Info("election found promoted peer; adopting", "component", "cluster", "member", c.self, "leader", st.Self, "epoch", st.Epoch)
 			}
 			c.observeLease(leaseClaim{Epoch: st.Epoch, Leader: st.Self})
 			return
@@ -344,8 +344,8 @@ func (c *clusterNode) elect() {
 			myEpoch = st.Epoch // never claim with a stale epoch
 		}
 		if st.ReplCursor > cursor || (st.ReplCursor == cursor && st.Self > c.self) {
-			log.Printf("engine: cluster: deferring election to %s (cursor %d >= ours %d)",
-				st.Self, st.ReplCursor, cursor)
+			slog.Info("deferring election to better-replicated peer", "component", "cluster",
+				"member", c.self, "peer", st.Self, "peer_cursor", st.ReplCursor, "cursor", cursor)
 			return
 		}
 	}
@@ -366,8 +366,8 @@ func (c *clusterNode) promote(epoch uint64) {
 	c.e.met.clusterEpoch.Set(int64(epoch))
 	c.e.met.clusterIsLeader.Set(1)
 	c.e.met.clusterFailovers.Inc()
-	log.Printf("engine: cluster: promoting %s to leader (epoch %d, repl cursor %d)",
-		c.self, epoch, c.e.stReplCursor.Load())
+	slog.Warn("promoting to leader", "component", "cluster",
+		"member", c.self, "epoch", epoch, "cursor", c.e.stReplCursor.Load())
 	c.appendLease()
 }
 
@@ -384,11 +384,11 @@ func (c *clusterNode) appendLease() {
 	}
 	data, err := json.Marshal(claim)
 	if err != nil {
-		log.Printf("engine: cluster: encoding lease: %v", err)
+		slog.Error("failed to encode lease", "component", "cluster", "member", c.self, "epoch", claim.Epoch, "err", err)
 		return
 	}
 	if _, err := c.e.journal.Append(journal.MetaKey(journal.LeaseKind), data); err != nil {
-		log.Printf("engine: cluster: appending lease record: %v", err)
+		slog.Error("failed to append lease record", "component", "cluster", "member", c.self, "epoch", claim.Epoch, "err", err)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/journal"
+	"repro/internal/trace"
 	"repro/internal/workpool"
 )
 
@@ -121,6 +122,11 @@ type Options struct {
 	// ClientBurst is the per-client burst allowance; zero means the
 	// larger of 1 and one second's worth of ClientRPS.
 	ClientBurst int
+	// TraceSampleRate is the probability an unremarkable finished trace is
+	// kept in the span store (errored and slow-tail traces are always
+	// kept). Zero means the trace package default (0.10); negative keeps
+	// only errored, slow-tail, and explicitly sampled traces.
+	TraceSampleRate float64
 }
 
 // ErrOverloaded is reported (wrapped) by Submit when admission control
@@ -197,6 +203,7 @@ type Engine struct {
 	cache   *resultCache
 	journal *journal.Journal
 	met     *engineMetrics
+	traces  *trace.Store
 
 	workerWG sync.WaitGroup
 	submitWG sync.WaitGroup
@@ -261,6 +268,24 @@ type task struct {
 	enq   time.Time // when the task entered the queue (queue-wait metric)
 }
 
+// traceSC is the batch span context per-job spans parent under, or the
+// zero context for a batch submitted before tracing initialized.
+func (t *task) traceSC() trace.SpanContext {
+	if t.batch == nil {
+		return trace.SpanContext{}
+	}
+	return t.batch.sc
+}
+
+// traceID is the pre-rendered trace id string for metric exemplars ("" for
+// an untraced batch).
+func (t *task) traceID() string {
+	if t.batch == nil {
+		return ""
+	}
+	return t.batch.traceID
+}
+
 // New starts an engine. Callers must Close it to release the workers.
 func New(opt Options) *Engine {
 	if opt.Workers <= 0 {
@@ -277,6 +302,7 @@ func New(opt Options) *Engine {
 		batches:    make(map[string]*batchState),
 		streamStop: make(chan struct{}),
 		met:        newEngineMetrics(),
+		traces:     trace.NewStore(trace.Options{SampleRate: opt.TraceSampleRate}),
 	}
 	e.registerEngineGauges()
 	if opt.CacheSize >= 0 {
@@ -366,6 +392,17 @@ func (e *Engine) Submit(ctx context.Context, specs []JobSpec) (*Batch, error) {
 		e.recordLocked(ids[i])
 	}
 	bs := newBatchState(fmt.Sprintf("b%08d", e.nextBatch.Add(1)), ids)
+	// Every batch gets a trace: the caller's span context (HTTP admission,
+	// gateway propagation) when one rides in on ctx, a fresh root
+	// otherwise. The batch span parents every per-job lifecycle span.
+	parent := trace.FromContext(ctx)
+	if !parent.Valid() {
+		parent = trace.SpanContext{Trace: trace.NewTraceID()}
+	}
+	bs.sc = parent.Child()
+	bs.parent = parent.Span
+	bs.traceID = bs.sc.Trace.String()
+	bs.start = time.Now()
 	e.registerBatchLocked(bs)
 	e.openBatches++
 	e.queuedJobs += len(specs)
@@ -393,6 +430,18 @@ func (e *Engine) Submit(ctx context.Context, specs []JobSpec) (*Batch, error) {
 		e.openBatches--
 		e.mu.Unlock()
 		close(out)
+		end := time.Now()
+		failed := bs.failed()
+		e.traces.Record(&trace.Span{
+			Trace:  bs.sc.Trace,
+			ID:     bs.sc.Span,
+			Parent: bs.parent,
+			Name:   spanBatch,
+			Start:  bs.start.UnixNano(),
+			End:    end.UnixNano(),
+			Detail: bs.id,
+		})
+		e.traces.FinishTrace(bs.sc, bs.start, end, failed)
 	}()
 	return &Batch{ID: bs.id, IDs: ids, Results: out}, nil
 }
@@ -553,7 +602,20 @@ func (e *Engine) worker() {
 				break
 			}
 		}
-		e.met.observeQueueWait(t.spec.Kind, time.Since(t.enq))
+		picked := time.Now()
+		e.met.observeQueueWait(t.spec.Kind, picked.Sub(t.enq), t.traceID())
+		if sc := t.traceSC(); sc.Valid() {
+			e.traces.Record(&trace.Span{
+				Trace:  sc.Trace,
+				ID:     trace.NewSpanID(),
+				Parent: sc.Span,
+				Name:   spanQueue,
+				Start:  t.enq.UnixNano(),
+				End:    picked.UnixNano(),
+				JobID:  t.id,
+				Kind:   string(t.spec.Kind),
+			})
+		}
 		e.setRunning(t.id)
 		res := e.runTask(t)
 		e.stActive.Add(-1)
@@ -580,6 +642,7 @@ func (e *Engine) runTask(t *task) JobResult {
 				e.stCacheHits.Add(1)
 				e.met.cacheHits.Inc()
 				r.ID, r.CacheHit, r.Elapsed = t.id, true, 0
+				e.recordJobSpan(t, spanCache, time.Now(), time.Now(), "")
 				return r
 			}
 		}
@@ -591,8 +654,10 @@ func (e *Engine) runTask(t *task) JobResult {
 			e.mu.Unlock()
 			e.stDeduped.Add(1)
 			e.met.dedup.Inc()
+			joinStart := time.Now()
 			select {
 			case <-fl.done:
+				e.recordJobSpan(t, spanDedup, joinStart, time.Now(), fl.res.Err)
 				if fl.res.Err == "" {
 					e.stCacheHits.Add(1)
 					e.met.cacheHits.Inc()
@@ -623,15 +688,21 @@ func (e *Engine) runTask(t *task) JobResult {
 		// and deadlines reach cooperative kernels (Monte Carlo) through
 		// ctx, while the uninterruptible synthesis/map kernels run to
 		// completion and report their (possibly late) result.
+		execStart := time.Now()
 		fl.res = Execute(ctx, t.spec)
-		e.met.observeJob(t.spec.Kind, fl.res.Elapsed)
+		e.recordJobSpan(t, execSpanName(t.spec.Kind), execStart, time.Now(), fl.res.Err)
+		e.met.observeJob(t.spec.Kind, fl.res.Elapsed, t.traceID())
 		fl.ctxFailed = fl.res.Err != "" && ctx.Err() != nil
 		if fl.res.Err == "" && e.cache != nil {
 			// Durable before published: the journal fsync completes before
 			// the result becomes visible anywhere — including the cache,
 			// where a concurrent identical job could otherwise serve it to
 			// a client ahead of the commit.
-			e.journalAppend(key, fl.res)
+			if e.journal != nil {
+				commitStart := time.Now()
+				e.journalAppend(key, fl.res)
+				e.recordJobSpan(t, spanJournal, commitStart, time.Now(), "")
+			}
 			e.cache.Put(key, fl.res)
 		}
 		e.mu.Lock()
@@ -659,10 +730,33 @@ func (e *Engine) finish(t *task, r JobResult) {
 	e.queuedJobs--
 	e.mu.Unlock()
 	if t.batch != nil {
+		pubStart := time.Now()
 		t.batch.publish(r)
+		e.recordJobSpan(t, spanPublish, pubStart, time.Now(), r.Err)
 	}
 	t.out <- r
 	t.wg.Done()
+}
+
+// recordJobSpan records one per-job lifecycle span under the batch span.
+// A no-op for untraced batches (library submissions before tracing, tests
+// that build tasks by hand).
+func (e *Engine) recordJobSpan(t *task, name trace.Name, start, end time.Time, errStr string) {
+	sc := t.traceSC()
+	if !sc.Valid() {
+		return
+	}
+	e.traces.Record(&trace.Span{
+		Trace:  sc.Trace,
+		ID:     trace.NewSpanID(),
+		Parent: sc.Span,
+		Name:   name,
+		Start:  start.UnixNano(),
+		End:    end.UnixNano(),
+		JobID:  t.id,
+		Kind:   string(t.spec.Kind),
+		Err:    errStr,
+	})
 }
 
 func (e *Engine) setRunning(id string) {

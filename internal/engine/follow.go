@@ -5,7 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"time"
@@ -86,7 +86,7 @@ func (e *Engine) followLoop(ctx context.Context) {
 		}
 		if t := e.followTarget(); t != target {
 			if target != "" {
-				log.Printf("engine: follower: re-aiming from %s to %s (cursor resets)", target, t)
+				slog.Info("follower re-aiming; cursor resets", "component", "follower", "from", target, "to", t)
 			}
 			target, cursor = t, 0
 		}
@@ -103,7 +103,7 @@ func (e *Engine) followLoop(ctx context.Context) {
 			}
 			e.met.replPullErrs.Inc()
 			if !errLogged {
-				log.Printf("engine: follower: %v (backing off from %s up to %s)", err, interval, followBackoffCap)
+				slog.Warn("follower pull failed; backing off", "component", "follower", "peer", target, "cursor", cursor, "err", err, "backoff_base", interval, "backoff_cap", followBackoffCap)
 				errLogged = true
 			}
 			backoff()
@@ -112,7 +112,7 @@ func (e *Engine) followLoop(ctx context.Context) {
 		attempt = 0
 		e.met.replBackoff.Set(0)
 		if errLogged {
-			log.Printf("engine: follower: peer reachable again")
+			slog.Info("follower peer reachable again", "component", "follower", "peer", target, "cursor", cursor)
 			errLogged = false
 		}
 		if e.cluster != nil {
@@ -125,8 +125,7 @@ func (e *Engine) followLoop(ctx context.Context) {
 			// hold and replication silently stops; re-pulling from zero
 			// is safe because applyWindow skips records the local
 			// cache already holds verbatim.
-			log.Printf("engine: follower: peer journal regressed (last_seq %d < cursor %d), re-pulling from the start",
-				resp.LastSeq, cursor)
+			slog.Warn("follower peer journal regressed; re-pulling from the start", "component", "follower", "peer", target, "last_seq", resp.LastSeq, "cursor", cursor)
 			cursor = 0
 			continue
 		}
@@ -159,7 +158,7 @@ func (e *Engine) applyWindow(recs []TailRecord, cursor uint64) uint64 {
 		key, derr := hex.DecodeString(rec.Key)
 		switch {
 		case derr != nil || len(key) == 0:
-			log.Printf("engine: follower: bad record key %q (skipped)", rec.Key)
+			slog.Warn("follower skipping bad record key", "component", "follower", "key", rec.Key, "seq", rec.Seq)
 		case journal.IsMetaKey(key):
 			e.applyLease(key, rec.Meta)
 		default:
@@ -186,7 +185,7 @@ func (e *Engine) applyWindow(recs []TailRecord, cursor uint64) uint64 {
 		if e.journal != nil {
 			data, jerr := json.Marshal(r)
 			if jerr != nil {
-				log.Printf("engine: follower: encoding journal record: %v", jerr)
+				slog.Error("follower failed to encode journal record", "component", "follower", "job_id", r.ID, "err", jerr)
 				continue
 			}
 			kvs = append(kvs, journal.KV{Key: []byte(key), Value: data})
@@ -197,7 +196,7 @@ func (e *Engine) applyWindow(recs []TailRecord, cursor uint64) uint64 {
 		if _, err := e.journal.AppendBatch(kvs); err != nil {
 			// Durability lost, correctness kept: the in-memory results still
 			// serve (same degradation as journalAppend on the leader path).
-			log.Printf("engine: follower: journal batch append: %v", err)
+			slog.Error("follower journal batch append failed; serving from memory only", "component", "follower", "records", len(kvs), "err", err)
 		}
 	}
 	for _, p := range puts {
@@ -217,12 +216,12 @@ func (e *Engine) applyLease(key []byte, raw json.RawMessage) {
 	}
 	var claim leaseClaim
 	if err := json.Unmarshal(raw, &claim); err != nil {
-		log.Printf("engine: follower: bad lease record: %v (skipped)", err)
+		slog.Warn("follower skipping bad lease record", "component", "follower", "err", err)
 		return
 	}
 	if e.journal != nil {
 		if _, err := e.journal.Append(key, raw); err != nil {
-			log.Printf("engine: follower: journaling lease record: %v", err)
+			slog.Error("follower failed to journal lease record", "component", "follower", "epoch", claim.Epoch, "err", err)
 		}
 	}
 	if e.cluster != nil {

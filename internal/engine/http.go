@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // MaxBatchJobs bounds one HTTP batch submission.
@@ -26,10 +28,12 @@ type SubmitRequest struct {
 }
 
 // SubmitResponse acknowledges a batch with the assigned job ids, in
-// submission order, and the batch id for the SSE streaming endpoint.
+// submission order, the batch id for the SSE streaming endpoint, and the
+// trace id of the batch's span timeline (GET /v1/traces/{trace_id}).
 type SubmitResponse struct {
 	BatchID string   `json:"batch_id"`
 	JobIDs  []string `json:"job_ids"`
+	TraceID string   `json:"trace_id,omitempty"`
 }
 
 // HealthResponse is the GET /healthz (liveness) and /readyz (readiness)
@@ -58,6 +62,10 @@ type HealthResponse struct {
 //	                              journal-degraded
 //	GET  /v1/cluster/state        -> this member's role, epoch, leader, and
 //	                              replication cursor (leader discovery)
+//	GET  /v1/traces/{id}          -> one trace's span timeline (admission,
+//	                              queue wait, execution, journal commit,
+//	                              publish, SSE delivery), JSON
+//	GET  /v1/traces?slowest=N     -> the N slowest kept timelines
 //	GET  /metrics                 -> Prometheus text exposition of the
 //	                              engine's registry (engine, journal, HTTP,
 //	                              quota, and replication families)
@@ -110,10 +118,20 @@ func NewHTTPHandler(e *Engine) http.Handler {
 				fmt.Sprintf("batch of %d jobs exceeds limit %d", len(req.Jobs), MaxBatchJobs))
 			return
 		}
+		// The trace rides in on the W3C traceparent header when the caller
+		// (gateway, loadgen) propagates one; otherwise this admission is
+		// the trace root. The admission span is recorded when the handler
+		// returns; the batch span parents under it.
+		admitStart := time.Now()
+		caller := trace.FromRequestHeader(r.Header.Get(trace.Header))
+		admitSC := caller.Child()
+		if !caller.Valid() {
+			admitSC = trace.SpanContext{Trace: trace.NewTraceID(), Span: trace.NewSpanID()}
+		}
 		// The batch must outlive this request, so it is detached from the
 		// request context; admission control (Options.MaxQueuedJobs and
 		// MaxBatches) bounds how much detached work can pile up.
-		b, err := e.Submit(context.Background(), req.Jobs)
+		b, err := e.Submit(trace.ContextWith(context.Background(), admitSC), req.Jobs)
 		if err != nil {
 			switch {
 			case errors.Is(err, ErrBatchTooLarge):
@@ -132,7 +150,18 @@ func NewHTTPHandler(e *Engine) http.Handler {
 			for range b.Results {
 			}
 		}()
-		writeJSON(w, http.StatusAccepted, SubmitResponse{BatchID: b.ID, JobIDs: b.IDs})
+		e.traces.Record(&trace.Span{
+			Trace:  admitSC.Trace,
+			ID:     admitSC.Span,
+			Parent: caller.Span,
+			Name:   spanAdmit,
+			Start:  admitStart.UnixNano(),
+			End:    time.Now().UnixNano(),
+			Detail: b.ID,
+		})
+		writeJSON(w, http.StatusAccepted, SubmitResponse{
+			BatchID: b.ID, JobIDs: b.IDs, TraceID: admitSC.Trace.String(),
+		})
 	})
 	handle("GET /v1/jobs/{id}", "/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, ok := e.Job(r.PathValue("id"))
@@ -167,6 +196,8 @@ func NewHTTPHandler(e *Engine) http.Handler {
 	handle("GET /v1/cluster/state", "/v1/cluster/state", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, e.ClusterState())
 	})
+	handle("GET /v1/traces/{id}", "/v1/traces/{id}", e.traces.ServeTimeline)
+	handle("GET /v1/traces", "/v1/traces", e.traces.ServeList)
 	// The scrape itself is deliberately not instrumented: a request-latency
 	// series for /metrics would grow the exposition it is measuring.
 	mux.Handle("GET /metrics", e.met.reg.Handler())
@@ -247,6 +278,28 @@ func serveBatchEvents(e *Engine, w http.ResponseWriter, r *http.Request) {
 	fl.Flush()
 	e.met.sseSubs.Inc()
 	defer e.met.sseSubs.Dec()
+	// The delivery span covers the subscription's whole lifetime. It is
+	// recorded on return — usually after the batch's trace has finished, so
+	// it surfaces in the timeline through the live-ring union in Get.
+	sseStart := time.Now()
+	delivered := false
+	if b.sc.Valid() {
+		defer func() {
+			detail := "disconnected"
+			if delivered {
+				detail = "delivered"
+			}
+			e.traces.Record(&trace.Span{
+				Trace:  b.sc.Trace,
+				ID:     trace.NewSpanID(),
+				Parent: b.sc.Span,
+				Name:   spanSSE,
+				Start:  sseStart.UnixNano(),
+				End:    time.Now().UnixNano(),
+				Detail: detail,
+			})
+		}()
+	}
 	stop := e.streamStopChan()
 	// A reconnecting SSE client sends the last event id it processed;
 	// resume past it so reconnects keep the exactly-once delivery.
@@ -273,6 +326,7 @@ func serveBatchEvents(e *Engine, w http.ResponseWriter, r *http.Request) {
 		if complete && sent == len(b.jobIDs) {
 			fmt.Fprintf(w, "event: done\ndata: {\"batch_id\":%q,\"jobs\":%d}\n\n", b.id, sent)
 			fl.Flush()
+			delivered = true
 			return
 		}
 		select {

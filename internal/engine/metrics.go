@@ -146,20 +146,20 @@ func (e *Engine) registerEngineGauges() {
 // at GET /metrics, and library callers can render or inspect it directly.
 func (e *Engine) Metrics() *metrics.Registry { return e.met.reg }
 
-func (m *engineMetrics) observeQueueWait(k Kind, d time.Duration) {
+func (m *engineMetrics) observeQueueWait(k Kind, d time.Duration, traceID string) {
 	h, ok := m.queueWaitByKind[k]
 	if !ok {
 		h = m.queueWait.With(string(k))
 	}
-	h.Observe(d.Seconds())
+	h.ObserveWithExemplar(d.Seconds(), traceID)
 }
 
-func (m *engineMetrics) observeJob(k Kind, d time.Duration) {
+func (m *engineMetrics) observeJob(k Kind, d time.Duration, traceID string) {
 	h, ok := m.jobSecsByKind[k]
 	if !ok {
 		h = m.jobSecs.With(string(k))
 	}
-	h.Observe(d.Seconds())
+	h.ObserveWithExemplar(d.Seconds(), traceID)
 }
 
 func (m *engineMetrics) countJob(k Kind, errStr string) {

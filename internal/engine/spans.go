@@ -1,0 +1,46 @@
+package engine
+
+import "repro/internal/trace"
+
+// Span names for the engine-side job lifecycle. Minted once at init into
+// package variables so the recording path touches pre-resolved names only;
+// the xbarvet metrics-contract analyzer enforces that each literal is
+// unique module-wide.
+var (
+	spanAdmit   = trace.MustName("xbar.http.admit")
+	spanBatch   = trace.MustName("xbar.engine.batch")
+	spanQueue   = trace.MustName("xbar.engine.queue")
+	spanCache   = trace.MustName("xbar.engine.cache-hit")
+	spanDedup   = trace.MustName("xbar.engine.dedup-join")
+	spanJournal = trace.MustName("xbar.journal.commit")
+	spanPublish = trace.MustName("xbar.engine.publish")
+	spanSSE     = trace.MustName("xbar.engine.sse")
+
+	spanExecTwoLevel   = trace.MustName("xbar.engine.exec.synthesize-two-level")
+	spanExecMultiLevel = trace.MustName("xbar.engine.exec.synthesize-multilevel")
+	spanExecMapHBA     = trace.MustName("xbar.engine.exec.map-hba")
+	spanExecMapEA      = trace.MustName("xbar.engine.exec.map-ea")
+	spanExecMC         = trace.MustName("xbar.engine.exec.monte-carlo-yield")
+	spanExecOther      = trace.MustName("xbar.engine.exec.unknown")
+)
+
+// execSpanNames pre-resolves one execution span name per job kind, so the
+// per-kind name is a map read, never a concatenation.
+var execSpanNames = map[Kind]trace.Name{
+	SynthTwoLevel:   spanExecTwoLevel,
+	SynthMultiLevel: spanExecMultiLevel,
+	MapHBA:          spanExecMapHBA,
+	MapEA:           spanExecMapEA,
+	MonteCarloYield: spanExecMC,
+}
+
+func execSpanName(k Kind) trace.Name {
+	if n, ok := execSpanNames[k]; ok {
+		return n
+	}
+	return spanExecOther
+}
+
+// Traces returns the engine's span store; cmd/xbarserver serves it at
+// GET /v1/traces, and the gateway stitches member timelines from it.
+func (e *Engine) Traces() *trace.Store { return e.traces }

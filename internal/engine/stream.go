@@ -1,6 +1,11 @@
 package engine
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
 
 // maxTrackedBatches bounds the batch registry used by the SSE streaming
 // endpoint. The oldest fully finished batches are evicted first; batches
@@ -17,8 +22,18 @@ type batchState struct {
 	id     string
 	jobIDs []string // immutable after construction
 
+	// Trace identity, set once by Submit before the batch is registered:
+	// sc is the batch span's own context (per-job spans parent under
+	// sc.Span), parent is the admission/caller span id, traceID is the
+	// pre-rendered id string handed to metric exemplars.
+	sc      trace.SpanContext
+	parent  trace.SpanID
+	traceID string
+	start   time.Time
+
 	mu      sync.Mutex
 	results []JobResult
+	errs    bool          // any published result carried an error
 	changed chan struct{} // closed and replaced on every publish
 }
 
@@ -35,9 +50,20 @@ func newBatchState(id string, jobIDs []string) *batchState {
 func (b *batchState) publish(r JobResult) {
 	b.mu.Lock()
 	b.results = append(b.results, r)
+	if r.Err != "" {
+		b.errs = true
+	}
 	close(b.changed)
 	b.changed = make(chan struct{})
 	b.mu.Unlock()
+}
+
+// failed reports whether any job of the batch published an error (the
+// trace sampling policy pins errored batches).
+func (b *batchState) failed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.errs
 }
 
 // next returns a copy of the results past cursor i, the channel signalling

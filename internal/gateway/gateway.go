@@ -21,7 +21,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/trace"
 )
 
 // Defaults for Options zero values.
@@ -69,6 +70,11 @@ type Options struct {
 	// /readyz: a draining member fails readiness and leaves the ring
 	// before its listener closes.
 	Health cluster.HealthOptions
+	// TraceSampleRate is the fraction of unremarkable submissions whose
+	// trace is kept (errored, slow-tail, and explicitly sampled traces
+	// are always kept). Zero means the trace package default; negative
+	// disables rate-based keeps.
+	TraceSampleRate float64
 }
 
 // Gateway is the stateless cluster front. Create with New, serve
@@ -82,6 +88,7 @@ type Gateway struct {
 	health  *cluster.HealthChecker
 	client  *http.Client
 	met     *gatewayMetrics
+	traces  *trace.Store
 }
 
 // New builds a gateway over opt.Members and starts its health checker.
@@ -106,6 +113,7 @@ func New(opt Options) (*Gateway, error) {
 		ring:    cluster.NewRing(opt.Members, opt.VirtualNodes),
 		client:  &http.Client{}, // per-request contexts carry the timeouts
 		met:     newGatewayMetrics(),
+		traces:  trace.NewStore(trace.Options{SampleRate: opt.TraceSampleRate}),
 	}
 	sort.Strings(g.members)
 	for _, m := range g.members {
@@ -122,7 +130,8 @@ func New(opt Options) (*Gateway, error) {
 		if healthy {
 			to = "admitted"
 		}
-		log.Printf("gateway: member %s %s", member, to)
+		slog.Info("gateway member health transition",
+			"component", "gateway", "member", member, "to", to)
 		g.met.transitions.With(to).Inc()
 	}
 	g.health = cluster.NewHealthChecker(g.members, health)
@@ -165,6 +174,8 @@ func (g *Gateway) Handler() http.Handler {
 	handle("GET /v1/jobs/{id}", "/v1/jobs/{id}", g.serveJob)
 	handle("GET /v1/batches/{id}/events", "/v1/batches/{id}/events", g.serveBatchEvents)
 	handle("GET /v1/cluster/state", "/v1/cluster/state", g.serveClusterState)
+	handle("GET /v1/traces/{id}", "/v1/traces/{id}", g.serveTrace)
+	handle("GET /v1/traces", "/v1/traces", g.traces.ServeList)
 	handle("GET /healthz", "/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -189,6 +200,7 @@ func (g *Gateway) Handler() http.Handler {
 type SubmitResponse struct {
 	BatchID string        `json:"batch_id"`
 	JobIDs  []string      `json:"job_ids"`
+	TraceID string        `json:"trace_id,omitempty"`
 	Errors  []SubmitError `json:"errors,omitempty"`
 }
 
@@ -208,16 +220,37 @@ type shardAck struct {
 }
 
 func (g *Gateway) serveSubmit(w http.ResponseWriter, r *http.Request) {
+	// Every submission gets a trace: the whole request is the root span,
+	// each member attempt a child whose span id rides upstream as the
+	// traceparent (so member-local timelines stitch under it), and the
+	// store's sampling policy decides post-hoc what to keep.
+	start := time.Now()
+	caller := trace.FromRequestHeader(r.Header.Get(trace.Header))
+	sc := caller.Child()
+	if !caller.Valid() {
+		sc = trace.SpanContext{Trace: trace.NewTraceID(), Span: trace.NewSpanID()}
+	}
+	finishTrace := func(errStr, detail string, failed bool) {
+		end := time.Now()
+		g.traces.Record(&trace.Span{
+			Trace: sc.Trace, ID: sc.Span, Parent: caller.Span, Name: spanGwSubmit,
+			Start: start.UnixNano(), End: end.UnixNano(), Err: errStr, Detail: detail,
+		})
+		g.traces.FinishTrace(sc, start, end, failed)
+	}
 	var req engine.SubmitRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20)).Decode(&req); err != nil {
+		finishTrace("bad request body", "", true)
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
 	if len(req.Jobs) == 0 {
+		finishTrace("empty batch", "", true)
 		httpError(w, http.StatusBadRequest, "empty batch")
 		return
 	}
 	if len(req.Jobs) > engine.MaxBatchJobs {
+		finishTrace("batch exceeds job limit", "", true)
 		httpError(w, http.StatusBadRequest,
 			fmt.Sprintf("batch of %d jobs exceeds limit %d", len(req.Jobs), engine.MaxBatchJobs))
 		return
@@ -242,10 +275,16 @@ func (g *Gateway) serveSubmit(w http.ResponseWriter, r *http.Request) {
 		if attempt > 0 {
 			d := g.opt.Backoff.Delay(attempt-1, nil)
 			g.met.retries.Add(int64(len(remaining)))
+			waitStart := time.Now()
 			select {
 			case <-time.After(d):
 			case <-ctx.Done():
 			}
+			g.traces.Record(&trace.Span{
+				Trace: sc.Trace, ID: trace.NewSpanID(), Parent: sc.Span, Name: spanGwRetry,
+				Start: waitStart.UnixNano(), End: time.Now().UnixNano(),
+				Detail: fmt.Sprintf("round %d, %d jobs left", attempt, len(remaining)),
+			})
 		}
 		if ctx.Err() != nil {
 			for _, idx := range remaining {
@@ -293,7 +332,7 @@ func (g *Gateway) serveSubmit(w http.ResponseWriter, r *http.Request) {
 				for i, idx := range idxs {
 					specs[i] = req.Jobs[idx]
 				}
-				ack, err := g.submitShard(ctx, member, idxs, specs)
+				ack, err := g.submitShard(ctx, sc, member, idxs, specs)
 				mu.Lock()
 				results = append(results, outcome{member: member, ack: ack, err: err, jobs: idxs})
 				mu.Unlock()
@@ -304,7 +343,9 @@ func (g *Gateway) serveSubmit(w http.ResponseWriter, r *http.Request) {
 		next = append(next, unroutable...)
 		for _, o := range results {
 			if o.err != nil {
-				log.Printf("gateway: submit to %s failed: %v (excluding member this request)", o.member, o.err)
+				slog.Warn("gateway shard submit failed; excluding member this request",
+					"component", "gateway", "member", o.member, "jobs", len(o.jobs),
+					"trace_id", sc.Trace.String(), "err", o.err)
 				excluded[o.member] = true
 				next = append(next, o.jobs...)
 				continue
@@ -339,7 +380,7 @@ func (g *Gateway) serveSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	resp := SubmitResponse{JobIDs: jobIDs}
+	resp := SubmitResponse{JobIDs: jobIDs, TraceID: sc.Trace.String()}
 	for msg, idxs := range errsByMsg {
 		sort.Ints(idxs)
 		resp.Errors = append(resp.Errors, SubmitError{Jobs: idxs, Error: msg})
@@ -353,11 +394,13 @@ func (g *Gateway) serveSubmit(w http.ResponseWriter, r *http.Request) {
 		if len(resp.Errors) > 0 {
 			msg = resp.Errors[0].Error
 		}
+		finishTrace(msg, "", true)
 		httpError(w, http.StatusServiceUnavailable, msg)
 		return
 	}
 	sort.Strings(batchParts)
 	resp.BatchID = strings.Join(batchParts, ".")
+	finishTrace("", resp.BatchID, len(resp.Errors) > 0)
 	writeJSON(w, http.StatusAccepted, resp)
 }
 
@@ -365,7 +408,7 @@ func (g *Gateway) serveSubmit(w http.ResponseWriter, r *http.Request) {
 // member when the primary is slow: both requests race, the first
 // acknowledgement wins, and the canonical spec-hash identity on the
 // members makes the losing duplicate converge to the same cached results.
-func (g *Gateway) submitShard(ctx context.Context, member string, idxs []int, specs []engine.JobSpec) (*shardAck, error) {
+func (g *Gateway) submitShard(ctx context.Context, sc trace.SpanContext, member string, idxs []int, specs []engine.JobSpec) (*shardAck, error) {
 	body, err := json.Marshal(engine.SubmitRequest{Jobs: specs})
 	if err != nil {
 		return nil, err
@@ -374,15 +417,31 @@ func (g *Gateway) submitShard(ctx context.Context, member string, idxs []int, sp
 		ack *shardAck
 		err error
 	}
-	attempt := func(ctx context.Context, member string) (*shardAck, error) {
+	// Each attempt is its own span, and its span id is exactly what rides
+	// upstream in the traceparent header — the member's admission span
+	// reports that id as its parent, so when the gateway later stitches
+	// the member's timeline in, the remote spans hang off this attempt.
+	attempt := func(ctx context.Context, member string, name trace.Name) (*shardAck, error) {
 		actx, cancel := context.WithTimeout(ctx, g.opt.AttemptTimeout)
 		defer cancel()
+		attemptSC := sc.Child()
+		attemptStart := time.Now()
 		var sub engine.SubmitResponse
-		if err := g.doJSON(actx, http.MethodPost, member+"/v1/jobs", body, &sub); err != nil {
-			return nil, err
+		err := g.doJSON(actx, http.MethodPost, member+"/v1/jobs", body, attemptSC, &sub)
+		if err == nil && len(sub.JobIDs) != len(specs) {
+			err = fmt.Errorf("member %s acked %d jobs, want %d", member, len(sub.JobIDs), len(specs))
 		}
-		if len(sub.JobIDs) != len(specs) {
-			return nil, fmt.Errorf("member %s acked %d jobs, want %d", member, len(sub.JobIDs), len(specs))
+		errStr := ""
+		if err != nil {
+			errStr = err.Error()
+		}
+		g.traces.Record(&trace.Span{
+			Trace: sc.Trace, ID: attemptSC.Span, Parent: sc.Span, Name: name,
+			Start: attemptStart.UnixNano(), End: time.Now().UnixNano(),
+			Member: g.tokOf[member], Err: errStr, Detail: member,
+		})
+		if err != nil {
+			return nil, err
 		}
 		return &shardAck{member: member, batchID: sub.BatchID, jobIDs: sub.JobIDs}, nil
 	}
@@ -401,7 +460,7 @@ func (g *Gateway) submitShard(ctx context.Context, member string, idxs []int, sp
 	defer cancel()
 	ch := make(chan res, 2)
 	go func() {
-		ack, err := attempt(cctx, member)
+		ack, err := attempt(cctx, member, spanGwMember)
 		ch <- res{ack, err}
 	}()
 	launched := 1
@@ -430,7 +489,7 @@ func (g *Gateway) submitShard(ctx context.Context, member string, idxs []int, sp
 			g.met.hedges.Inc()
 			launched++
 			go func() {
-				ack, err := attempt(cctx, hedge)
+				ack, err := attempt(cctx, hedge, spanGwHedge)
 				ch <- res{ack, err}
 			}()
 		case <-cctx.Done():
@@ -450,7 +509,7 @@ func (g *Gateway) serveJob(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	var st engine.JobStatus
 	err := g.withRetry(ctx, func(actx context.Context) error {
-		return g.doJSON(actx, http.MethodGet, member+"/v1/jobs/"+memberID, nil, &st)
+		return g.doJSON(actx, http.MethodGet, member+"/v1/jobs/"+memberID, nil, trace.SpanContext{}, &st)
 	})
 	if err != nil {
 		if se := (*statusError)(nil); asStatusError(err, &se) && se.code == http.StatusNotFound {
@@ -499,7 +558,7 @@ func (g *Gateway) serveClusterState(w http.ResponseWriter, r *http.Request) {
 			ctx, cancel := context.WithTimeout(r.Context(), g.opt.AttemptTimeout)
 			defer cancel()
 			var st engine.ClusterState
-			if err := g.doJSON(ctx, http.MethodGet, m+"/v1/cluster/state", nil, &st); err != nil {
+			if err := g.doJSON(ctx, http.MethodGet, m+"/v1/cluster/state", nil, trace.SpanContext{}, &st); err != nil {
 				row.Error = err.Error()
 			} else {
 				row.State = &st
@@ -569,8 +628,10 @@ func asStatusError(err error, out **statusError) bool {
 	return ok
 }
 
-// doJSON performs one JSON request against a member.
-func (g *Gateway) doJSON(ctx context.Context, method, url string, body []byte, out any) error {
+// doJSON performs one JSON request against a member. A valid sc is
+// propagated upstream as the traceparent header so the member's spans join
+// the gateway's trace; the zero SpanContext sends nothing.
+func (g *Gateway) doJSON(ctx context.Context, method, url string, body []byte, sc trace.SpanContext, out any) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -581,6 +642,9 @@ func (g *Gateway) doJSON(ctx context.Context, method, url string, body []byte, o
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if sc.Valid() {
+		req.Header.Set(trace.Header, sc.Traceparent())
 	}
 	resp, err := g.client.Do(req)
 	if err != nil {
@@ -634,7 +698,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("gateway: writing %d response: %v", code, err)
+		slog.Warn("gateway response write failed", "component", "gateway", "code", code, "err", err)
 	}
 }
 

@@ -1,0 +1,24 @@
+package gateway
+
+import "repro/internal/trace"
+
+// Span names for the gateway-side submission lifecycle. Minted once at
+// init; the xbarvet metrics-contract analyzer enforces that each literal
+// is unique module-wide (the engine mints its own, disjoint set).
+var (
+	// spanGwSubmit is the root of a gateway-submitted trace: one whole
+	// POST /v1/jobs, across every retry round and shard.
+	spanGwSubmit = trace.MustName("xbar.gateway.submit")
+	// spanGwMember covers one primary submission attempt against one
+	// member; its span id rides upstream as the traceparent, so the
+	// member's admission span parents under it when timelines stitch.
+	spanGwMember = trace.MustName("xbar.gateway.member-submit")
+	// spanGwHedge covers a hedged (raced) submission attempt.
+	spanGwHedge = trace.MustName("xbar.gateway.hedge")
+	// spanGwRetry covers one backoff wait between retry rounds.
+	spanGwRetry = trace.MustName("xbar.gateway.retry-wait")
+)
+
+// Traces returns the gateway's span store. GET /v1/traces serves its kept
+// set; GET /v1/traces/{id} stitches member views on top of it.
+func (g *Gateway) Traces() *trace.Store { return g.traces }

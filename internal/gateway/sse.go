@@ -5,7 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
@@ -275,7 +275,8 @@ func (g *Gateway) dispatchEvent(idx int, p ssePart, id, event string, data []byt
 		// payload and the (composite) event id.
 		var res engine.JobResult
 		if err := json.Unmarshal(data, &res); err != nil {
-			log.Printf("gateway: undecodable result event from %s (forwarded verbatim): %v", p.member, err)
+			slog.Warn("gateway forwarding undecodable result event verbatim",
+				"component", "gateway", "member", p.member, "err", err)
 		} else {
 			res.ID = p.tok + "." + res.ID
 			if enc, err := json.Marshal(res); err == nil {
@@ -292,7 +293,8 @@ func (g *Gateway) dispatchEvent(idx int, p ssePart, id, event string, data []byt
 			Jobs int `json:"jobs"`
 		}
 		if err := json.Unmarshal(data, &d); err != nil {
-			log.Printf("gateway: undecodable done event from %s: %v", p.member, err)
+			slog.Warn("gateway received undecodable done event",
+				"component", "gateway", "member", p.member, "err", err)
 		}
 		return true, send(subEvent{idx: idx, kind: "done", jobs: d.Jobs})
 	default:

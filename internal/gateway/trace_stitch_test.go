@@ -1,0 +1,243 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/trace"
+)
+
+// submitTraced is submit with a caller traceparent riding the request.
+func submitTraced(t *testing.T, h http.Handler, jobs []engine.JobSpec, traceparent string) (*httptest.ResponseRecorder, SubmitResponse) {
+	t.Helper()
+	body, _ := json.Marshal(engine.SubmitRequest{Jobs: jobs})
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(body))
+	req.Header.Set(trace.Header, traceparent)
+	h.ServeHTTP(rec, req)
+	var resp SubmitResponse
+	if rec.Code == http.StatusAccepted {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("bad submit response: %v", err)
+		}
+	}
+	return rec, resp
+}
+
+// fetchTimeline GETs one stitched timeline through the gateway handler.
+func fetchTimeline(t *testing.T, h http.Handler, id string) (int, trace.Timeline) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/traces/"+id, nil))
+	var tl trace.Timeline
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &tl); err != nil {
+			t.Fatalf("bad timeline payload: %v", err)
+		}
+	}
+	return rec.Code, tl
+}
+
+// TestTraceStitchAcrossFleet submits a sharded batch through the gateway
+// with a sampled traceparent and asserts GET /v1/traces/{id} returns ONE
+// timeline spanning both processes: the gateway's root and per-member
+// attempt spans, with each member's admission/batch/exec/publish spans
+// stitched in under the attempt that carried them, stamped with the
+// member's token.
+func TestTraceStitchAcrossFleet(t *testing.T) {
+	urlA, _ := realMember(t)
+	urlB, _ := realMember(t)
+	g := testGateway(t, []string{urlA, urlB}, nil)
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+	jobs := specs(16)
+	shardSplit(t, g, jobs)
+
+	const (
+		traceID    = "aaaabbbbccccddddaaaabbbbccccdddd"
+		callerSpan = "1111222233334444"
+	)
+	rec, resp := submitTraced(t, g.Handler(), jobs, "00-"+traceID+"-"+callerSpan+"-01")
+	if rec.Code != http.StatusAccepted || len(resp.Errors) != 0 {
+		t.Fatalf("submit = %d %+v", rec.Code, resp.Errors)
+	}
+	if resp.TraceID != traceID {
+		t.Fatalf("submit trace_id = %q, want %q", resp.TraceID, traceID)
+	}
+	parts := len(strings.Split(resp.BatchID, "."))
+	pollAll(t, gw.URL, resp.JobIDs)
+
+	// The members finish their traces asynchronously after the batches
+	// drain; poll the stitched view until every job's publish span arrived.
+	var tl trace.Timeline
+	count := func(name string) int {
+		n := 0
+		for _, sp := range tl.Spans {
+			if sp.Name == name {
+				n++
+			}
+		}
+		return n
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, got := fetchTimeline(t, g.Handler(), traceID)
+		if code == http.StatusOK {
+			tl = got
+			if count("xbar.engine.publish") == len(jobs) && count("xbar.http.admit") == parts {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stitched timeline incomplete: code=%d publish=%d/%d admit=%d/%d",
+				code, count("xbar.engine.publish"), len(jobs), count("xbar.http.admit"), parts)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if tl.TraceID != traceID || tl.Error {
+		t.Fatalf("timeline = trace_id=%q error=%v", tl.TraceID, tl.Error)
+	}
+	byID := make(map[string]trace.SpanOut, len(tl.Spans))
+	for _, sp := range tl.Spans {
+		byID[sp.SpanID] = sp
+	}
+	if n := count("xbar.gateway.submit"); n != 1 {
+		t.Fatalf("gateway submit spans = %d, want 1", n)
+	}
+	var root trace.SpanOut
+	attemptIDs := map[string]bool{}
+	for _, sp := range tl.Spans {
+		switch sp.Name {
+		case "xbar.gateway.submit":
+			root = sp
+		case "xbar.gateway.member-submit", "xbar.gateway.hedge":
+			attemptIDs[sp.SpanID] = true
+		}
+	}
+	if root.ParentID != callerSpan {
+		t.Fatalf("root parent = %q, want the caller span %q", root.ParentID, callerSpan)
+	}
+	if len(attemptIDs) < parts {
+		t.Fatalf("attempt spans = %d, want >= %d (one per placed sub-batch)", len(attemptIDs), parts)
+	}
+	// Cross-process seam: every admission span parents under a gateway
+	// attempt span, and every remote span carries its member's token.
+	toks := map[string]bool{}
+	for _, sp := range tl.Spans {
+		if sp.Name == "xbar.http.admit" {
+			if !attemptIDs[sp.ParentID] {
+				t.Fatalf("admission span %s parent %q is not a gateway attempt span", sp.SpanID, sp.ParentID)
+			}
+			if sp.Member == "" {
+				t.Fatalf("admission span %s has no member stamp", sp.SpanID)
+			}
+			toks[sp.Member] = true
+		}
+		if strings.HasPrefix(sp.Name, "xbar.engine.") || sp.Name == "xbar.journal.commit" {
+			if sp.Member == "" {
+				t.Fatalf("remote span %s (%s) has no member stamp", sp.Name, sp.SpanID)
+			}
+		}
+	}
+	if len(toks) < 2 {
+		t.Fatalf("admission spans from %d members, want both shards represented", len(toks))
+	}
+	if count("xbar.engine.exec.map-hba") == 0 {
+		t.Fatal("no execution spans stitched in")
+	}
+}
+
+// TestTraceRecordsRetries: with one member hard-failing, the kept timeline
+// shows the failed attempt (errored member-submit span) and the backoff
+// (retry-wait span) that preceded the successful re-route.
+func TestTraceRecordsRetries(t *testing.T) {
+	good, bad := newFakeMember(t), newFakeMember(t)
+	bad.failLeft.Store(1 << 30)
+	g := testGateway(t, []string{good.url, bad.url}, nil)
+	jobs := specs(64)
+	shardSplit(t, g, jobs)
+
+	const traceID = "bbbbccccddddeeeebbbbccccddddeeee"
+	rec, resp := submitTraced(t, g.Handler(), jobs, "00-"+traceID+"-aaaa111122223333-01")
+	if rec.Code != http.StatusAccepted || len(resp.Errors) != 0 {
+		t.Fatalf("submit = %d %+v", rec.Code, resp.Errors)
+	}
+	code, tl := fetchTimeline(t, g.Handler(), traceID)
+	if code != http.StatusOK {
+		t.Fatalf("timeline fetch = %d", code)
+	}
+	var failedAttempts, retryWaits int
+	for _, sp := range tl.Spans {
+		if sp.Name == "xbar.gateway.member-submit" && sp.Err != "" {
+			if sp.Member != memberToken(bad.url) {
+				t.Fatalf("failed attempt stamped %q, want the bad member %q", sp.Member, memberToken(bad.url))
+			}
+			failedAttempts++
+		}
+		if sp.Name == "xbar.gateway.retry-wait" {
+			retryWaits++
+		}
+	}
+	if failedAttempts == 0 {
+		t.Fatal("no errored member-submit span for the failing member")
+	}
+	if retryWaits == 0 {
+		t.Fatal("no retry-wait span despite a re-route")
+	}
+}
+
+// TestTraceRecordsHedge: a stalled primary loses the race and the timeline
+// says so — a hedge span against the fast member, clean, wins the shard.
+func TestTraceRecordsHedge(t *testing.T) {
+	slow, fast := newFakeMember(t), newFakeMember(t)
+	slow.sleep = 2 * time.Second
+	g := testGateway(t, []string{slow.url, fast.url}, func(o *Options) {
+		o.HedgeDelay = 30 * time.Millisecond
+		o.AttemptTimeout = 5 * time.Second
+	})
+	var job engine.JobSpec
+	found := false
+	for seed := int64(0); seed < 4096 && !found; seed++ {
+		job = hbaSpec(seed)
+		found = g.ring.Owner([]byte(job.CanonicalHash())) == slow.url
+	}
+	if !found {
+		t.Fatal("test precondition: no spec owned by the slow member")
+	}
+
+	const traceID = "ccccddddeeeeffffccccddddeeeeffff"
+	rec, resp := submitTraced(t, g.Handler(), []engine.JobSpec{job}, "00-"+traceID+"-bbbb444455556666-01")
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("hedged submit = %d: %s", rec.Code, rec.Body)
+	}
+	if want := memberToken(fast.url) + "."; !strings.HasPrefix(resp.JobIDs[0], want) {
+		t.Fatalf("hedged job placed as %q, want on the fast member %q", resp.JobIDs[0], want)
+	}
+	code, tl := fetchTimeline(t, g.Handler(), traceID)
+	if code != http.StatusOK {
+		t.Fatalf("timeline fetch = %d", code)
+	}
+	hedges := 0
+	for _, sp := range tl.Spans {
+		if sp.Name != "xbar.gateway.hedge" {
+			continue
+		}
+		hedges++
+		if sp.Err != "" {
+			t.Fatalf("winning hedge span carries error %q", sp.Err)
+		}
+		if sp.Member != memberToken(fast.url) {
+			t.Fatalf("hedge span stamped %q, want the fast member %q", sp.Member, memberToken(fast.url))
+		}
+	}
+	if hedges != 1 {
+		t.Fatalf("hedge spans = %d, want exactly 1", hedges)
+	}
+}

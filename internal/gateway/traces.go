@@ -1,0 +1,57 @@
+package gateway
+
+import (
+	"context"
+	"net/http"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// serveTrace answers GET /v1/traces/{id} with the stitched cross-process
+// timeline: the gateway's own spans (submit root, per-member attempts,
+// hedges, retry waits) merged with every member's view of the same trace
+// id, fetched in parallel. Members that never saw the trace (404) or are
+// unreachable are skipped — a partial timeline beats none — and remote
+// spans are stamped with the member's token so the rendering shows where
+// each span ran.
+func (g *Gateway) serveTrace(w http.ResponseWriter, r *http.Request) {
+	tid, err := trace.ParseTraceID(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad trace id: "+err.Error())
+		return
+	}
+	local, ok := g.traces.Get(tid)
+	parts := make([]trace.MergePart, len(g.members))
+	var wg sync.WaitGroup
+	for i, m := range g.members {
+		wg.Add(1)
+		go func(i int, m string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), g.opt.AttemptTimeout)
+			defer cancel()
+			var tl trace.Timeline
+			if err := g.doJSON(ctx, http.MethodGet, m+"/v1/traces/"+tid.String(), nil, trace.SpanContext{}, &tl); err != nil {
+				return // never sampled there, evicted, or member down: skip
+			}
+			parts[i] = trace.MergePart{Member: g.tokOf[m], Timeline: tl}
+		}(i, m)
+	}
+	wg.Wait()
+	remote := parts[:0]
+	for _, p := range parts {
+		if len(p.Timeline.Spans) > 0 {
+			remote = append(remote, p)
+		}
+	}
+	if !ok && len(remote) == 0 {
+		httpError(w, http.StatusNotFound, "unknown trace id (evicted, never sampled, or never seen)")
+		return
+	}
+	if !ok {
+		// The gateway itself dropped the trace but a member kept it:
+		// serve the remote view under the right id.
+		local = trace.Timeline{TraceID: tid.String(), Finished: remote[0].Timeline.Finished}
+	}
+	writeJSON(w, http.StatusOK, trace.Merge(local, remote...))
+}

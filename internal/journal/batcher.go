@@ -3,6 +3,7 @@ package journal
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 )
 
@@ -22,11 +23,37 @@ type KV struct {
 type appendReq struct {
 	kvs  []KV
 	resp chan appendRes
+	// single marks a pooled one-record request (Append's path): the
+	// committer writes the assigned seq into seqOne instead of allocating a
+	// response slice, and the waiter copies the value out before the request
+	// returns to the pool.
+	single bool
+	one    [1]KV
+	seqOne [1]uint64
 }
 
 type appendRes struct {
 	seqs []uint64
 	err  error
+}
+
+// reqPool recycles append requests — struct, response channel, and the
+// single-record KV/seq storage — so the steady-state append path allocates
+// nothing per request.
+var reqPool = sync.Pool{
+	New: func() any { return &appendReq{resp: make(chan appendRes, 1)} },
+}
+
+// putReq returns a request to the pool, dropping references to the
+// caller's key/value buffers. Only call it once the committer is provably
+// done with the request (its response was received, or it was never
+// enqueued): the response channel must be empty when the request is
+// reused.
+func putReq(req *appendReq) {
+	req.kvs = nil
+	req.one[0] = KV{}
+	req.single = false
+	reqPool.Put(req)
 }
 
 // Append durably writes one record and returns its assigned sequence
@@ -39,11 +66,21 @@ type appendRes struct {
 // (callers needing exactly-once must make records idempotent, as the
 // engine's key->result records are).
 func (j *Journal) Append(key, value []byte) (uint64, error) {
-	seqs, err := j.AppendBatch([]KV{{Key: key, Value: value}})
-	if err != nil {
-		return 0, err
+	req := reqPool.Get().(*appendReq)
+	req.one[0] = KV{Key: key, Value: value}
+	req.kvs = req.one[:1]
+	req.single = true
+	res, recycle := j.submit(req)
+	var seq uint64
+	if res.err == nil {
+		// res.seqs aliases req.seqOne; copy the value out before the
+		// request can be pooled and reused.
+		seq = res.seqs[0]
 	}
-	return seqs[0], nil
+	if recycle {
+		putReq(req)
+	}
+	return seq, res.err
 }
 
 // AppendBatch durably writes every record of kvs under ONE group commit and
@@ -60,15 +97,33 @@ func (j *Journal) AppendBatch(kvs []KV) ([]uint64, error) {
 	if len(kvs) == 0 {
 		return nil, nil
 	}
-	req := &appendReq{kvs: kvs, resp: make(chan appendRes, 1)}
+	req := reqPool.Get().(*appendReq)
+	req.kvs = kvs
+	res, recycle := j.submit(req)
+	if recycle {
+		// res.seqs (when set) was allocated for this batch and handed to
+		// the caller; the committer never reuses it, so pooling the
+		// request does not alias it.
+		putReq(req)
+	}
+	return res.seqs, res.err
+}
+
+// submit enqueues req and blocks for the commit outcome. recycle reports
+// that the committer is provably done with the request — its response was
+// received, or it was never enqueued — so the caller may return it to the
+// pool. When recycle is false the request may still sit unread in j.in
+// (the enqueue raced past the committer's final drain) and must be leaked
+// to the GC instead of reused.
+func (j *Journal) submit(req *appendReq) (res appendRes, recycle bool) {
 	select {
 	case j.in <- req:
 	case <-j.stop:
-		return nil, ErrClosed
+		return appendRes{err: ErrClosed}, true
 	}
 	select {
 	case res := <-req.resp:
-		return res.seqs, res.err
+		return res, true
 	case <-j.done:
 		// The committer has exited. It drains j.in before exiting, so
 		// either our request was committed (the response is buffered) or
@@ -77,9 +132,9 @@ func (j *Journal) AppendBatch(kvs []KV) ([]uint64, error) {
 		// will ever answer.
 		select {
 		case res := <-req.resp:
-			return res.seqs, res.err
+			return res, true
 		default:
-			return nil, ErrClosed
+			return appendRes{err: ErrClosed}, false
 		}
 	}
 }
@@ -158,10 +213,20 @@ func (j *Journal) commit(batch []*appendReq) {
 		}
 		return
 	}
-	seqs := make([][]uint64, len(batch))
+	// The seq table and frame buffer are committer-goroutine-local scratch,
+	// reused across commits so the steady-state append path stops paying
+	// per-commit allocations. Entries are cleared up front: a stale inner
+	// slice from an earlier batch must never be acknowledged.
+	if cap(j.seqScratch) < len(batch) {
+		j.seqScratch = make([][]uint64, len(batch))
+	}
+	seqs := j.seqScratch[:len(batch)]
+	for i := range seqs {
+		seqs[i] = nil
+	}
 	now := j.now().UnixNano()
 	var err error
-	var buf []byte
+	buf := j.commitBuf[:0]
 	flush := func() {
 		if err != nil || len(buf) == 0 {
 			return
@@ -225,7 +290,13 @@ func (j *Journal) commit(batch []*appendReq) {
 		if err != nil {
 			break
 		}
-		seqs[i] = make([]uint64, len(req.kvs))
+		if req.single {
+			// One-record pooled request: the seq rides back on the request
+			// itself instead of a fresh slice.
+			seqs[i] = req.seqOne[:1]
+		} else {
+			seqs[i] = make([]uint64, len(req.kvs))
+		}
 		for k, kv := range req.kvs {
 			lastSeq++
 			rec := Record{Seq: lastSeq, Time: now, Key: kv.Key, Value: kv.Value}
@@ -250,6 +321,7 @@ func (j *Journal) commit(batch []*appendReq) {
 		close(j.notify)
 		j.notify = make(chan struct{})
 	}
+	j.commitBuf = buf[:0] // keep the (possibly grown) capacity for the next commit
 	j.mu.Unlock()
 	j.met.observeCommit(time.Since(start), total, pubRecords)
 	for i, req := range batch {

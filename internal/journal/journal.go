@@ -97,6 +97,14 @@ type Journal struct {
 	done      chan struct{}
 	closeOnce sync.Once // guards close(j.stop) for concurrent Close calls
 
+	// commitBuf and seqScratch are the committer's reusable scratch: the
+	// frame-encoding buffer and the per-batch table of seq slices. Only the
+	// committer goroutine touches them, so they need no lock. The inner seq
+	// slices handed to waiters are NOT reused — they either live on the
+	// waiter's pooled request or are freshly allocated per batch request.
+	commitBuf  []byte
+	seqScratch [][]uint64
+
 	// lock is the flock-held LOCK file guaranteeing single-process
 	// ownership of dir; the kernel releases it if the process dies.
 	lock *os.File

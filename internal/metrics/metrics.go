@@ -22,6 +22,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // A Counter is a monotonically increasing value.
@@ -66,6 +67,21 @@ type Histogram struct {
 	bounds []float64
 	counts []atomic.Int64 // one per bound, plus the +Inf bucket at the end
 	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+
+	// Exemplars: the most recent traced observation per bucket, so an
+	// operator can jump from a bad bucket to a concrete trace. Lazily
+	// allocated on the first ObserveWithExemplar; plain Observe never
+	// touches them.
+	exmu sync.Mutex
+	ex   []exemplar
+}
+
+// exemplar links one bucket to the trace id of a recent observation that
+// landed in it (OpenMetrics exemplar semantics: last write wins).
+type exemplar struct {
+	traceID string
+	value   float64
+	tsNS    int64
 }
 
 // Observe records one value.
@@ -79,6 +95,34 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveWithExemplar records one value and, when traceID is non-empty,
+// remembers it as the bucket's exemplar. The exposition layer shows
+// exemplars only when asked (?exemplars=1), so default scrapes are
+// byte-identical with or without them.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exmu.Lock()
+	if h.ex == nil {
+		h.ex = make([]exemplar, len(h.bounds)+1)
+	}
+	h.ex[i] = exemplar{traceID: traceID, value: v, tsNS: time.Now().UnixNano()}
+	h.exmu.Unlock()
+}
+
+// exemplarAt snapshots the bucket's exemplar, if any.
+func (h *Histogram) exemplarAt(i int) (exemplar, bool) {
+	h.exmu.Lock()
+	defer h.exmu.Unlock()
+	if h.ex == nil || h.ex[i].traceID == "" {
+		return exemplar{}, false
+	}
+	return h.ex[i], true
 }
 
 // Count reports the total number of observations.
@@ -337,13 +381,24 @@ func (f *family) child(values []string, mk func() any) any {
 // label values, so output is deterministic) in the Prometheus text
 // exposition format.
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	return r.writeTo(w, false)
+}
+
+// WriteToWithExemplars renders like WriteTo plus an OpenMetrics-style
+// exemplar annotation ("# {trace_id=...} value timestamp") after each
+// histogram bucket that has one.
+func (r *Registry) WriteToWithExemplars(w io.Writer) (int64, error) {
+	return r.writeTo(w, true)
+}
+
+func (r *Registry) writeTo(w io.Writer, exemplars bool) (int64, error) {
 	r.mu.Lock()
 	families := append([]*family(nil), r.families...)
 	r.mu.Unlock()
 	cw := &countingWriter{w: w}
 	var buf []byte
 	for _, f := range families {
-		buf = f.render(buf[:0])
+		buf = f.render(buf[:0], exemplars)
 		if _, err := cw.Write(buf); err != nil {
 			return cw.n, err
 		}
@@ -362,7 +417,7 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-func (f *family) render(buf []byte) []byte {
+func (f *family) render(buf []byte, exemplars bool) []byte {
 	if f.help != "" {
 		buf = append(buf, "# HELP "...)
 		buf = append(buf, f.name...)
@@ -379,7 +434,7 @@ func (f *family) render(buf []byte) []byte {
 		return appendSample(buf, f.name, "", f.fn())
 	}
 	if f.single != nil {
-		return f.renderChild(buf, "", f.single)
+		return f.renderChild(buf, "", f.single, exemplars)
 	}
 	f.mu.Lock()
 	keys := append([]string(nil), f.order...)
@@ -394,12 +449,12 @@ func (f *family) render(buf []byte) []byte {
 	}
 	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
 	for _, i := range idx {
-		buf = f.renderChild(buf, labelString(f.labels, strings.Split(keys[i], "\x00"), ""), children[i])
+		buf = f.renderChild(buf, labelString(f.labels, strings.Split(keys[i], "\x00"), ""), children[i], exemplars)
 	}
 	return buf
 }
 
-func (f *family) renderChild(buf []byte, labels string, c any) []byte {
+func (f *family) renderChild(buf []byte, labels string, c any, exemplars bool) []byte {
 	switch v := c.(type) {
 	case *Counter:
 		return appendSample(buf, f.name, labels, float64(v.Value()))
@@ -410,9 +465,15 @@ func (f *family) renderChild(buf []byte, labels string, c any) []byte {
 		for i, bound := range f.bounds {
 			cum += v.counts[i].Load()
 			buf = appendSample(buf, f.name+"_bucket", mergeLE(labels, formatFloat(bound)), float64(cum))
+			if exemplars {
+				buf = appendExemplar(buf, v, i)
+			}
 		}
 		cum += v.counts[len(f.bounds)].Load()
 		buf = appendSample(buf, f.name+"_bucket", mergeLE(labels, "+Inf"), float64(cum))
+		if exemplars {
+			buf = appendExemplar(buf, v, len(f.bounds))
+		}
 		buf = appendSample(buf, f.name+"_sum", labels, v.Sum())
 		buf = appendSample(buf, f.name+"_count", labels, float64(cum))
 		return buf
@@ -472,6 +533,23 @@ func appendSample(buf []byte, name, labels string, v float64) []byte {
 	return append(buf, '\n')
 }
 
+// appendExemplar rewrites the just-appended bucket line to carry its
+// exemplar, OpenMetrics style: "... 5 # {trace_id=\"abc\"} 0.003 <ts>\n".
+func appendExemplar(buf []byte, h *Histogram, i int) []byte {
+	e, ok := h.exemplarAt(i)
+	if !ok {
+		return buf
+	}
+	buf = buf[:len(buf)-1] // drop the trailing newline of the bucket line
+	buf = append(buf, ` # {trace_id="`...)
+	buf = append(buf, e.traceID...)
+	buf = append(buf, `"} `...)
+	buf = append(buf, formatFloat(e.value)...)
+	buf = append(buf, ' ')
+	buf = append(buf, strconv.FormatFloat(float64(e.tsNS)/1e9, 'f', 3, 64)...)
+	return append(buf, '\n')
+}
+
 func formatFloat(v float64) string {
 	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
 		return strconv.FormatInt(int64(v), 10)
@@ -479,11 +557,13 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// Handler serves the registry as a Prometheus scrape target.
+// Handler serves the registry as a Prometheus scrape target. Appending
+// ?exemplars=1 adds OpenMetrics-style exemplar annotations to histogram
+// bucket lines; the default exposition is unchanged.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if _, err := r.WriteTo(w); err != nil {
+		if _, err := r.writeTo(w, req.URL.Query().Get("exemplars") == "1"); err != nil {
 			// Too late for a status change; the client sees a short body.
 			return
 		}

@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"io"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -209,5 +211,52 @@ func TestRegistryPanics(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+func TestExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("xbar_ex_seconds", "exemplar test", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.ObserveWithExemplar(0.05, "4bf92f3577b34da6a3ce929d0e0e4736")
+	h.ObserveWithExemplar(0.5, "") // empty trace id: counted, no exemplar
+
+	// Default exposition is byte-identical to a registry without exemplars.
+	var plain strings.Builder
+	if _, err := r.WriteTo(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "trace_id") {
+		t.Fatalf("default exposition leaks exemplars:\n%s", plain.String())
+	}
+
+	var with strings.Builder
+	if _, err := r.WriteToWithExemplars(&with); err != nil {
+		t.Fatal(err)
+	}
+	out := with.String()
+	if !strings.Contains(out, `xbar_ex_seconds_bucket{le="0.1"} 2 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.05 `) {
+		t.Fatalf("exemplar annotation missing or malformed:\n%s", out)
+	}
+	if strings.Count(out, "trace_id") != 1 {
+		t.Fatalf("want exactly one exemplar, got:\n%s", out)
+	}
+
+	// The handler gates exemplars on ?exemplars=1.
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	for _, tc := range []struct {
+		q    string
+		want bool
+	}{{"", false}, {"?exemplars=1", true}} {
+		resp, err := http.Get(srv.URL + tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if got := strings.Contains(string(body), "trace_id"); got != tc.want {
+			t.Errorf("GET %q exemplars=%v, want %v", tc.q, got, tc.want)
+		}
 	}
 }

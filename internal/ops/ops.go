@@ -1,0 +1,56 @@
+// Package ops is the opt-in operator debug listener behind the -ops-addr
+// flag of xbarserver and xbargateway. It is a separate listener on purpose:
+// profiling endpoints never ride on the public API port, so exposing the
+// service does not expose pprof, and an operator can firewall the two
+// independently.
+package ops
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	rtpprof "runtime/pprof"
+	"time"
+)
+
+// Handler returns the debug mux: the full net/http/pprof surface under
+// /debug/pprof/ (heap, goroutine, allocs, block, mutex profiles via the
+// index; CPU via /debug/pprof/profile) plus two plain-text snapshots that
+// need no pprof tooling to read — /debug/stack (every goroutine's stack,
+// the first thing to grab from a wedged process) and /debug/heap (the heap
+// profile with per-site legends).
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/stack", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = rtpprof.Lookup("goroutine").WriteTo(w, 2)
+	})
+	mux.HandleFunc("GET /debug/heap", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = rtpprof.Lookup("heap").WriteTo(w, 1)
+	})
+	return mux
+}
+
+// Start binds addr and serves Handler() on it in the background. The bind
+// is synchronous so a bad -ops-addr fails startup loudly instead of
+// surfacing as a missing debug port during an incident. Close the returned
+// server to stop the listener.
+func Start(addr string) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ops listener: %w", err)
+	}
+	srv := &http.Server{
+		Handler:           Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, nil
+}

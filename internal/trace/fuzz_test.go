@@ -1,0 +1,42 @@
+package trace
+
+import "testing"
+
+// FuzzTraceparent: anything ParseTraceparent accepts must survive a
+// format → reparse round trip unchanged, and the formatter must emit the
+// canonical 55-byte version-00 form.
+func FuzzTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-00000000000000000000000000000000-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01")
+	f.Add("00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01")
+	f.Add("")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, s string) {
+		sc, err := ParseTraceparent(s)
+		if err != nil {
+			if sc.Valid() {
+				t.Fatalf("error %v but context %+v is valid", err, sc)
+			}
+			return
+		}
+		if !sc.Valid() || sc.Span.IsZero() {
+			t.Fatalf("accepted %q but context %+v is not fully valid", s, sc)
+		}
+		tp := sc.Traceparent()
+		if len(tp) != 55 {
+			t.Fatalf("formatted traceparent %q is %d bytes, want 55", tp, len(tp))
+		}
+		again, err := ParseTraceparent(tp)
+		if err != nil {
+			t.Fatalf("reparse of own output %q: %v", tp, err)
+		}
+		if again != sc {
+			t.Fatalf("round trip drift: %q -> %+v -> %q -> %+v", s, sc, tp, again)
+		}
+	})
+}

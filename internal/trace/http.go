@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// SpanOut is one span in a rendered timeline.
+type SpanOut struct {
+	Name     string `json:"name"`
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id,omitempty"`
+	StartNS  int64  `json:"start_unix_ns"`
+	OffsetUS int64  `json:"offset_us"` // relative to the timeline start
+	DurUS    int64  `json:"duration_us"`
+	JobID    string `json:"job_id,omitempty"`
+	Kind     string `json:"kind,omitempty"`
+	Member   string `json:"member,omitempty"`
+	Err      string `json:"error,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// Timeline is the GET /v1/traces/{id} payload: one trace's spans, oldest
+// first, with offsets relative to the earliest span. Finished is false for
+// a trace assembled purely from the live ring (still in flight when
+// fetched).
+type Timeline struct {
+	TraceID    string    `json:"trace_id"`
+	Finished   bool      `json:"finished"`
+	Error      bool      `json:"error,omitempty"`
+	StartNS    int64     `json:"start_unix_ns"`
+	DurationUS int64     `json:"duration_us"`
+	Spans      []SpanOut `json:"spans"`
+}
+
+// ListResponse is the GET /v1/traces?slowest=N payload.
+type ListResponse struct {
+	Traces []Timeline `json:"traces"`
+}
+
+// buildTimeline renders spans (any order) into the wire timeline. start
+// and end bound the root span when known (finished traces); zero means
+// derive them from the spans.
+func buildTimeline(tid TraceID, spans []Span, finished, hasErr bool, start, end int64) Timeline {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].ID.String() < spans[j].ID.String()
+	})
+	for i := range spans {
+		sp := &spans[i]
+		if start == 0 || sp.Start < start {
+			start = sp.Start
+		}
+		if sp.End > end {
+			end = sp.End
+		}
+	}
+	tl := Timeline{
+		TraceID:    tid.String(),
+		Finished:   finished,
+		Error:      hasErr,
+		StartNS:    start,
+		DurationUS: (end - start) / 1e3,
+		Spans:      make([]SpanOut, len(spans)),
+	}
+	for i := range spans {
+		sp := &spans[i]
+		o := SpanOut{
+			Name:     string(sp.Name),
+			SpanID:   sp.ID.String(),
+			StartNS:  sp.Start,
+			OffsetUS: (sp.Start - start) / 1e3,
+			DurUS:    (sp.End - sp.Start) / 1e3,
+			JobID:    sp.JobID,
+			Kind:     sp.Kind,
+			Member:   sp.Member,
+			Err:      sp.Err,
+			Detail:   sp.Detail,
+		}
+		if !sp.Parent.IsZero() {
+			o.ParentID = sp.Parent.String()
+		}
+		if !hasErr && sp.Err != "" {
+			tl.Error = true
+		}
+		tl.Spans[i] = o
+	}
+	return tl
+}
+
+// MergePart is one remote view of a trace for Merge: the timeline a
+// member returned, plus the member label to stamp onto its spans.
+type MergePart struct {
+	Member   string
+	Timeline Timeline
+}
+
+// Merge unions extra timelines (a member's view of the same trace, fetched
+// over HTTP) into base, deduplicating by span id, re-deriving the start and
+// duration, and stamping member onto spans that don't already carry an
+// origin. Base's finished/error verdicts win; an errored extra marks the
+// merged timeline errored too.
+func Merge(base Timeline, extras ...MergePart) Timeline {
+	seen := make(map[string]bool, len(base.Spans))
+	for _, sp := range base.Spans {
+		seen[sp.SpanID] = true
+	}
+	for _, ex := range extras {
+		if ex.Timeline.Error {
+			base.Error = true
+		}
+		for _, sp := range ex.Timeline.Spans {
+			if seen[sp.SpanID] {
+				continue
+			}
+			seen[sp.SpanID] = true
+			if sp.Member == "" {
+				sp.Member = ex.Member
+			}
+			base.Spans = append(base.Spans, sp)
+		}
+	}
+	sort.Slice(base.Spans, func(i, j int) bool {
+		if base.Spans[i].StartNS != base.Spans[j].StartNS {
+			return base.Spans[i].StartNS < base.Spans[j].StartNS
+		}
+		return base.Spans[i].SpanID < base.Spans[j].SpanID
+	})
+	start, end := base.StartNS, base.StartNS+base.DurationUS*1e3
+	for i := range base.Spans {
+		sp := &base.Spans[i]
+		if start == 0 || sp.StartNS < start {
+			start = sp.StartNS
+		}
+		if e := sp.StartNS + sp.DurUS*1e3; e > end {
+			end = e
+		}
+	}
+	base.StartNS = start
+	base.DurationUS = (end - start) / 1e3
+	for i := range base.Spans {
+		base.Spans[i].OffsetUS = (base.Spans[i].StartNS - start) / 1e3
+	}
+	return base
+}
+
+// slowestMax caps ?slowest=N so one request can't serialize the whole
+// kept set.
+const slowestMax = 32
+
+// ServeTimeline answers GET /v1/traces/{id} from this store.
+func (s *Store) ServeTimeline(w http.ResponseWriter, r *http.Request) {
+	tid, err := ParseTraceID(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad trace id: "+err.Error())
+		return
+	}
+	tl, ok := s.Get(tid)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown trace id (evicted, never sampled, or never seen)")
+		return
+	}
+	writeTraceJSON(w, http.StatusOK, tl)
+}
+
+// ServeList answers GET /v1/traces?slowest=N: the N slowest kept
+// timelines, slowest first (default 8, capped at 32).
+func (s *Store) ServeList(w http.ResponseWriter, r *http.Request) {
+	n := 8
+	if v := r.URL.Query().Get("slowest"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed <= 0 {
+			writeError(w, http.StatusBadRequest, "bad slowest count")
+			return
+		}
+		n = min(parsed, slowestMax)
+	}
+	writeTraceJSON(w, http.StatusOK, ListResponse{Traces: s.Slowest(n)})
+}
+
+func writeTraceJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeTraceJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,322 @@
+package trace
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one recorded lifecycle stage. Spans are fixed-shape value
+// structs — the attribute set is the fields, not a map — so recording one
+// is a copy into the ring, never an allocation.
+type Span struct {
+	Trace  TraceID
+	ID     SpanID
+	Parent SpanID
+	Name   Name
+	Start  int64 // unix nanoseconds
+	End    int64 // unix nanoseconds; == Start for instant spans
+	JobID  string
+	Kind   string
+	Member string
+	Err    string
+	Detail string
+}
+
+// Store defaults.
+const (
+	DefaultRingSpans  = 4096
+	DefaultMaxTraces  = 256
+	DefaultMaxSpans   = 256
+	DefaultSampleRate = 0.10
+)
+
+// durWindow is how many recent root durations feed the slow-tail (p99)
+// estimate.
+const durWindow = 512
+
+// Options tunes a Store. The zero value gives the defaults above.
+type Options struct {
+	// RingSpans is the span ring capacity (rounded up to a power of two);
+	// the ring holds the most recent spans of every trace, kept or not.
+	RingSpans int
+	// MaxTraces bounds the kept-timeline map; the oldest unpinned (not
+	// errored, not slow-tail) timelines are evicted first.
+	MaxTraces int
+	// MaxSpans bounds the spans captured per kept timeline.
+	MaxSpans int
+	// SampleRate is the probability an unremarkable finished trace is kept
+	// anyway. Zero means DefaultSampleRate; negative disables probabilistic
+	// keeps (errors, the slow tail, and sampled-flagged traces still win).
+	SampleRate float64
+}
+
+// Store records spans and keeps a bounded set of finished timelines under
+// the error/slow-tail-biased sampling policy. The zero value is not
+// usable; call NewStore. A nil *Store is safe everywhere and records
+// nothing, so library callers that never enable tracing pay one nil check.
+type Store struct {
+	// The span ring is guarded by a CAS spinlock rather than a mutex: the
+	// critical section is a fixed-size struct copy (no allocation, no
+	// syscall), so spinning is cheaper than parking, and the hot path
+	// stays allocation-free under the xbarvet hotpath gate.
+	lock atomic.Uint32
+	ring []Span
+	mask uint64
+	head uint64 // next write slot (monotonic; masked on use)
+
+	mu      sync.Mutex
+	kept    map[TraceID]*keptTrace
+	order   []TraceID // keep insertion order, for eviction
+	durs    [durWindow]int64
+	durN    int // total durations observed (ring index = durN % durWindow)
+	scratch []int64
+	opt     Options
+}
+
+// keptTrace is one finished, kept timeline.
+type keptTrace struct {
+	spans  []Span
+	start  int64
+	end    int64
+	err    bool
+	pinned bool // errored or slow-tail: evicted only under duress
+}
+
+// NewStore builds a span store.
+func NewStore(opt Options) *Store {
+	if opt.RingSpans <= 0 {
+		opt.RingSpans = DefaultRingSpans
+	}
+	size := 1
+	for size < opt.RingSpans {
+		size <<= 1
+	}
+	if opt.MaxTraces <= 0 {
+		opt.MaxTraces = DefaultMaxTraces
+	}
+	if opt.MaxSpans <= 0 {
+		opt.MaxSpans = DefaultMaxSpans
+	}
+	if opt.SampleRate == 0 {
+		opt.SampleRate = DefaultSampleRate
+	}
+	return &Store{
+		ring:    make([]Span, size),
+		mask:    uint64(size - 1),
+		kept:    make(map[TraceID]*keptTrace),
+		scratch: make([]int64, durWindow),
+		opt:     opt,
+	}
+}
+
+// Record copies one span into the ring. Steady-state allocation-free: the
+// span is a value copy into a preallocated slot, and the spinlock is a
+// single CAS in the uncontended case.
+//
+//xbar:hotpath
+func (s *Store) Record(sp *Span) {
+	if s == nil {
+		return
+	}
+	for !s.lock.CompareAndSwap(0, 1) {
+	}
+	s.ring[s.head&s.mask] = *sp
+	s.head++
+	s.lock.Store(0)
+}
+
+// FinishTrace closes out one trace: the caller has already recorded the
+// root span. The trace is kept when it errored, when it lands at or past
+// the p99 of recent root durations, when the propagated sampled flag asked
+// for it, or with probability SampleRate — the exposition layer of the
+// error/slow-tail bias. Runs off the hot path (once per batch, not per
+// span).
+func (s *Store) FinishTrace(sc SpanContext, start, end time.Time, hasErr bool) {
+	if s == nil || !sc.Valid() {
+		return
+	}
+	dur := end.UnixNano() - start.UnixNano()
+	s.mu.Lock()
+	s.durs[s.durN%durWindow] = dur
+	s.durN++
+	slow := s.durN >= 32 && dur >= s.p99Locked()
+	keep := hasErr || slow || sc.Sampled
+	if !keep && s.opt.SampleRate > 0 {
+		keep = rand.Float64() < s.opt.SampleRate
+	}
+	if !keep {
+		s.mu.Unlock()
+		return
+	}
+	maxSpans := s.opt.MaxSpans
+	s.mu.Unlock()
+
+	spans := s.collect(sc.Trace, make([]Span, 0, 64), maxSpans)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.kept[sc.Trace]; dup {
+		delete(s.kept, sc.Trace) // re-finish (retry paths): newest wins
+		for i, id := range s.order {
+			if id == sc.Trace {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+	s.kept[sc.Trace] = &keptTrace{
+		spans:  spans,
+		start:  start.UnixNano(),
+		end:    end.UnixNano(),
+		err:    hasErr,
+		pinned: hasErr || slow,
+	}
+	s.order = append(s.order, sc.Trace)
+	s.evictLocked()
+}
+
+// p99Locked estimates the 99th percentile of the recent root durations.
+// Caller holds s.mu.
+func (s *Store) p99Locked() int64 {
+	n := min(s.durN, durWindow)
+	w := s.scratch[:n]
+	copy(w, s.durs[:n])
+	sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+	idx := (n * 99) / 100
+	if idx >= n {
+		idx = n - 1
+	}
+	return w[idx]
+}
+
+// evictLocked drops kept timelines beyond MaxTraces: oldest unpinned
+// first, then (when everything is pinned) oldest outright, so the map can
+// never outgrow its budget. Caller holds s.mu.
+func (s *Store) evictLocked() {
+	for len(s.order) > s.opt.MaxTraces {
+		victim := -1
+		for i, id := range s.order {
+			if k := s.kept[id]; k != nil && !k.pinned {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			victim = 0
+		}
+		delete(s.kept, s.order[victim])
+		s.order = append(s.order[:victim], s.order[victim+1:]...)
+	}
+}
+
+// collect snapshots every ring span of one trace into dst (bounded by
+// maxSpans), oldest first. The ring is scanned under the spinlock but dst
+// is grown outside it, so the recording hot path never waits on an
+// allocation.
+func (s *Store) collect(tid TraceID, dst []Span, maxSpans int) []Span {
+	for !s.lock.CompareAndSwap(0, 1) {
+	}
+	// Oldest-first: when the ring has wrapped, the oldest span sits in the
+	// slot the next write would evict; before the wrap it is slot zero.
+	n, first := s.head, uint64(0)
+	if n > uint64(len(s.ring)) {
+		n, first = uint64(len(s.ring)), s.head
+	}
+	for i := uint64(0); i < n && len(dst) < cap(dst) && len(dst) < maxSpans; i++ {
+		sp := &s.ring[(first+i)&s.mask]
+		if sp.Trace == tid {
+			dst = append(dst, *sp)
+		}
+	}
+	s.lock.Store(0)
+	if len(dst) == cap(dst) && len(dst) < maxSpans {
+		// Scratch filled mid-scan: regrow outside the lock and rescan.
+		return s.collect(tid, make([]Span, 0, min(2*cap(dst), maxSpans)), maxSpans)
+	}
+	return dst
+}
+
+// Get assembles the timeline of one trace: the kept (finished) spans when
+// the sampling policy retained it, unioned with any spans still sitting in
+// the live ring (an in-flight trace, or late spans — an SSE delivery that
+// outlived the batch). ok is false when the store knows nothing about the
+// trace.
+func (s *Store) Get(tid TraceID) (Timeline, bool) {
+	if s == nil || tid.IsZero() {
+		return Timeline{}, false
+	}
+	s.mu.Lock()
+	k := s.kept[tid]
+	maxSpans := s.opt.MaxSpans
+	s.mu.Unlock()
+	live := s.collect(tid, make([]Span, 0, 64), maxSpans)
+	if k == nil {
+		if len(live) == 0 {
+			return Timeline{}, false
+		}
+		return buildTimeline(tid, live, false, false, 0, 0), true
+	}
+	spans := k.spans
+	if len(live) > 0 {
+		seen := make(map[SpanID]bool, len(spans))
+		for i := range spans {
+			seen[spans[i].ID] = true
+		}
+		merged := append(make([]Span, 0, len(spans)+len(live)), spans...)
+		for i := range live {
+			if !seen[live[i].ID] && len(merged) < maxSpans {
+				merged = append(merged, live[i])
+			}
+		}
+		spans = merged
+	}
+	return buildTimeline(tid, spans, true, k.err, k.start, k.end), true
+}
+
+// slowestEntry pairs a kept trace with its root duration for Slowest.
+type slowestEntry struct {
+	id  TraceID
+	dur int64
+}
+
+// Slowest returns the n slowest kept timelines, slowest first.
+func (s *Store) Slowest(n int) []Timeline {
+	if s == nil || n <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	entries := make([]slowestEntry, 0, len(s.kept))
+	for id, k := range s.kept {
+		entries = append(entries, slowestEntry{id: id, dur: k.end - k.start})
+	}
+	s.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].dur != entries[j].dur {
+			return entries[i].dur > entries[j].dur
+		}
+		return entries[i].id.String() < entries[j].id.String()
+	})
+	if len(entries) > n {
+		entries = entries[:n]
+	}
+	out := make([]Timeline, 0, len(entries))
+	for _, e := range entries {
+		if tl, ok := s.Get(e.id); ok {
+			out = append(out, tl)
+		}
+	}
+	return out
+}
+
+// KeptCount reports how many finished timelines the store currently holds.
+func (s *Store) KeptCount() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.kept)
+}

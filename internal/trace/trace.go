@@ -1,0 +1,235 @@
+// Package trace is a dependency-free distributed-tracing subsystem in the
+// same spirit as internal/metrics: 128-bit trace ids carried across
+// processes in W3C traceparent headers, cheap fixed-shape span structs
+// recorded into a bounded in-memory ring, and error/slow-tail-biased
+// sampling that keeps the timelines an operator actually wants (every
+// errored trace, every slow-tail trace, a probabilistic sample of the
+// rest) inside a hard memory budget.
+//
+// The recording path is allocation-free in steady state: spans are value
+// structs copied into a preallocated ring under a CAS spinlock, and span
+// names are pre-resolved package-level constants minted by MustName (the
+// xbarvet metrics-contract analyzer enforces that names are unique
+// literals, so trace cardinality is bounded at the source level).
+package trace
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+)
+
+// TraceID is the 128-bit W3C trace id.
+type TraceID [16]byte
+
+// SpanID is the 64-bit W3C parent/span id.
+type SpanID [8]byte
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the id as 32 lowercase hex characters.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the id as 16 lowercase hex characters.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// NewTraceID mints a random non-zero trace id. Ids need to be unique, not
+// unpredictable, so the math/rand generator is deliberate — crypto/rand
+// would cost a syscall per request on the admission path.
+func NewTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		putUint64(t[0:8], rand.Uint64())
+		putUint64(t[8:16], rand.Uint64())
+	}
+	return t
+}
+
+// NewSpanID mints a random non-zero span id.
+func NewSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		putUint64(s[:], rand.Uint64())
+	}
+	return s
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+// ParseTraceID parses a 32-hex-character trace id (the /v1/traces/{id}
+// path segment form).
+func ParseTraceID(s string) (TraceID, error) {
+	var t TraceID
+	if len(s) != 32 {
+		return t, fmt.Errorf("trace id must be 32 hex characters, got %d", len(s))
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil {
+		return t, err
+	}
+	if t.IsZero() {
+		return t, errors.New("all-zero trace id is invalid")
+	}
+	return t, nil
+}
+
+// SpanContext is the propagated half of a trace: the trace id, the id of
+// the span that new child spans should name as their parent, and whether
+// the caller asked for the trace to be kept regardless of the sampling
+// policy (the traceparent "sampled" flag).
+type SpanContext struct {
+	Trace   TraceID
+	Span    SpanID
+	Sampled bool
+}
+
+// Valid reports whether the context carries a usable trace id.
+func (sc SpanContext) Valid() bool { return !sc.Trace.IsZero() }
+
+// Child derives a context for a new span under sc: same trace, fresh span
+// id, sampling decision inherited.
+func (sc SpanContext) Child() SpanContext {
+	return SpanContext{Trace: sc.Trace, Span: NewSpanID(), Sampled: sc.Sampled}
+}
+
+// Traceparent renders the context in W3C trace-context form:
+// "00-<32 hex trace id>-<16 hex span id>-<2 hex flags>". The only flag bit
+// defined (and round-tripped) is 0x01, sampled.
+func (sc SpanContext) Traceparent() string {
+	var buf [55]byte
+	buf[0], buf[1], buf[2] = '0', '0', '-'
+	hex.Encode(buf[3:35], sc.Trace[:])
+	buf[35] = '-'
+	hex.Encode(buf[36:52], sc.Span[:])
+	buf[52] = '-'
+	flags := byte(0)
+	if sc.Sampled {
+		flags = 1
+	}
+	hex.Encode(buf[53:55], []byte{flags})
+	return string(buf[:])
+}
+
+// ParseTraceparent parses a W3C traceparent header. Per the spec: exactly
+// four dash-separated lowercase-hex fields at version 00 (future versions
+// are accepted if they carry the same prefix shape, ignoring any suffix);
+// version ff, a zero trace id, and a zero parent id are invalid.
+func ParseTraceparent(s string) (SpanContext, error) {
+	var sc SpanContext
+	if len(s) < 55 {
+		return SpanContext{}, fmt.Errorf("traceparent too short (%d bytes)", len(s))
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, errors.New("traceparent field separators misplaced")
+	}
+	var ver [1]byte
+	if _, err := hex.Decode(ver[:], lowerHex(s[0:2])); err != nil {
+		return SpanContext{}, fmt.Errorf("bad version field: %w", err)
+	}
+	if ver[0] == 0xff {
+		return SpanContext{}, errors.New("traceparent version ff is invalid")
+	}
+	if ver[0] == 0 && len(s) != 55 {
+		return SpanContext{}, fmt.Errorf("version 00 traceparent must be exactly 55 bytes, got %d", len(s))
+	}
+	if len(s) > 55 && s[55] != '-' {
+		return SpanContext{}, errors.New("extra traceparent fields must be dash-separated")
+	}
+	if _, err := hex.Decode(sc.Trace[:], lowerHex(s[3:35])); err != nil {
+		return SpanContext{}, fmt.Errorf("bad trace id: %w", err)
+	}
+	if sc.Trace.IsZero() {
+		return SpanContext{}, errors.New("all-zero trace id is invalid")
+	}
+	if _, err := hex.Decode(sc.Span[:], lowerHex(s[36:52])); err != nil {
+		return SpanContext{}, fmt.Errorf("bad parent id: %w", err)
+	}
+	if sc.Span.IsZero() {
+		return SpanContext{}, errors.New("all-zero parent id is invalid")
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], lowerHex(s[53:55])); err != nil {
+		return SpanContext{}, fmt.Errorf("bad flags field: %w", err)
+	}
+	sc.Sampled = flags[0]&1 != 0
+	return sc, nil
+}
+
+// lowerHex returns s as bytes, rejecting uppercase hex by corrupting it:
+// the W3C spec requires lowercase, and encoding/hex accepts both, so
+// uppercase bytes are mapped to an invalid character instead.
+func lowerHex(s string) []byte {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'F' {
+			b[i] = 'x'
+		}
+	}
+	return b
+}
+
+// Header is the canonical request-header name spans propagate under.
+const Header = "traceparent"
+
+// FromRequestHeader parses the traceparent header value, returning an
+// invalid (zero) context when the header is absent or malformed — the
+// caller starts a fresh trace in that case.
+func FromRequestHeader(v string) SpanContext {
+	if v == "" {
+		return SpanContext{}
+	}
+	sc, err := ParseTraceparent(v)
+	if err != nil {
+		return SpanContext{}
+	}
+	return sc
+}
+
+type ctxKey struct{}
+
+// ContextWith returns a context carrying sc; spans created downstream
+// parent themselves under sc.Span.
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext recovers the span context installed by ContextWith, or the
+// zero (invalid) context.
+func FromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}
+
+// Name is a pre-resolved span name. Names are minted once per package by
+// MustName into package-level variables so the recording hot path touches
+// only an interned string header — never builds one.
+type Name string
+
+// MustName validates and interns a span name: the "xbar." prefix plus
+// lowercase letters, digits, dots, and dashes. It panics on a malformed
+// name — names are compile-time literals (enforced by the xbarvet
+// metrics-contract analyzer, which also rejects module-wide duplicates),
+// so a bad one is a programming error.
+func MustName(s string) Name {
+	const prefix = "xbar."
+	if len(s) <= len(prefix) || s[:len(prefix)] != prefix {
+		panic("trace: span name " + s + " must carry the xbar. prefix")
+	}
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '.', c == '-':
+		default:
+			panic("trace: span name " + s + " may only use [a-z0-9.-]")
+		}
+	}
+	return Name(s)
+}

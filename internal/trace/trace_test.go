@@ -1,0 +1,413 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	for _, sampled := range []bool{false, true} {
+		sc := SpanContext{Trace: NewTraceID(), Span: NewSpanID(), Sampled: sampled}
+		tp := sc.Traceparent()
+		if len(tp) != 55 {
+			t.Fatalf("traceparent %q is %d bytes, want 55", tp, len(tp))
+		}
+		got, err := ParseTraceparent(tp)
+		if err != nil {
+			t.Fatalf("ParseTraceparent(%q): %v", tp, err)
+		}
+		if got != sc {
+			t.Fatalf("round trip: %+v -> %q -> %+v", sc, tp, got)
+		}
+	}
+}
+
+func TestParseTraceparentAcceptsWireForm(t *testing.T) {
+	sc, err := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Trace.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace id %s", sc.Trace)
+	}
+	if sc.Span.String() != "00f067aa0ba902b7" {
+		t.Fatalf("span id %s", sc.Span)
+	}
+	if !sc.Sampled {
+		t.Fatal("flags 01 must parse as sampled")
+	}
+	// A future version with an extra field parses (prefix shape is
+	// compatible), a version-00 header with trailing junk does not.
+	if _, err := ParseTraceparent("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); err != nil {
+		t.Fatalf("future version with extra field: %v", err)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",     // missing flags
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",  // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",  // zero span id
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // version ff
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",  // uppercase hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x", // version 00 with suffix
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // bad separator
+		"zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // non-hex version
+	}
+	for _, s := range bad {
+		if _, err := ParseTraceparent(s); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted, want error", s)
+		}
+	}
+}
+
+func TestMustName(t *testing.T) {
+	if got := MustName("xbar.engine.exec.map-hba"); got != "xbar.engine.exec.map-hba" {
+		t.Fatalf("MustName = %q", got)
+	}
+	for _, bad := range []string{"", "xbar.", "engine.exec", "xbar.Engine", "xbar.a b"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MustName(%q) did not panic", bad)
+				}
+			}()
+			MustName(bad)
+		}()
+	}
+}
+
+// span builds a test span n nanoseconds long starting at base.
+func span(sc SpanContext, name Name, base time.Time, d time.Duration) Span {
+	return Span{
+		Trace:  sc.Trace,
+		ID:     NewSpanID(),
+		Parent: sc.Span,
+		Name:   name,
+		Start:  base.UnixNano(),
+		End:    base.Add(d).UnixNano(),
+	}
+}
+
+var testSpanName = MustName("xbar.test.op")
+
+// finishOne records one root span and finishes its trace with the given
+// duration and error flag, returning the trace id.
+func finishOne(s *Store, d time.Duration, hasErr, sampled bool) TraceID {
+	sc := SpanContext{Trace: NewTraceID(), Span: NewSpanID(), Sampled: sampled}
+	base := time.Now().Add(-d)
+	sp := span(sc, testSpanName, base, d)
+	sp.ID = sc.Span
+	sp.Parent = SpanID{}
+	if hasErr {
+		sp.Err = "boom"
+	}
+	s.Record(&sp)
+	s.FinishTrace(sc, base, base.Add(d), hasErr)
+	return sc.Trace
+}
+
+// TestEvictionUnderSamplingPolicy: with probabilistic sampling off, only
+// errored, slow-tail, and sampled-flagged traces are kept; the keeper
+// stays bounded by MaxTraces with pinned (error/slow) timelines surviving
+// unpinned ones.
+func TestEvictionUnderSamplingPolicy(t *testing.T) {
+	s := NewStore(Options{MaxTraces: 32, SampleRate: -1})
+
+	// Establish a spread duration distribution (1..50ms) to warm the p99
+	// window.
+	for i := 0; i < 100; i++ {
+		finishOne(s, time.Duration(i%50+1)*time.Millisecond, false, false)
+	}
+	// A fast unremarkable trace is not kept: no error, no sampled flag,
+	// nowhere near the slow tail, probabilistic keeps disabled. (Get may
+	// still see its spans in the live ring, so check Finished.)
+	fastID := finishOne(s, time.Millisecond, false, false)
+	if tl, ok := s.Get(fastID); ok && tl.Finished {
+		t.Fatal("fast unremarkable trace kept with sampling disabled")
+	}
+
+	// An errored trace is always kept.
+	errID := finishOne(s, time.Millisecond, true, false)
+	tl, ok := s.Get(errID)
+	if !ok || !tl.Finished || !tl.Error {
+		t.Fatalf("errored trace not kept: ok=%v tl=%+v", ok, tl)
+	}
+
+	// A slow-tail trace (10x the established distribution) is always kept.
+	slowID := finishOne(s, 100*time.Millisecond, false, false)
+	if tl, ok := s.Get(slowID); !ok || !tl.Finished {
+		t.Fatalf("slow-tail trace not kept: ok=%v finished=%v", ok, tl.Finished)
+	}
+
+	// A sampled-flagged trace is always kept.
+	flagID := finishOne(s, time.Millisecond, false, true)
+	if tl, ok := s.Get(flagID); !ok || !tl.Finished {
+		t.Fatalf("sampled-flagged trace not kept: ok=%v finished=%v", ok, tl.Finished)
+	}
+
+	// Flood with sampled-flagged traces: the keeper must stay bounded, and
+	// the pinned error/slow timelines must survive the unpinned flood.
+	for i := 0; i < 50; i++ {
+		finishOne(s, time.Millisecond, false, true)
+	}
+	if n := s.KeptCount(); n > 32 {
+		t.Fatalf("keeper holds %d timelines, budget 32", n)
+	}
+	if _, ok := s.Get(errID); !ok {
+		t.Fatal("pinned errored trace evicted by unpinned flood")
+	}
+	if tl, ok := s.Get(slowID); !ok || !tl.Finished {
+		t.Fatal("pinned slow trace evicted by unpinned flood")
+	}
+	if _, ok := s.Get(flagID); ok {
+		if tl, _ := s.Get(flagID); tl.Finished {
+			t.Fatal("unpinned trace survived a flood that should have evicted it")
+		}
+	}
+}
+
+// TestRingWrapKeepsNewest: a trace whose spans straddle a ring wrap loses
+// its oldest spans, not its newest, and Get still assembles the rest.
+func TestRingWrapKeepsNewest(t *testing.T) {
+	s := NewStore(Options{RingSpans: 64, SampleRate: -1})
+	sc := SpanContext{Trace: NewTraceID(), Span: NewSpanID(), Sampled: true}
+	base := time.Now()
+	for i := 0; i < 100; i++ {
+		sp := span(sc, testSpanName, base.Add(time.Duration(i)*time.Microsecond), time.Microsecond)
+		sp.JobID = "j" + string(rune('0'+i%10))
+		s.Record(&sp)
+	}
+	tl, ok := s.Get(sc.Trace)
+	if !ok {
+		t.Fatal("live trace not found in the ring")
+	}
+	if len(tl.Spans) != 64 {
+		t.Fatalf("got %d spans after wrapping a 64-slot ring, want 64", len(tl.Spans))
+	}
+	if tl.Finished {
+		t.Fatal("in-flight trace reported finished")
+	}
+	// The survivors are the newest 64 (offsets 36..99).
+	if tl.Spans[0].StartNS != base.Add(36*time.Microsecond).UnixNano() {
+		t.Fatalf("oldest surviving span starts at %d, want the 37th span", tl.Spans[0].StartNS)
+	}
+}
+
+// TestTimelineShape: parent links, offsets, and durations survive the trip
+// through the HTTP handler.
+func TestTimelineShape(t *testing.T) {
+	s := NewStore(Options{SampleRate: -1})
+	sc := SpanContext{Trace: NewTraceID(), Span: NewSpanID(), Sampled: true}
+	base := time.Now()
+	root := Span{Trace: sc.Trace, ID: sc.Span, Name: MustName("xbar.test.root"),
+		Start: base.UnixNano(), End: base.Add(10 * time.Millisecond).UnixNano()}
+	child := span(sc, testSpanName, base.Add(2*time.Millisecond), 3*time.Millisecond)
+	child.JobID, child.Kind = "j00000001", "map-hba"
+	s.Record(&root)
+	s.Record(&child)
+	s.FinishTrace(sc, base, base.Add(10*time.Millisecond), false)
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/v1/traces/"+sc.Trace.String(), nil)
+	req.SetPathValue("id", sc.Trace.String())
+	s.ServeTimeline(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("ServeTimeline = %d: %s", rec.Code, rec.Body)
+	}
+	var tl Timeline
+	if err := json.Unmarshal(rec.Body.Bytes(), &tl); err != nil {
+		t.Fatal(err)
+	}
+	if tl.TraceID != sc.Trace.String() || !tl.Finished || tl.Error {
+		t.Fatalf("timeline header: %+v", tl)
+	}
+	if len(tl.Spans) != 2 {
+		t.Fatalf("%d spans, want 2", len(tl.Spans))
+	}
+	if tl.Spans[0].Name != "xbar.test.root" || tl.Spans[0].ParentID != "" {
+		t.Fatalf("root span: %+v", tl.Spans[0])
+	}
+	c := tl.Spans[1]
+	if c.ParentID != sc.Span.String() || c.OffsetUS != 2000 || c.DurUS != 3000 || c.JobID != "j00000001" {
+		t.Fatalf("child span: %+v", c)
+	}
+	if tl.DurationUS != 10000 {
+		t.Fatalf("duration %d us, want 10000", tl.DurationUS)
+	}
+
+	// Unknown id -> 404.
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest("GET", "/v1/traces/ffffffffffffffffffffffffffffffff", nil)
+	req.SetPathValue("id", "ffffffffffffffffffffffffffffffff")
+	s.ServeTimeline(rec, req)
+	if rec.Code != 404 {
+		t.Fatalf("unknown trace = %d, want 404", rec.Code)
+	}
+}
+
+// TestSlowestOrdersByDuration: ?slowest=N returns kept timelines slowest
+// first.
+func TestSlowestOrdersByDuration(t *testing.T) {
+	s := NewStore(Options{SampleRate: -1})
+	finishOne(s, 5*time.Millisecond, false, true)
+	slow := finishOne(s, 50*time.Millisecond, false, true)
+	finishOne(s, 1*time.Millisecond, false, true)
+
+	rec := httptest.NewRecorder()
+	s.ServeList(rec, httptest.NewRequest("GET", "/v1/traces?slowest=2", nil))
+	if rec.Code != 200 {
+		t.Fatalf("ServeList = %d: %s", rec.Code, rec.Body)
+	}
+	var resp ListResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Traces) != 2 {
+		t.Fatalf("%d traces, want 2", len(resp.Traces))
+	}
+	if resp.Traces[0].TraceID != slow.String() {
+		t.Fatalf("slowest trace is %s, want %s", resp.Traces[0].TraceID, slow)
+	}
+	if resp.Traces[0].DurationUS < resp.Traces[1].DurationUS {
+		t.Fatal("traces not ordered slowest first")
+	}
+}
+
+// TestMergeStitchesMemberSpans: the gateway-side stitch unions remote
+// spans, stamps their origin, and re-derives offsets over the combined
+// window.
+func TestMergeStitchesMemberSpans(t *testing.T) {
+	base := time.Now()
+	tid := NewTraceID()
+	mk := func(name string, off, d time.Duration, member string) SpanOut {
+		return SpanOut{
+			Name:    name,
+			SpanID:  NewSpanID().String(),
+			StartNS: base.Add(off).UnixNano(),
+			DurUS:   int64(d / time.Microsecond),
+			Member:  member,
+		}
+	}
+	local := Timeline{
+		TraceID:    tid.String(),
+		Finished:   true,
+		StartNS:    base.UnixNano(),
+		DurationUS: 20000,
+		Spans:      []SpanOut{mk("xbar.gateway.submit", 0, 20*time.Millisecond, "")},
+	}
+	remote := Timeline{
+		TraceID: tid.String(),
+		Spans: []SpanOut{
+			mk("xbar.http.admit", 2*time.Millisecond, time.Millisecond, ""),
+			mk("xbar.engine.exec", 5*time.Millisecond, 30*time.Millisecond, ""),
+		},
+	}
+	dup := remote.Spans[0]
+	remoteDup := Timeline{TraceID: tid.String(), Spans: []SpanOut{dup}}
+
+	merged := Merge(local, MergePart{Member: "m1", Timeline: remote},
+		MergePart{Member: "m2", Timeline: remoteDup})
+	if len(merged.Spans) != 3 {
+		t.Fatalf("%d spans after merge, want 3 (dup span not deduplicated?)", len(merged.Spans))
+	}
+	var sawMember bool
+	for _, sp := range merged.Spans {
+		if sp.Name == "xbar.http.admit" && sp.Member != "m1" {
+			t.Fatalf("remote span attributed to %q, want m1", sp.Member)
+		}
+		if sp.Member == "m1" {
+			sawMember = true
+		}
+	}
+	if !sawMember {
+		t.Fatal("no span carries the member attribution")
+	}
+	// The exec span outlives the local root: the merged window must cover
+	// it (5ms offset + 30ms duration = 35ms).
+	if merged.DurationUS != 35000 {
+		t.Fatalf("merged duration %d us, want 35000", merged.DurationUS)
+	}
+	if merged.Spans[0].OffsetUS != 0 {
+		t.Fatalf("first span offset %d, want 0", merged.Spans[0].OffsetUS)
+	}
+}
+
+// TestRecordSteadyStateAllocs: the recording hot path must not allocate.
+func TestRecordSteadyStateAllocs(t *testing.T) {
+	s := NewStore(Options{})
+	sc := SpanContext{Trace: NewTraceID(), Span: NewSpanID()}
+	sp := Span{Trace: sc.Trace, ID: NewSpanID(), Parent: sc.Span, Name: testSpanName,
+		JobID: "j00000001", Kind: "map-hba"}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		sp.Start++
+		sp.End++
+		s.Record(&sp)
+	}); allocs != 0 {
+		t.Fatalf("Record allocates %.1f times per span, want 0", allocs)
+	}
+	var nilStore *Store
+	if allocs := testing.AllocsPerRun(100, func() { nilStore.Record(&sp) }); allocs != 0 {
+		t.Fatalf("nil-store Record allocates %.1f times, want 0", allocs)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	s := NewStore(Options{})
+	sp := Span{Trace: NewTraceID(), ID: NewSpanID(), Name: testSpanName}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp.Start = int64(i)
+		s.Record(&sp)
+	}
+}
+
+// TestConcurrentRecordAndFinish shakes the spinlock under the race
+// detector: concurrent recorders, finishers, and readers.
+func TestConcurrentRecordAndFinish(t *testing.T) {
+	s := NewStore(Options{RingSpans: 256, MaxTraces: 16})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				finishOne(s, time.Microsecond, i%7 == 0, i%3 == 0)
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				s.Slowest(4)
+			}
+		}()
+	}
+	for i := 0; i < 6; i++ {
+		<-done
+	}
+	if n := s.KeptCount(); n > 16 {
+		t.Fatalf("keeper overflow: %d > 16", n)
+	}
+}
+
+func TestHeaderHelpers(t *testing.T) {
+	sc := SpanContext{Trace: NewTraceID(), Span: NewSpanID(), Sampled: true}
+	if got := FromRequestHeader(sc.Traceparent()); got != sc {
+		t.Fatalf("FromRequestHeader round trip: %+v != %+v", got, sc)
+	}
+	if got := FromRequestHeader(""); got.Valid() {
+		t.Fatal("empty header parsed as valid")
+	}
+	if got := FromRequestHeader("garbage"); got.Valid() {
+		t.Fatal("garbage header parsed as valid")
+	}
+	if strings.Count(sc.Traceparent(), "-") != 3 {
+		t.Fatal("traceparent must have exactly 3 separators")
+	}
+}
